@@ -1,0 +1,196 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§4):
+//
+//	experiments -fig 6      Figure 6: scenario 1 CPU load and link traffic
+//	experiments -fig 7      Figure 7: scenario 2 CPU load and peer traffic
+//	experiments -table 1    Table 1: query registration times
+//	experiments -rejection  the constrained-capacity rejection experiment
+//	experiments -all        everything (default)
+//
+// Absolute numbers depend on the synthetic substrate (see DESIGN.md); the
+// paper's shape — who wins, by what factor, where the peaks are — is what
+// the runs reproduce. EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/scenario"
+)
+
+var strategies = []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing}
+
+func main() {
+	fig := flag.Int("fig", 0, "reproduce figure 6 or 7")
+	table := flag.Int("table", 0, "reproduce table 1")
+	rejection := flag.Bool("rejection", false, "run the rejection experiment")
+	all := flag.Bool("all", false, "run everything")
+	items := flag.Int("items", 3000, "photons per stream to simulate")
+	flag.Parse()
+
+	if !*all && *fig == 0 && *table == 0 && !*rejection {
+		*all = true
+	}
+	if *all || *fig == 6 {
+		figure6(*items)
+	}
+	if *all || *fig == 7 {
+		figure7(*items)
+	}
+	if *all || *table == 1 {
+		table1(*items)
+	}
+	if *all || *rejection {
+		rejectionExperiment(*items)
+	}
+}
+
+func runAll(s *scenario.Scenario) map[core.Strategy]*scenario.Result {
+	out := map[core.Strategy]*scenario.Result{}
+	for _, strat := range strategies {
+		r, err := s.Run(strat, core.Config{})
+		if err != nil {
+			log.Fatalf("%s: %v", strat, err)
+		}
+		out[strat] = r
+	}
+	return out
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// bars renders one grouped bar chart row set: labels down the side, one bar
+// per strategy, scaled to the global maximum.
+func bars(labels []string, series map[string][3]float64, unit string) {
+	var max float64
+	for _, vs := range series {
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	const width = 46
+	tag := [3]string{"DS", "QS", "SS"}
+	for _, l := range labels {
+		vs := series[l]
+		for i, v := range vs {
+			n := int(v / max * width)
+			fmt.Printf("%-10s %s |%-*s| %8.2f %s\n", l, tag[i], width, strings.Repeat("█", n), v, unit)
+			l = ""
+		}
+	}
+}
+
+func figure6(items int) {
+	s := scenario.Scenario1(items)
+	res := runAll(s)
+
+	header("Figure 6 (left): extended example scenario — avg. CPU load (%)")
+	cpu := map[string][3]float64{}
+	var peers []string
+	for _, p := range s.Net.SuperPeers() {
+		peers = append(peers, string(p))
+		cpu[string(p)] = [3]float64{
+			res[core.DataShipping].Sim.AvgCPUPercent(s.Net, p),
+			res[core.QueryShipping].Sim.AvgCPUPercent(s.Net, p),
+			res[core.StreamSharing].Sim.AvgCPUPercent(s.Net, p),
+		}
+	}
+	bars(peers, cpu, "%")
+
+	header("Figure 6 (right): avg. network traffic (kbps) per connection")
+	traffic := map[string][3]float64{}
+	var links []string
+	for _, l := range s.Net.Links() {
+		links = append(links, l.String())
+		traffic[l.String()] = [3]float64{
+			res[core.DataShipping].Sim.LinkKbps(l),
+			res[core.QueryShipping].Sim.LinkKbps(l),
+			res[core.StreamSharing].Sim.LinkKbps(l),
+		}
+	}
+	bars(links, traffic, "kbps")
+}
+
+func figure7(items int) {
+	s := scenario.Scenario2(items)
+	res := runAll(s)
+
+	header("Figure 7 (left): 4×4 grid scenario — avg. CPU load (%)")
+	cpu := map[string][3]float64{}
+	var peers []string
+	for _, p := range s.Net.SuperPeers() {
+		peers = append(peers, string(p))
+		cpu[string(p)] = [3]float64{
+			res[core.DataShipping].Sim.AvgCPUPercent(s.Net, p),
+			res[core.QueryShipping].Sim.AvgCPUPercent(s.Net, p),
+			res[core.StreamSharing].Sim.AvgCPUPercent(s.Net, p),
+		}
+	}
+	bars(peers, cpu, "%")
+
+	header("Figure 7 (right): acc. network traffic (MBit) per super-peer (in+out)")
+	traffic := map[string][3]float64{}
+	for _, p := range s.Net.SuperPeers() {
+		traffic[string(p)] = [3]float64{
+			res[core.DataShipping].Sim.PeerMbit(p),
+			res[core.QueryShipping].Sim.PeerMbit(p),
+			res[core.StreamSharing].Sim.PeerMbit(p),
+		}
+	}
+	bars(peers, traffic, "MBit")
+}
+
+func table1(items int) {
+	header("Table 1: query registration times (ms)")
+	fmt.Printf("%-16s %10s %10s %10s %10s %10s %10s\n", "Scenario",
+		"Avg 1", "Avg 2", "Min 1", "Min 2", "Max 1", "Max 2")
+	s1 := scenario.Scenario1(items / 4)
+	s2 := scenario.Scenario2(items / 4)
+	for _, strat := range strategies {
+		r1, err := s1.Run(strat, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r2, err := s2.Run(strat, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, b := r1.Summary(), r2.Summary()
+		fmt.Printf("%-16s %10s %10s %10s %10s %10s %10s\n", strat,
+			ms(a.Avg), ms(b.Avg), ms(a.Min), ms(b.Min), ms(a.Max), ms(b.Max))
+	}
+	fmt.Println("(measured algorithm time plus modeled control-message latency;")
+	fmt.Println(" paper: DS 931/1363, QS 890/1287, SS 2153/3558 ms averages)")
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond))
+}
+
+func rejectionExperiment(items int) {
+	header("Rejection experiment: peers at 10% capacity, links at 1 Mbit/s")
+	s := scenario.Scenario2(items/4).Constrained(0.10, 125_000)
+	fmt.Printf("%-16s %s\n", "Strategy", "Rejected of 100 queries (paper)")
+	paper := map[core.Strategy]int{core.DataShipping: 47, core.QueryShipping: 35, core.StreamSharing: 2}
+	for _, strat := range strategies {
+		r, err := s.Run(strat, core.Config{Admission: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", strat, err)
+			continue
+		}
+		fmt.Printf("%-16s %d (%d)\n", strat, r.Rejected, paper[strat])
+	}
+}

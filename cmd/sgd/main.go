@@ -1,0 +1,74 @@
+// Command sgd runs a stream-sharing daemon: a super-peer grid with a
+// synthetic photon stream, accepting client connections on a TCP line
+// protocol (see internal/server for the command set).
+//
+//	sgd -listen 127.0.0.1:7070 -grid 3 -strategy-default sharing
+//
+// Try it with netcat:
+//
+//	$ nc 127.0.0.1 7070
+//	SUBSCRIBE SP2 sharing
+//	<photons>{ for $p in stream("photons")/photons/photon
+//	  where $p/en >= 1.3 return <hot>{ $p/en }</hot> }</photons>
+//	.
+//	OK q1
+//	.
+//	RUN 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"streamshare/internal/core"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/server"
+	"streamshare/internal/xmlstream"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	grid := flag.Int("grid", 3, "grid side length (n×n super-peers)")
+	capacity := flag.Float64("capacity", 50000, "peer capacity (work units/s)")
+	bandwidth := flag.Float64("bandwidth", 12_500_000, "link bandwidth (bytes/s)")
+	admission := flag.Bool("admission", false, "reject overloading subscriptions")
+	widening := flag.Bool("widening", false, "enable stream widening")
+	sample := flag.Int("sample", 2000, "photons sampled for stream statistics")
+	flag.Parse()
+
+	n := network.New()
+	for i := 0; i < *grid**grid; i++ {
+		n.AddPeer(network.Peer{
+			ID: network.PeerID(fmt.Sprintf("SP%d", i)), Super: true,
+			Capacity: *capacity, PerfIndex: 1,
+		})
+	}
+	for r := 0; r < *grid; r++ {
+		for c := 0; c < *grid; c++ {
+			i := r**grid + c
+			if c < *grid-1 {
+				n.Connect(network.PeerID(fmt.Sprintf("SP%d", i)), network.PeerID(fmt.Sprintf("SP%d", i+1)), *bandwidth)
+			}
+			if r < *grid-1 {
+				n.Connect(network.PeerID(fmt.Sprintf("SP%d", i)), network.PeerID(fmt.Sprintf("SP%d", i+*grid)), *bandwidth)
+			}
+		}
+	}
+
+	eng := core.NewEngine(n, core.Config{Admission: *admission, Widening: *widening})
+	cfg := photons.DefaultConfig()
+	_, st := photons.Stream("photons", cfg, 42, *sample)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sgd: %d super-peers, stream photons at SP0, listening on %s", *grid**grid, ln.Addr())
+	server.New(eng, cfg).Serve(ln)
+}

@@ -1,0 +1,151 @@
+// Command sgsim runs a custom grid scenario: an n×n super-peer backbone,
+// one synthetic photon stream per requested source, and a configurable
+// number of template-generated queries, under a chosen strategy.
+//
+//	sgsim -grid 4 -queries 100 -strategy sharing -items 2000 -seed 7
+//	sgsim -config scenario.json -strategy sharing -items 2000
+//
+// With -config, the topology, streams and queries come from a JSON file
+// (see internal/scenario.Config). It reports per-peer CPU load, total
+// traffic, reuse statistics, and — with -admission — how many queries were
+// rejected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"streamshare/internal/core"
+	"streamshare/internal/cost"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/scenario"
+	"streamshare/internal/workload"
+	"streamshare/internal/xmlstream"
+)
+
+func main() {
+	grid := flag.Int("grid", 4, "grid side length (n×n super-peers)")
+	queries := flag.Int("queries", 50, "number of queries to register")
+	items := flag.Int("items", 2000, "photons to simulate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	strategyName := flag.String("strategy", "sharing", "data | query | sharing")
+	admission := flag.Bool("admission", false, "enable admission control")
+	capacity := flag.Float64("capacity", 50000, "peer capacity (work units/s)")
+	bandwidth := flag.Float64("bandwidth", 12_500_000, "link bandwidth (bytes/s)")
+	gamma := flag.Float64("gamma", 0.5, "cost weighting γ (traffic vs load)")
+	configPath := flag.String("config", "", "JSON scenario description (overrides -grid/-queries)")
+	flag.Parse()
+
+	var strat core.Strategy
+	switch *strategyName {
+	case "data":
+		strat = core.DataShipping
+	case "query":
+		strat = core.QueryShipping
+	case "sharing":
+		strat = core.StreamSharing
+	default:
+		log.Fatalf("unknown strategy %q", *strategyName)
+	}
+
+	if *configPath != "" {
+		runConfig(*configPath, strat, *items, *admission, *gamma)
+		return
+	}
+
+	n := network.New()
+	for i := 0; i < *grid**grid; i++ {
+		n.AddPeer(network.Peer{
+			ID: network.PeerID(fmt.Sprintf("SP%d", i)), Super: true,
+			Capacity: *capacity, PerfIndex: 1,
+		})
+	}
+	for r := 0; r < *grid; r++ {
+		for c := 0; c < *grid; c++ {
+			i := r**grid + c
+			if c < *grid-1 {
+				n.Connect(network.PeerID(fmt.Sprintf("SP%d", i)), network.PeerID(fmt.Sprintf("SP%d", i+1)), *bandwidth)
+			}
+			if r < *grid-1 {
+				n.Connect(network.PeerID(fmt.Sprintf("SP%d", i)), network.PeerID(fmt.Sprintf("SP%d", i+*grid)), *bandwidth)
+			}
+		}
+	}
+
+	cfg := core.Config{Admission: *admission, Model: cost.DefaultModel()}
+	cfg.Model.Gamma = *gamma
+	eng := core.NewEngine(n, cfg)
+	its, st := photons.Stream("photons", photons.DefaultConfig(), *seed, *items)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		log.Fatal(err)
+	}
+
+	gen := workload.NewGenerator("photons", workload.DefaultSets(), *seed)
+	rejected := 0
+	for i, q := range gen.Generate(*queries) {
+		target := network.PeerID(fmt.Sprintf("SP%d", (i*7)%(*grid**grid)))
+		if _, err := eng.Subscribe(q, target, strat); err != nil {
+			if *admission {
+				rejected++
+				continue
+			}
+			log.Fatal(err)
+		}
+	}
+
+	res, err := eng.Simulate(map[string][]*xmlstream.Element{"photons": its}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strategy %s, %d queries (%d rejected), %d streams deployed\n",
+		strat, *queries, rejected, len(eng.Streams()))
+	reuse := 0
+	for _, d := range eng.Streams() {
+		if d.Parent != nil && !d.Parent.Original {
+			reuse++
+		}
+	}
+	fmt.Printf("streams derived from shared streams: %d\n", reuse)
+	fmt.Printf("total traffic: %.1f MBit over %.0f s; total work: %.0f units\n",
+		res.Metrics.TotalBytes()*8/1e6, res.Duration, res.Metrics.TotalWork())
+	fmt.Println("per-peer avg CPU (%):")
+	for _, p := range n.SuperPeers() {
+		fmt.Printf("  %-6s %6.2f\n", p, res.AvgCPUPercent(n, p))
+	}
+}
+
+// runConfig executes a JSON-described scenario.
+func runConfig(path string, strat core.Strategy, items int, admission bool, gamma float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	c, err := scenario.LoadConfig(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := c.Build(items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{Admission: admission, Model: cost.DefaultModel()}
+	cfg.Model.Gamma = gamma
+	r, err := s.Run(strat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy %s, %d queries (%d rejected)\n", strat, len(s.Queries), r.Rejected)
+	fmt.Printf("total traffic: %.1f MBit over %.0f s; total work: %.0f units\n",
+		r.Sim.Metrics.TotalBytes()*8/1e6, r.Sim.Duration, r.Sim.Metrics.TotalWork())
+	sum := r.Summary()
+	fmt.Printf("registration: avg %v, min %v, max %v\n", sum.Avg, sum.Min, sum.Max)
+	fmt.Println("per-peer avg CPU (%):")
+	for _, p := range s.Net.SuperPeers() {
+		fmt.Printf("  %-6s %6.2f\n", p, r.Sim.AvgCPUPercent(s.Net, p))
+	}
+}

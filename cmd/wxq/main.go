@@ -1,0 +1,103 @@
+// Command wxq parses a WXQuery subscription and explains it: the parsed
+// form, the derived properties (§3.1), the selection predicate graph with
+// its satisfiability and minimization, and — given a second query — whether
+// the first query's result stream could answer the second (Algorithm 2).
+//
+//	wxq query.xq            explain one subscription
+//	wxq stream.xq sub.xq    additionally run the property matching
+//	echo '<r>…</r>' | wxq   read the subscription from stdin
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"streamshare/internal/properties"
+	"streamshare/internal/wxquery"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wxq: ")
+	args := os.Args[1:]
+	switch len(args) {
+	case 0:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		explain(string(src))
+	case 1:
+		explain(readFile(args[0]))
+	case 2:
+		match(readFile(args[0]), readFile(args[1]))
+	default:
+		log.Fatal("usage: wxq [stream.xq [subscription.xq]]")
+	}
+}
+
+func readFile(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(b)
+}
+
+func build(src string) (*wxquery.Query, *properties.Properties) {
+	q, err := wxquery.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := properties.FromQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q, p
+}
+
+func explain(src string) {
+	q, p := build(src)
+	fmt.Println("parsed:")
+	fmt.Printf("  %s\n", q)
+	fmt.Println("properties:")
+	for _, in := range p.Inputs {
+		fmt.Printf("  input stream %q, item path %s\n", in.Stream, in.ItemPath)
+		for _, op := range in.Ops {
+			switch op.Kind {
+			case properties.OpSelect:
+				fmt.Printf("  σ selection (minimized): %s\n", op.Sel)
+				fmt.Printf("    satisfiable: %v\n", op.Sel.Satisfiable())
+				for _, a := range op.Sel.Atoms() {
+					fmt.Printf("    atom: %s\n", a)
+				}
+			case properties.OpProject:
+				fmt.Printf("  π projection: returned %v, referenced %v\n", op.Out, op.Ref)
+			case properties.OpAggregate:
+				fmt.Printf("  Φ aggregation: %s over window %s\n", op.Agg.Label(), op.Agg.Window.String())
+				if op.Agg.Filter != nil {
+					fmt.Printf("    result filter: %s\n", op.Agg.Filter)
+				}
+			case properties.OpWindow:
+				fmt.Printf("  ω window contents: %s\n", op.Agg.Window.String())
+			case properties.OpUDF:
+				fmt.Printf("  user-defined %s(%v) over window %s\n", op.UDF.Name, op.UDF.Params, op.UDF.Window.String())
+			}
+		}
+	}
+}
+
+func match(streamSrc, subSrc string) {
+	_, sp := build(streamSrc)
+	_, qp := build(subSrc)
+	ok := properties.MatchProperties(sp.Result(), qp)
+	fmt.Printf("stream properties: %s\n", sp.Result())
+	fmt.Printf("subscription     : %s\n", qp)
+	if ok {
+		fmt.Println("MATCH: the stream can be shared to answer the subscription (Algorithm 2)")
+	} else {
+		fmt.Printf("NO MATCH: %s\n", properties.ExplainMismatch(sp.Result(), qp))
+	}
+}

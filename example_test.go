@@ -1,0 +1,59 @@
+package streamshare_test
+
+import (
+	"fmt"
+
+	"streamshare"
+)
+
+// Example demonstrates the paper's core idea end to end: a second,
+// narrower query is answered from the first query's result stream instead
+// of from the source.
+func Example() {
+	net := streamshare.NewNetwork()
+	for _, id := range []streamshare.PeerID{"SRC", "MID", "OBS"} {
+		net.AddPeer(streamshare.Peer{ID: id, Super: true, Capacity: 10000, PerfIndex: 1})
+	}
+	net.Connect("SRC", "MID", 12_500_000)
+	net.Connect("MID", "OBS", 12_500_000)
+
+	sys := streamshare.NewSystem(net, streamshare.Config{})
+	items := streamshare.GeneratePhotons(streamshare.DefaultPhotonConfig(), 42, 1000)
+	if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SRC", items, 100); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	wide, _ := sys.Subscribe(`<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  return <hit> { $p/coord/cel/ra } { $p/en } </hit> }
+</photons>`, "MID", streamshare.StreamSharing)
+
+	narrow, _ := sys.Subscribe(`<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3 and $p/coord/cel/ra >= 125.0 and $p/coord/cel/ra <= 135.0
+  return <hot> { $p/en } </hot> }
+</photons>`, "OBS", streamshare.StreamSharing)
+
+	fmt.Println("wide computed at", wide.Inputs[0].Feed.Tap)
+	fmt.Println("narrow reuses a shared stream:", !narrow.Inputs[0].Feed.Parent.Original)
+	// Output:
+	// wide computed at SRC
+	// narrow reuses a shared stream: true
+}
+
+// ExampleMatch shows Algorithm 2 deciding reusability from properties alone.
+func ExampleMatch() {
+	wide, _ := streamshare.ParseQuery(`<r>{ for $p in stream("s")/r/i
+	  where $p/x >= 10 and $p/x <= 40 return <o>{ $p/x }{ $p/y }</o> }</r>`)
+	narrow, _ := streamshare.ParseQuery(`<r>{ for $p in stream("s")/r/i
+	  where $p/x >= 20 and $p/x <= 30 return <o>{ $p/x }</o> }</r>`)
+	wp, _ := streamshare.BuildProperties(wide)
+	np, _ := streamshare.BuildProperties(narrow)
+	fmt.Println("narrow from wide:", streamshare.Match(wp.Result(), np))
+	fmt.Println("wide from narrow:", streamshare.Match(np.Result(), wp))
+	// Output:
+	// narrow from wide: true
+	// wide from narrow: false
+}

@@ -1,0 +1,51 @@
+// Grid: the paper's second evaluation scenario (§4) — a 4×4 super-peer
+// grid, 2 photon streams, 100 template-generated queries — run under all
+// three strategies. The program prints per-peer CPU load and accumulated
+// traffic (the two panels of Fig. 7) plus the overall totals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamshare/internal/core"
+	"streamshare/internal/scenario"
+)
+
+func main() {
+	s := scenario.Scenario2(2000)
+	strategies := []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing}
+	results := map[core.Strategy]*scenario.Result{}
+	for _, strat := range strategies {
+		r, err := s.Run(strat, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[strat] = r
+	}
+
+	fmt.Println("Avg. CPU load (%) per super-peer:")
+	fmt.Printf("%-6s %14s %14s %14s\n", "Peer", "Data Shipping", "Query Shipping", "Stream Sharing")
+	for _, p := range s.Net.SuperPeers() {
+		fmt.Printf("%-6s %14.2f %14.2f %14.2f\n", p,
+			results[core.DataShipping].Sim.AvgCPUPercent(s.Net, p),
+			results[core.QueryShipping].Sim.AvgCPUPercent(s.Net, p),
+			results[core.StreamSharing].Sim.AvgCPUPercent(s.Net, p))
+	}
+
+	fmt.Println("\nAcc. network traffic (MBit) per super-peer (in+out):")
+	fmt.Printf("%-6s %14s %14s %14s\n", "Peer", "Data Shipping", "Query Shipping", "Stream Sharing")
+	for _, p := range s.Net.SuperPeers() {
+		fmt.Printf("%-6s %14.2f %14.2f %14.2f\n", p,
+			results[core.DataShipping].Sim.PeerMbit(p),
+			results[core.QueryShipping].Sim.PeerMbit(p),
+			results[core.StreamSharing].Sim.PeerMbit(p))
+	}
+
+	fmt.Println("\nTotals:")
+	for _, strat := range strategies {
+		r := results[strat]
+		fmt.Printf("  %-15s traffic %8.1f MBit, total work %9.0f units\n",
+			strat, r.Sim.Metrics.TotalBytes()*8/1e6, r.Sim.Metrics.TotalWork())
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: register a photon stream on a three-peer backbone, subscribe
+// two overlapping continuous queries with stream sharing, and watch the
+// second one reuse the first one's result stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamshare"
+)
+
+const wide = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  return <hit> { $p/coord/cel/ra } { $p/en } { $p/det_time } </hit> }
+</photons>`
+
+const narrow = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3 and $p/coord/cel/ra >= 125.0 and $p/coord/cel/ra <= 135.0
+  return <hot> { $p/coord/cel/ra } { $p/en } </hot> }
+</photons>`
+
+func main() {
+	// A minimal backbone: source SP0 — relay SP1 — subscribers at SP2.
+	net := streamshare.NewNetwork()
+	for _, id := range []streamshare.PeerID{"SP0", "SP1", "SP2"} {
+		net.AddPeer(streamshare.Peer{ID: id, Super: true, Capacity: 10000, PerfIndex: 1})
+	}
+	net.Connect("SP0", "SP1", 12_500_000)
+	net.Connect("SP1", "SP2", 12_500_000)
+
+	sys := streamshare.NewSystem(net, streamshare.Config{})
+
+	// Register the photon stream at SP0 with statistics from a sample.
+	items := streamshare.GeneratePhotons(streamshare.DefaultPhotonConfig(), 42, 2000)
+	if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SP0", items, 100); err != nil {
+		log.Fatal(err)
+	}
+
+	// The wide query is pushed to the source and its result stream flows to
+	// SP1.
+	s1, err := sys.Subscribe(wide, "SP1", streamshare.StreamSharing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: computed at %s, routed %v\n", s1.ID, s1.Inputs[0].Feed.Tap, s1.Inputs[0].Feed.Route)
+
+	// The narrow query's predicates imply the wide one's, so its plan taps
+	// the existing stream instead of going back to the source.
+	s2, err := sys.Subscribe(narrow, "SP2", streamshare.StreamSharing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed := s2.Inputs[0].Feed
+	fmt.Printf("%s: reuses %s, duplicated at %s, routed %v\n", s2.ID, feed.Parent.ID, feed.Tap, feed.Route)
+
+	// Deliver the photons and report.
+	res, err := sys.Simulate(map[string][]*streamshare.Item{"photons": items}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results: %s=%d items, %s=%d items\n", s1.ID, res.Results[s1.ID], s2.ID, res.Results[s2.ID])
+	fmt.Printf("first hot photon: %s\n", streamshare.MarshalItem(res.Collected[s2.ID][0]))
+	fmt.Printf("total network traffic: %.1f kB over %.0f s of stream\n",
+		res.Metrics.TotalBytes()/1000, res.Duration)
+}

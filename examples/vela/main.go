@@ -1,0 +1,118 @@
+// Vela: the paper's motivating astrophysics scenario (§1, Figs. 1/2).
+// Queries 1–4 are registered one after another over the RASS photon stream
+// on the 8-super-peer backbone; the program prints where each query's
+// operators were placed and which streams were reused, then compares the
+// network traffic against data shipping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamshare"
+)
+
+// The paper's queries, verbatim (§1 and §2).
+var queries = []struct {
+	name, src string
+	target    streamshare.PeerID
+}{
+	{"Query 1 (vela supernova remnant)", `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>`, "SP1"},
+	{"Query 2 (RX J0852.0-4622)", `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+  and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/en } { $p/det_time } </rxj> }
+</photons>`, "SP7"},
+	{"Query 3 (windowed avg energy)", `<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+   and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 20 step 10|
+  let $a := avg($w/en)
+  return <avg_en> { $a } </avg_en> }
+</photons>`, "SP3"},
+	{"Query 4 (coarser, filtered avg)", `<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+   and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 60 step 40|
+  let $a := avg($w/en)
+  where $a >= 1.3
+  return <avg_en> { $a } </avg_en> }
+</photons>`, "SP5"},
+}
+
+// backbone builds the super-peer network of Figs. 1/2; the photon telescope
+// (thin-peer P0) feeds SP4.
+func backbone() *streamshare.Network {
+	net := streamshare.NewNetwork()
+	for i := 0; i < 8; i++ {
+		net.AddPeer(streamshare.Peer{
+			ID: streamshare.PeerID(fmt.Sprintf("SP%d", i)), Super: true,
+			Capacity: 8000, PerfIndex: 1,
+		})
+	}
+	for _, e := range [][2]streamshare.PeerID{
+		{"SP4", "SP5"}, {"SP5", "SP1"}, {"SP4", "SP6"}, {"SP6", "SP7"},
+		{"SP5", "SP7"}, {"SP7", "SP1"}, {"SP4", "SP2"}, {"SP2", "SP0"},
+		{"SP0", "SP1"}, {"SP1", "SP3"}, {"SP3", "SP5"},
+	} {
+		net.Connect(e[0], e[1], 12_500_000)
+	}
+	return net
+}
+
+func run(strat streamshare.Strategy, items []*streamshare.Item, verbose bool) float64 {
+	sys := streamshare.NewSystem(backbone(), streamshare.Config{})
+	if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SP4", items, 100); err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range queries {
+		sub, err := sys.Subscribe(q.src, q.target, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if verbose {
+			feed := sub.Inputs[0].Feed
+			src := "original photon stream"
+			if !feed.Parent.Original {
+				src = feed.Parent.ID
+			}
+			fmt.Printf("  %-34s → %s: operators at %s (reusing %s), stream routed %v\n",
+				q.name, q.target, feed.Tap, src, feed.Route)
+		}
+	}
+	res, err := sys.Simulate(map[string][]*streamshare.Item{"photons": items}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if verbose {
+		for _, sub := range sys.Subscriptions() {
+			fmt.Printf("  %s delivered %d result items\n", sub.ID, res.Results[sub.ID])
+		}
+	}
+	return res.Metrics.TotalBytes()
+}
+
+func main() {
+	items := streamshare.GeneratePhotons(streamshare.DefaultPhotonConfig(), 42, 4000)
+
+	fmt.Println("Stream sharing (Fig. 2):")
+	ss := run(streamshare.StreamSharing, items, true)
+
+	fmt.Println("\nTotal network traffic:")
+	ds := run(streamshare.DataShipping, items, false)
+	qs := run(streamshare.QueryShipping, items, false)
+	fmt.Printf("  data shipping : %8.0f kB\n", ds/1000)
+	fmt.Printf("  query shipping: %8.0f kB\n", qs/1000)
+	fmt.Printf("  stream sharing: %8.0f kB (%.1f%% of data shipping)\n", ss/1000, ss/ds*100)
+}

@@ -1,0 +1,75 @@
+// Windows: window-based aggregate sharing (§3.3, Fig. 5). A fine-grained
+// average-energy subscription |det_time diff 20 step 10| is registered
+// first; a coarser one |det_time diff 60 step 40| is then answered by
+// recomposing the fine aggregates — avg values travel the backbone as
+// (sum, count) pairs, so the same stream also serves a count subscription.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamshare"
+)
+
+func agg(win, step int, op, extra string) string {
+	return fmt.Sprintf(`<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0]
+  |det_time diff %d step %d|
+  let $a := %s($w/en)%s
+  return <val> { $a } </val> }
+</photons>`, win, step, op, extra)
+}
+
+func main() {
+	net := streamshare.NewNetwork()
+	for _, id := range []streamshare.PeerID{"SRC", "MID", "A", "B", "C"} {
+		net.AddPeer(streamshare.Peer{ID: id, Super: true, Capacity: 10000, PerfIndex: 1})
+	}
+	net.Connect("SRC", "MID", 12_500_000)
+	net.Connect("MID", "A", 12_500_000)
+	net.Connect("MID", "B", 12_500_000)
+	net.Connect("B", "C", 12_500_000)
+
+	sys := streamshare.NewSystem(net, streamshare.Config{})
+	items := streamshare.GeneratePhotons(streamshare.DefaultPhotonConfig(), 7, 6000)
+	if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SRC", items, 100); err != nil {
+		log.Fatal(err)
+	}
+
+	subs := []struct {
+		name, src string
+		at        streamshare.PeerID
+	}{
+		{"fine avg  |diff 20 step 10|", agg(20, 10, "avg", ""), "A"},
+		{"coarse avg |diff 60 step 40|", agg(60, 40, "avg", ""), "B"},
+		{"filtered   |diff 60 step 40| where $a >= 1.3", agg(60, 40, "avg", "\n  where $a >= 1.3"), "C"},
+		{"count      |diff 20 step 10|", agg(20, 10, "count", ""), "B"},
+	}
+	for _, s := range subs {
+		sub, err := sys.Subscribe(s.src, s.at, streamshare.StreamSharing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feed := sub.Inputs[0].Feed
+		src := "raw stream"
+		if !feed.Parent.Original {
+			src = feed.Parent.ID
+		}
+		fmt.Printf("%-46s at %s: from %s, ops at %s\n", s.name, s.at, src, feed.Tap)
+	}
+
+	res, err := sys.Simulate(map[string][]*streamshare.Item{"photons": items}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sub := range sys.Subscriptions() {
+		out := res.Collected[sub.ID]
+		preview := ""
+		if len(out) > 0 {
+			preview = streamshare.MarshalItem(out[0])
+		}
+		fmt.Printf("%s: %3d windows, first: %s\n", sub.ID, len(out), preview)
+	}
+}

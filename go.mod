@@ -1,0 +1,3 @@
+module streamshare
+
+go 1.22

@@ -1,0 +1,305 @@
+// Package core implements the paper's primary contribution: the data stream
+// sharing engine. It registers continuous WXQuery subscriptions in a
+// super-peer network using one of three strategies — data shipping, query
+// shipping, or stream sharing (Algorithm 1's Subscribe with property
+// matching and cost-based plan selection) — installs the resulting operator
+// plans, and simulates stream delivery to measure network traffic and peer
+// load (§4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"streamshare/internal/cost"
+	"streamshare/internal/exec"
+	"streamshare/internal/network"
+	"streamshare/internal/properties"
+	"streamshare/internal/stats"
+	"streamshare/internal/wxquery"
+	"streamshare/internal/xmlstream"
+)
+
+// Strategy selects how new subscriptions are planned (§4).
+type Strategy int
+
+// Planning strategies.
+const (
+	// DataShipping routes the whole input stream from its source to the
+	// target super-peer, once per subscription, and evaluates there.
+	DataShipping Strategy = iota
+	// QueryShipping evaluates each subscription completely at the source
+	// super-peer and ships the result.
+	QueryShipping
+	// StreamSharing runs Algorithm 1: reuse (possibly preprocessed) streams
+	// already flowing in the network, chosen by the cost model.
+	StreamSharing
+)
+
+// String names the strategy as in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case DataShipping:
+		return "Data Shipping"
+	case QueryShipping:
+		return "Query Shipping"
+	case StreamSharing:
+		return "Stream Sharing"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ErrRejected reports that no evaluation plan without overload exists for a
+// subscription (the rejection experiment of §4).
+var ErrRejected = errors.New("core: subscription rejected: every plan overloads a peer or connection")
+
+// ErrUnknownStream reports a subscription referencing an unregistered input.
+var ErrUnknownStream = errors.New("core: unknown input stream")
+
+// Deployed is a data stream flowing in the network: the original stream at
+// its source super-peer, or a derived stream produced by operators at a tap
+// peer and routed to a target. Every peer on the route can tap the stream
+// for further sharing (§1's example duplicates Query 1's result at SP5).
+type Deployed struct {
+	ID string
+	// Input describes the stream's content relative to its original input
+	// (the properties of §3.1; identity for original streams).
+	Input *properties.Input
+	// Parent is the stream this one is derived from; nil for originals.
+	Parent *Deployed
+	// Tap is the peer where Residual runs (the first peer of Route).
+	Tap network.PeerID
+	// Route is the path the stream flows along, from Tap to its target.
+	Route []network.PeerID
+	// Residual transforms parent items into this stream's items at Tap.
+	Residual *exec.Pipeline
+	// Size and Freq are the cost model's estimates for one item and the
+	// item frequency.
+	Size, Freq float64
+	// Original marks the raw source streams registered by data providers.
+	Original bool
+	// NotShareable marks streams whose items are restructured query results;
+	// per §2 post-processing output is never considered for reuse.
+	NotShareable bool
+
+	// linkAdd and peerAdd record the analytic usage the stream's
+	// installation added, so Unsubscribe can release it.
+	linkAdd map[network.LinkID]float64
+	peerAdd map[network.PeerID]float64
+}
+
+// Target returns getTNode(p): the peer the stream is delivered to.
+func (d *Deployed) Target() network.PeerID { return d.Route[len(d.Route)-1] }
+
+// OnRoute reports whether the stream is available at peer v.
+func (d *Deployed) OnRoute(v network.PeerID) bool {
+	for _, p := range d.Route {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SubInput is one input of an installed subscription: the canonical feed
+// stream arriving at the target plus the local post-processing pipeline.
+type SubInput struct {
+	In   *properties.Input
+	Feed *Deployed
+	// Local runs at the subscription's target peer (restructuring for
+	// stream sharing and query-result decoding; the full evaluation for
+	// data shipping).
+	Local *exec.Pipeline
+}
+
+// Subscription is an installed continuous query.
+type Subscription struct {
+	ID     string
+	Query  *wxquery.Query
+	Props  *properties.Properties
+	Target network.PeerID
+	Inputs []*SubInput
+	// Reg reports how the registration went.
+	Reg RegStats
+}
+
+// Explain renders the installed evaluation plan in a human-readable form:
+// per input, the stream being reused, the residual operators and their
+// placement, the route, and the post-processing at the target.
+func (s *Subscription) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at %s\n", s.ID, s.Target)
+	for _, si := range s.Inputs {
+		feed := si.Feed
+		src := "original stream"
+		if feed.Parent != nil && !feed.Parent.Original {
+			src = "shared stream " + feed.Parent.ID
+		}
+		fmt.Fprintf(&b, "  input %s: %s, operators %s at %s, routed %v",
+			si.In.Stream, src, opList(feed.Residual), feed.Tap, feed.Route)
+		if len(si.Local.Ops) > 0 {
+			fmt.Fprintf(&b, ", post-processing %s at %s", opList(si.Local), s.Target)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func opList(p *exec.Pipeline) string {
+	if p == nil || len(p.Ops) == 0 {
+		return "[none]"
+	}
+	names := make([]string, len(p.Ops))
+	for i, o := range p.Ops {
+		names[i] = o.Name()
+	}
+	return "[" + strings.Join(names, " → ") + "]"
+}
+
+// RegStats records the cost of registering a subscription, reproducing
+// Table 1: the measured algorithm time plus a modeled network latency of
+// Messages control messages.
+type RegStats struct {
+	Compute time.Duration
+	// Messages is the number of point-to-point control messages the
+	// registration exchanged (discovery, property fetches, installation).
+	Messages int
+	// Visited is the number of peers the discovery traversed.
+	Visited int
+	// Candidates is the number of candidate streams whose properties were
+	// matched.
+	Candidates int
+}
+
+// Time returns the modeled total registration latency given a per-message
+// network latency.
+func (r RegStats) Time(perMessage time.Duration) time.Duration {
+	return r.Compute + time.Duration(r.Messages)*perMessage
+}
+
+// Config tunes an Engine.
+type Config struct {
+	Model cost.Model
+	// Registry resolves user-defined window functions.
+	Registry exec.UDFRegistry
+	// Admission rejects subscriptions whose best plan overloads a peer or
+	// link (the §4 rejection experiment).
+	Admission bool
+	// DepthFirst switches Algorithm 1's discovery from FIFO (breadth-first)
+	// to LIFO (depth-first) queues — the paper notes both are possible.
+	DepthFirst bool
+	// Widening enables the §6 stream-widening extension: when nothing
+	// shareable flows, an existing selection/projection stream may be
+	// altered to carry enough data for both its consumers and the new
+	// subscription (see widen.go).
+	Widening bool
+	// ValidatePaths rejects subscriptions referencing element paths absent
+	// from the input stream's observed schema, instead of silently
+	// delivering empty results.
+	ValidatePaths bool
+	// NoMinimize skips predicate-graph minimization (ablation).
+	NoMinimize bool
+}
+
+// Engine is a StreamGlobe-style data stream management system instance over
+// a super-peer network.
+type Engine struct {
+	Net *network.Network
+	Cfg Config
+	Est *cost.Estimator
+
+	originals map[string]*Deployed
+	origStats map[string]*stats.Stream
+	deployed  []*Deployed
+	subs      []*Subscription
+	nextID    int
+
+	// Analytic running usage, kept in sync with installed plans.
+	linkUse map[network.LinkID]float64 // bytes/second
+	peerUse map[network.PeerID]float64 // work units/second
+}
+
+// NewEngine returns an engine over the given topology.
+func NewEngine(net *network.Network, cfg Config) *Engine {
+	if cfg.Model.BLoad == nil {
+		cfg.Model = cost.DefaultModel()
+	}
+	return &Engine{
+		Net:       net,
+		Cfg:       cfg,
+		Est:       cost.NewEstimator(cfg.Model, map[string]*stats.Stream{}),
+		originals: map[string]*Deployed{},
+		origStats: map[string]*stats.Stream{},
+		linkUse:   map[network.LinkID]float64{},
+		peerUse:   map[network.PeerID]float64{},
+	}
+}
+
+// RegisterStream registers an original data stream at a super-peer, with
+// statistics collected from a sample (frequency, element sizes, value
+// ranges). The statistics drive the cost model's estimations.
+func (e *Engine) RegisterStream(name string, itemPath xmlstream.Path, at network.PeerID, st *stats.Stream) (*Deployed, error) {
+	if e.Net.Peer(at) == nil {
+		return nil, fmt.Errorf("core: unknown peer %s", at)
+	}
+	if _, dup := e.originals[name]; dup {
+		return nil, fmt.Errorf("core: stream %q already registered", name)
+	}
+	d := &Deployed{
+		ID:       fmt.Sprintf("orig:%s", name),
+		Input:    &properties.Input{Stream: name, ItemPath: itemPath},
+		Tap:      at,
+		Route:    []network.PeerID{at},
+		Residual: exec.NewPipeline(),
+		Size:     st.AvgItemSize,
+		Freq:     st.Freq,
+		Original: true,
+	}
+	e.originals[name] = d
+	e.origStats[name] = st
+	e.Est.Stats[name] = st
+	e.deployed = append(e.deployed, d)
+	return d, nil
+}
+
+// RepairFuzzyOrder attaches a fixed-size sort buffer to an original stream
+// at its source super-peer, restoring the total order of a fuzzily ordered
+// stream on the given reference element (§2: "this premise could be
+// somewhat relaxed to a fuzzy order by requiring that a fixed sized buffer
+// is sufficient to derive the total order"). Must be called before
+// subscriptions are simulated.
+func (e *Engine) RepairFuzzyOrder(stream string, ref xmlstream.Path, size int) error {
+	d := e.originals[stream]
+	if d == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownStream, stream)
+	}
+	d.Residual = exec.NewPipeline(exec.NewSortBuffer(ref, size))
+	return nil
+}
+
+// Streams returns all deployed streams, originals first, in creation order.
+func (e *Engine) Streams() []*Deployed { return e.deployed }
+
+// Subscriptions returns the installed subscriptions in registration order.
+func (e *Engine) Subscriptions() []*Subscription { return e.subs }
+
+// LinkLoad returns the current analytic bandwidth use of a link in
+// bytes/second.
+func (e *Engine) LinkLoad(l network.LinkID) float64 { return e.linkUse[l] }
+
+// PeerLoad returns the current analytic load of a peer in work units/second.
+func (e *Engine) PeerLoad(p network.PeerID) float64 { return e.peerUse[p] }
+
+// availableAt returns the deployed streams whose route includes v and that
+// are variants of the named original input stream.
+func (e *Engine) availableAt(v network.PeerID, stream string) []*Deployed {
+	var out []*Deployed
+	for _, d := range e.deployed {
+		if d.Input.Stream == stream && !d.NotShareable && d.OnRoute(v) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

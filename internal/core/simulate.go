@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"streamshare/internal/exec"
+	"streamshare/internal/network"
+	"streamshare/internal/xmlstream"
+)
+
+// SimResult holds the measurements of one simulated stream delivery run:
+// the raw traffic/work counters and the modeled wall-clock duration used to
+// normalize them into the paper's kbps and CPU-% figures.
+type SimResult struct {
+	Metrics *network.Metrics
+	// Duration is the modeled stream duration in seconds (items ÷ source
+	// frequency, maximized over sources).
+	Duration float64
+	// Results counts the result items delivered per subscription id.
+	Results map[string]int
+	// Collected holds the actual result items per subscription id when
+	// collection was requested.
+	Collected map[string][]*xmlstream.Element
+}
+
+// AvgCPUPercent returns the average CPU load of a peer over the run as a
+// percentage of its capacity (Figs. 6 and 7, left).
+func (r *SimResult) AvgCPUPercent(net *network.Network, p network.PeerID) float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.Metrics.PeerWork[p] / r.Duration / net.Peer(p).Capacity * 100
+}
+
+// LinkKbps returns the average traffic of a link in kilobits per second
+// (Fig. 6, right).
+func (r *SimResult) LinkKbps(l network.LinkID) float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.Metrics.LinkBytes[l] * 8 / 1000 / r.Duration
+}
+
+// PeerMbit returns the accumulated incoming plus outgoing traffic of a peer
+// in megabits over the whole run (Fig. 7, right).
+func (r *SimResult) PeerMbit(p network.PeerID) float64 {
+	return r.Metrics.PeerBytes()[p] * 8 / 1e6
+}
+
+// Simulate pushes the given items of every original stream through all
+// installed plans, metering bytes per link and work units per peer, and
+// collecting subscription results. collect enables storing the actual
+// result items (memory-proportional to output size).
+func (e *Engine) Simulate(items map[string][]*xmlstream.Element, collect bool) (*SimResult, error) {
+	s := &sim{
+		eng:     e,
+		res:     &SimResult{Metrics: network.NewMetrics(), Results: map[string]int{}},
+		collect: collect,
+	}
+	if collect {
+		s.res.Collected = map[string][]*xmlstream.Element{}
+	}
+	// Wire consumers: derived streams tap their parent; subscriptions read
+	// their feed at its target.
+	s.children = map[*Deployed][]*Deployed{}
+	for _, d := range e.deployed {
+		if d.Parent != nil {
+			s.children[d.Parent] = append(s.children[d.Parent], d)
+		}
+	}
+	s.readers = map[*Deployed][]reader{}
+	for _, sub := range e.subs {
+		for _, si := range sub.Inputs {
+			s.readers[si.Feed] = append(s.readers[si.Feed], reader{sub: sub, si: si})
+		}
+	}
+
+	for name, its := range items {
+		orig := e.originals[name]
+		if orig == nil {
+			return nil, fmt.Errorf("core: simulate unknown stream %q", name)
+		}
+		st := e.origStats[name]
+		if st.Freq > 0 {
+			if d := float64(len(its)) / st.Freq; d > s.res.Duration {
+				s.res.Duration = d
+			}
+		}
+		for _, it := range its {
+			s.deliver(orig, it)
+		}
+	}
+	// Drain window state in creation order (parents precede children).
+	for _, d := range e.deployed {
+		if _, fed := items[d.Input.Stream]; !fed && d.Original {
+			continue
+		}
+		s.flush(d)
+	}
+	return s.res, nil
+}
+
+type reader struct {
+	sub *Subscription
+	si  *SubInput
+}
+
+type sim struct {
+	eng      *Engine
+	res      *SimResult
+	collect  bool
+	children map[*Deployed][]*Deployed
+	readers  map[*Deployed][]reader
+}
+
+// runOps pushes items through a pipeline stage by stage, charging
+// bload(op)·pindex(v) per item entering each stage.
+func (s *sim) runOps(ops []exec.Operator, at network.PeerID, items []*xmlstream.Element) []*xmlstream.Element {
+	peer := s.eng.Net.Peer(at)
+	for _, op := range ops {
+		bload := s.eng.Cfg.Model.BLoad[op.Name()]
+		var next []*xmlstream.Element
+		for _, it := range items {
+			s.res.Metrics.AddWork(at, bload*peer.PerfIndex)
+			next = append(next, op.Process(it)...)
+		}
+		items = next
+		if len(items) == 0 {
+			return nil
+		}
+	}
+	return items
+}
+
+// flushOps drains a pipeline, charging downstream stages for flushed items.
+func (s *sim) flushOps(ops []exec.Operator, at network.PeerID) []*xmlstream.Element {
+	var out []*xmlstream.Element
+	for i, op := range ops {
+		flushed := op.Flush()
+		if len(flushed) == 0 {
+			continue
+		}
+		out = append(out, s.runOps(ops[i+1:], at, flushed)...)
+	}
+	return out
+}
+
+// deliver pushes one parent item into stream d: residual operators run at
+// the tap, then every produced item flows along the route and reaches the
+// stream's consumers.
+func (s *sim) deliver(d *Deployed, item *xmlstream.Element) {
+	if d.Parent != nil {
+		// Duplication work at the tap (the parent stream forks here).
+		peer := s.eng.Net.Peer(d.Tap)
+		s.res.Metrics.AddWork(d.Tap, s.eng.Cfg.Model.BLoad["duplicate"]*peer.PerfIndex)
+	}
+	for _, out := range s.runOps(d.Residual.Ops, d.Tap, []*xmlstream.Element{item}) {
+		s.transmit(d, out)
+	}
+}
+
+// transmit moves one produced item of d along its route and hands it to
+// consumers.
+func (s *sim) transmit(d *Deployed, item *xmlstream.Element) {
+	size := float64(item.ByteSize())
+	for _, l := range network.PathLinks(d.Route) {
+		s.res.Metrics.AddTraffic(l, size)
+	}
+	// Forwarding work at the relay peers strictly inside the route.
+	for i := 1; i < len(d.Route)-1; i++ {
+		p := s.eng.Net.Peer(d.Route[i])
+		s.res.Metrics.AddWork(d.Route[i], s.eng.Cfg.Model.ForwardPerByte*size*p.PerfIndex)
+	}
+	for _, child := range s.children[d] {
+		s.deliver(child, item)
+	}
+	target := d.Target()
+	for _, r := range s.readers[d] {
+		for _, res := range s.runOps(r.si.Local.Ops, target, []*xmlstream.Element{item}) {
+			s.emit(r.sub, res)
+		}
+	}
+}
+
+// flush drains stream d's residual pipeline and local readers.
+func (s *sim) flush(d *Deployed) {
+	for _, out := range s.flushOps(d.Residual.Ops, d.Tap) {
+		s.transmit(d, out)
+	}
+	target := d.Target()
+	for _, r := range s.readers[d] {
+		for _, res := range s.flushOps(r.si.Local.Ops, target) {
+			s.emit(r.sub, res)
+		}
+	}
+}
+
+func (s *sim) emit(sub *Subscription, item *xmlstream.Element) {
+	s.res.Results[sub.ID]++
+	if s.collect {
+		s.res.Collected[sub.ID] = append(s.res.Collected[sub.ID], item)
+	}
+}

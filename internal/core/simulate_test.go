@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamshare/internal/network"
+	"streamshare/internal/xmlstream"
+)
+
+func TestSimResultMetricsMath(t *testing.T) {
+	eng, items := newEngine(t, Config{})
+	if _, err := eng.Subscribe(q1, "SP1", StreamSharing); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Simulate(map[string][]*xmlstream.Element{"photons": items}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duration = items / frequency.
+	want := float64(len(items)) / eng.origStats["photons"].Freq
+	if math.Abs(res.Duration-want) > 1e-9 {
+		t.Errorf("duration = %v, want %v", res.Duration, want)
+	}
+	// LinkKbps inverts to the recorded bytes.
+	l := network.MakeLinkID("SP4", "SP5")
+	kbps := res.LinkKbps(l)
+	if got := kbps * 1000 / 8 * res.Duration; math.Abs(got-res.Metrics.LinkBytes[l]) > 1e-6 {
+		t.Errorf("LinkKbps inversion: %v vs %v", got, res.Metrics.LinkBytes[l])
+	}
+	// AvgCPUPercent inverts to work units.
+	p := network.PeerID("SP4")
+	cpu := res.AvgCPUPercent(eng.Net, p)
+	if got := cpu / 100 * res.Duration * eng.Net.Peer(p).Capacity; math.Abs(got-res.Metrics.PeerWork[p]) > 1e-6 {
+		t.Errorf("AvgCPUPercent inversion: %v vs %v", got, res.Metrics.PeerWork[p])
+	}
+	// PeerMbit counts both endpoints of each incident link.
+	mbit := res.PeerMbit("SP5")
+	var bytes float64
+	for lid, b := range res.Metrics.LinkBytes {
+		if lid.A == "SP5" || lid.B == "SP5" {
+			bytes += b
+		}
+	}
+	if math.Abs(mbit-bytes*8/1e6) > 1e-9 {
+		t.Errorf("PeerMbit = %v, want %v", mbit, bytes*8/1e6)
+	}
+}
+
+func TestSimulateZeroDuration(t *testing.T) {
+	eng, _ := newEngine(t, Config{})
+	if _, err := eng.Subscribe(q1, "SP1", StreamSharing); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Simulate(map[string][]*xmlstream.Element{"photons": nil}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 0 {
+		t.Errorf("duration = %v", res.Duration)
+	}
+	if res.AvgCPUPercent(eng.Net, "SP4") != 0 || res.LinkKbps(network.MakeLinkID("SP4", "SP5")) != 0 {
+		t.Error("zero-duration metrics should be zero, not NaN")
+	}
+}
+
+func TestSimulateUnknownStream(t *testing.T) {
+	eng, _ := newEngine(t, Config{})
+	if _, err := eng.Simulate(map[string][]*xmlstream.Element{"nope": nil}, false); err == nil {
+		t.Error("unknown stream should error")
+	}
+}
+
+func TestSimulateCollectToggle(t *testing.T) {
+	eng, items := newEngine(t, Config{})
+	if _, err := eng.Subscribe(q1, "SP1", StreamSharing); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Simulate(map[string][]*xmlstream.Element{"photons": items[:500]}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collected != nil {
+		t.Error("collect=false should not retain items")
+	}
+	if res.Results["q1"] == 0 {
+		t.Error("counts should still be recorded")
+	}
+}
+
+// TestSimulateWindowFlushOrder: a derived aggregate stream (child of a
+// shared stream) must flush after its parent, so windows closed by the
+// parent's flush are not lost.
+func TestSimulateWindowFlushOrder(t *testing.T) {
+	eng, items := newEngine(t, Config{})
+	if _, err := eng.Subscribe(q1, "SP1", StreamSharing); err != nil {
+		t.Fatal(err)
+	}
+	// Q3 aggregates over Q1's shared stream.
+	sub3, err := eng.Subscribe(q3, "SP3", StreamSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub3.Inputs[0].Feed.Parent.Original {
+		t.Skip("plan did not chain (topology change?)")
+	}
+	res, err := eng.Simulate(map[string][]*xmlstream.Element{"photons": items}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[sub3.ID] == 0 {
+		t.Error("chained aggregate produced nothing")
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	eng, _ := newEngine(t, Config{})
+	if eng.LinkLoad(network.MakeLinkID("SP4", "SP5")) != 0 {
+		t.Error("fresh engine should have no link load")
+	}
+	if _, err := eng.Subscribe(q1, "SP1", StreamSharing); err != nil {
+		t.Fatal(err)
+	}
+	// Q1's stream flows SP4→SP5→SP1 at its estimated rate.
+	feed := eng.Subscriptions()[0].Inputs[0].Feed
+	want := feed.Size * feed.Freq
+	for _, l := range network.PathLinks(feed.Route) {
+		if got := eng.LinkLoad(l); math.Abs(got-want) > 1e-9 {
+			t.Errorf("link %s load = %v, want %v", l, got, want)
+		}
+	}
+	if eng.PeerLoad("SP4") <= 0 {
+		t.Error("operators at SP4 should contribute load")
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"streamshare/internal/cost"
+	"streamshare/internal/exec"
+	"streamshare/internal/network"
+	"streamshare/internal/predicate"
+	"streamshare/internal/properties"
+	"streamshare/internal/wxquery"
+)
+
+// candidate is one evaluation plan for a single input stream of a new
+// subscription: tap the source stream at a peer, run residual operators
+// there, and route the result to the subscription's target.
+type candidate struct {
+	source *Deployed
+	tap    network.PeerID
+	route  []network.PeerID
+	// residual transforms source items into the subscription's canonical
+	// stream; built fresh again at install time so operator state is not
+	// shared between costing and execution.
+	residualOps []string
+	// size/freq of the new stream (cost model estimates).
+	size, freq float64
+	// absolute additions to link and peer usage if installed.
+	linkAdd map[network.LinkID]float64
+	peerAdd map[network.PeerID]float64
+	usage   cost.Usage
+	cost    float64
+	// widen, when set, rewires an existing stream before installation
+	// (§6's stream-widening extension; see widen.go).
+	widen *widening
+}
+
+// Subscribe registers a continuous query at the given target super-peer
+// using the engine's configured strategy and installs the chosen evaluation
+// plan. It returns ErrRejected when admission control is enabled and every
+// plan would overload a peer or network connection.
+func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*Subscription, error) {
+	started := time.Now()
+	if e.Net.Peer(target) == nil {
+		return nil, fmt.Errorf("core: unknown peer %s", target)
+	}
+	q, err := wxquery.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	props, err := properties.Build(q, properties.Options{NoMinimize: e.Cfg.NoMinimize})
+	if err != nil {
+		return nil, err
+	}
+	sub := &Subscription{
+		ID:     fmt.Sprintf("q%d", len(e.subs)+1),
+		Query:  q,
+		Props:  props,
+		Target: target,
+	}
+	result := props.Result()
+
+	// Plan every input first, then install: a rejected input must not leave
+	// partially installed state behind.
+	type planned struct {
+		in    *properties.Input
+		resIn *properties.Input
+		cand  *candidate
+	}
+	var plans []planned
+	for _, in := range props.Inputs {
+		if e.originals[in.Stream] == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownStream, in.Stream)
+		}
+		if e.Cfg.ValidatePaths {
+			if err := e.validatePaths(in); err != nil {
+				return nil, err
+			}
+		}
+		var c *candidate
+		var err error
+		switch strat {
+		case DataShipping:
+			c, err = e.planDataShipping(q, in, target, &sub.Reg)
+		case QueryShipping:
+			c, err = e.planQueryShipping(q, in, target, &sub.Reg)
+		default:
+			c, err = e.planStreamSharing(in, target, &sub.Reg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, planned{in: in, resIn: result.Input(in.Stream), cand: c})
+	}
+
+	for _, p := range plans {
+		si, err := e.install(sub, q, p.in, p.resIn, p.cand, strat)
+		if err != nil {
+			return nil, err
+		}
+		sub.Inputs = append(sub.Inputs, si)
+	}
+	sub.Reg.Compute = time.Since(started)
+	e.subs = append(e.subs, sub)
+	return sub, nil
+}
+
+// validatePaths checks every element path the subscription references
+// against the statistics collected from the input stream's sample.
+func (e *Engine) validatePaths(in *properties.Input) error {
+	st := e.origStats[in.Stream]
+	if st == nil {
+		return nil
+	}
+	check := func(p string) error {
+		if _, ok := st.Elements[p]; !ok {
+			return fmt.Errorf("core: stream %q has no element %q", in.Stream, p)
+		}
+		return nil
+	}
+	for _, o := range in.Ops {
+		switch o.Kind {
+		case properties.OpSelect:
+			for _, n := range o.Sel.Nodes() {
+				if n == predicate.ZeroNode {
+					continue
+				}
+				if err := check(n); err != nil {
+					return err
+				}
+			}
+		case properties.OpProject:
+			for _, p := range o.Ref {
+				if err := check(p.String()); err != nil {
+					return err
+				}
+			}
+		case properties.OpAggregate:
+			if err := check(o.Agg.Elem.String()); err != nil {
+				return err
+			}
+			if o.Agg.Window.Kind == wxquery.WindowDiff {
+				if err := check(o.Agg.Window.Ref.String()); err != nil {
+					return err
+				}
+			}
+		case properties.OpUDF:
+			if err := check(o.UDF.Elem.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// planDataShipping routes the raw input stream to the target, once for this
+// subscription, and evaluates the whole query there.
+func (e *Engine) planDataShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats) (*candidate, error) {
+	orig := e.originals[in.Stream]
+	route := e.Net.ShortestPath(orig.Tap, target)
+	if route == nil {
+		return nil, fmt.Errorf("core: no path from %s to %s", orig.Tap, target)
+	}
+	reg.Messages += 2*(len(route)-1) + 2
+	c := &candidate{source: orig, tap: orig.Tap, route: route, size: orig.Size, freq: orig.Freq}
+	// Whole evaluation at the target peer.
+	full, err := exec.FullPipeline(q, in, e.Cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	e.costCandidate(c, in, opNames(full.Ops), target)
+	if e.Cfg.Admission && c.usage.Overloaded() {
+		return nil, ErrRejected
+	}
+	return c, nil
+}
+
+// planQueryShipping evaluates the whole query at the source super-peer and
+// ships the (restructured) result.
+func (e *Engine) planQueryShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats) (*candidate, error) {
+	orig := e.originals[in.Stream]
+	route := e.Net.ShortestPath(orig.Tap, target)
+	if route == nil {
+		return nil, fmt.Errorf("core: no path from %s to %s", orig.Tap, target)
+	}
+	reg.Messages += 2*(len(route)-1) + 2
+	full, err := exec.FullPipeline(q, in, e.Cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	size, freq := e.Est.SizeFreq(in)
+	c := &candidate{source: orig, tap: orig.Tap, route: route, size: size, freq: freq,
+		residualOps: opNames(full.Ops)}
+	e.costCandidate(c, in, nil, target)
+	if e.Cfg.Admission && c.usage.Overloaded() {
+		return nil, ErrRejected
+	}
+	return c, nil
+}
+
+// planStreamSharing is Algorithm 1 (Subscribe) for one input stream: a
+// breadth-first search over the stream overlay starting at the input's
+// source super-peer, matching the properties of every stream available at
+// each visited peer and keeping the cheapest plan according to the cost
+// function C.
+func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, reg *RegStats) (*candidate, error) {
+	orig := e.originals[in.Stream]
+	vb := orig.Tap
+
+	best, err := e.shareCandidate(orig, vb, in, target)
+	if err != nil {
+		return nil, err
+	}
+	feasible := best != nil
+
+	lv := []network.PeerID{vb}
+	marked := map[network.PeerID]bool{}
+	queued := map[network.PeerID]bool{vb: true}
+	for len(lv) > 0 {
+		var v network.PeerID
+		if e.Cfg.DepthFirst {
+			v, lv = lv[len(lv)-1], lv[:len(lv)-1]
+		} else {
+			v, lv = lv[0], lv[1:]
+		}
+		if marked[v] {
+			continue
+		}
+		marked[v] = true
+		reg.Visited++
+		for _, d := range e.availableAt(v, in.Stream) {
+			reg.Candidates++
+			if !properties.MatchInput(d.Input, in) {
+				// Non-matching properties do not extend the search (§3.3:
+				// following these paths cannot yield a reusable stream).
+				continue
+			}
+			if n := d.Target(); !marked[n] && !queued[n] {
+				lv = append(lv, n)
+				queued[n] = true
+			}
+			cand, err := e.shareCandidate(d, v, in, target)
+			if err != nil || cand == nil {
+				continue
+			}
+			if !feasible || cand.cost < best.cost {
+				best, feasible = cand, true
+			}
+		}
+	}
+	// Discovery costs one request/reply pair per visited peer; the
+	// properties of the streams available there piggyback on the reply.
+	reg.Messages += 2 * reg.Visited
+	if e.Cfg.Widening && (best == nil || best.source.Original) {
+		// Nothing shareable is flowing: consider altering an existing
+		// stream so it carries enough data for both its consumers and this
+		// subscription (§6).
+		if wc := e.widenCandidate(in, target); wc != nil && (best == nil || wc.cost < best.cost) {
+			best = wc
+		}
+	}
+	if best == nil {
+		return nil, ErrRejected
+	}
+	reg.Messages += 2*(len(best.route)-1) + 2
+	if e.Cfg.Admission && best.usage.Overloaded() {
+		return nil, ErrRejected
+	}
+	return best, nil
+}
+
+// shareCandidate is generatePlan(p, v, vq): reuse stream d — discovered at
+// peer v — for the subscription input in, routing the residual result to the
+// target. The duplication point is the peer on d's route closest to the
+// target (earliest on the route on ties), which is how the paper's example
+// duplicates Query 1's result at SP5 rather than at its endpoint SP1. nil is
+// returned (without error) when admission control is on and the plan
+// overloads.
+func (e *Engine) shareCandidate(d *Deployed, v network.PeerID, in *properties.Input, target network.PeerID) (*candidate, error) {
+	var route []network.PeerID
+	for _, tap := range d.Route {
+		r := e.Net.ShortestPath(tap, target)
+		if r != nil && (route == nil || len(r) < len(route)) {
+			route = r
+		}
+	}
+	if route == nil {
+		return nil, fmt.Errorf("core: no path from %s to %s", v, target)
+	}
+	v = route[0]
+	res, err := exec.ResidualPipeline(d.Input, in, e.Cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	size, freq := e.Est.SizeFreq(in)
+	c := &candidate{source: d, tap: v, route: route, size: size, freq: freq,
+		residualOps: opNames(res.Ops)}
+	e.costCandidate(c, in, []string{cost.OpRestructure}, target)
+	if e.Cfg.Admission && c.usage.Overloaded() {
+		return nil, nil
+	}
+	return c, nil
+}
+
+func opNames(ops []exec.Operator) []string {
+	out := make([]string, len(ops))
+	for i, o := range ops {
+		out[i] = o.Name()
+	}
+	return out
+}
+
+// costCandidate fills the candidate's usage, absolute additions and cost
+// value: the new stream's traffic on every route link, residual operators
+// and duplication at the tap, forwarding at intermediate peers, and the
+// local pipeline at the target.
+func (e *Engine) costCandidate(c *candidate, in *properties.Input, targetOps []string, target network.PeerID) {
+	// Keep any pre-seeded usage (widening plans seed their rewiring delta).
+	if c.linkAdd == nil {
+		c.linkAdd = map[network.LinkID]float64{}
+	}
+	if c.peerAdd == nil {
+		c.peerAdd = map[network.PeerID]float64{}
+	}
+
+	bytesPerSec := c.size * c.freq
+	for _, l := range network.PathLinks(c.route) {
+		c.linkAdd[l] += bytesPerSec
+	}
+
+	addOp := func(p network.PeerID, op string, freq float64) {
+		c.peerAdd[p] += e.Cfg.Model.OpLoad(op, e.Net.Peer(p), freq)
+	}
+	// Duplication at the tap: the reused stream keeps flowing to its own
+	// consumers; tapping it forks a copy (§1's duplication at SP5).
+	if !c.source.Original || c.tap != c.source.Tap {
+		addOp(c.tap, cost.OpDuplicate, c.source.Freq)
+	}
+	// Residual operators at the tap. Pre-selection stages see the parent's
+	// frequency, window stages the post-selection item frequency, and
+	// post-window stages the result frequency.
+	inFreq := c.source.Freq
+	for _, op := range c.residualOps {
+		addOp(c.tap, op, inFreq)
+		switch op {
+		case cost.OpSelect:
+			inFreq = e.Est.InputFreq(in)
+		case cost.OpWindowAgg, cost.OpWindowContents, cost.OpWindowMerge, cost.OpRemap:
+			inFreq = c.freq
+		}
+	}
+	// Forwarding at intermediate peers.
+	for _, p := range c.route[1:] {
+		if p == target {
+			continue
+		}
+		c.peerAdd[p] += e.Cfg.Model.ForwardLoad(e.Net.Peer(p), c.freq, c.size)
+	}
+	// Local pipeline at the target.
+	for _, op := range targetOps {
+		f := c.freq
+		if op == cost.OpSelect || op == cost.OpWindowAgg || op == cost.OpWindowContents {
+			// Data shipping evaluates from the raw stream at the target.
+			f = c.source.Freq
+		}
+		addOp(target, op, f)
+	}
+
+	// Relative usage against remaining capacity.
+	for l, b := range c.linkAdd {
+		bw := e.Net.Link(l.A, l.B).Bandwidth
+		c.usage.Links = append(c.usage.Links, cost.LinkUsage{
+			ID: l, Ub: b / bw, Ab: 1 - e.linkUse[l]/bw,
+		})
+	}
+	for p, w := range c.peerAdd {
+		cap := e.Net.Peer(p).Capacity
+		c.usage.Peers = append(c.usage.Peers, cost.PeerUsage{
+			ID: p, Ul: w / cap, Al: 1 - e.peerUse[p]/cap,
+		})
+	}
+	c.cost = e.Cfg.Model.Cost(c.usage)
+}
+
+// install creates the deployed stream and subscription wiring for one
+// planned input and applies its analytic usage.
+func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *properties.Input, c *candidate, strat Strategy) (*SubInput, error) {
+	e.nextID++
+	si := &SubInput{In: in}
+	if c.widen != nil {
+		e.installWidening(c.widen)
+		// The rewiring delta was only seeded for costing; installWidening
+		// has applied the rewire exactly, so the subscription's own
+		// footprint excludes it.
+		for l, b := range c.widen.deltaLink {
+			c.linkAdd[l] -= b
+			if c.linkAdd[l] == 0 {
+				delete(c.linkAdd, l)
+			}
+		}
+		for p, u := range c.widen.deltaPeer {
+			c.peerAdd[p] -= u
+			if c.peerAdd[p] == 0 {
+				delete(c.peerAdd, p)
+			}
+		}
+	}
+
+	switch strat {
+	case DataShipping:
+		// Raw stream copy to the target; full evaluation there.
+		full, err := exec.FullPipeline(q, in, e.Cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		si.Feed = &Deployed{
+			ID:       fmt.Sprintf("s%d(raw %s for %s)", e.nextID, in.Stream, sub.ID),
+			Input:    c.source.Input,
+			Parent:   c.source,
+			Tap:      c.tap,
+			Route:    c.route,
+			Residual: exec.NewPipeline(),
+			Size:     c.size,
+			Freq:     c.freq,
+		}
+		si.Local = full
+	case QueryShipping:
+		full, err := exec.FullPipeline(q, in, e.Cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		si.Feed = &Deployed{
+			ID:           fmt.Sprintf("s%d(result %s)", e.nextID, sub.ID),
+			Input:        resIn,
+			Parent:       c.source,
+			Tap:          c.tap,
+			Route:        c.route,
+			Residual:     full,
+			Size:         c.size,
+			Freq:         c.freq,
+			NotShareable: true,
+		}
+		si.Local = exec.NewPipeline()
+	default:
+		res, err := exec.ResidualPipeline(c.source.Input, in, e.Cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := exec.RestructureFor(q, in)
+		if err != nil {
+			return nil, err
+		}
+		si.Feed = &Deployed{
+			ID:       fmt.Sprintf("s%d(%s via %s@%s)", e.nextID, sub.ID, c.source.ID, c.tap),
+			Input:    resIn,
+			Parent:   c.source,
+			Tap:      c.tap,
+			Route:    c.route,
+			Residual: res,
+			Size:     c.size,
+			Freq:     c.freq,
+		}
+		si.Local = exec.NewPipeline(rs)
+	}
+
+	// Query-shipping results are restructured and private; data-shipping raw
+	// copies are per-subscription by definition. Only stream sharing
+	// advertises its canonical streams — but keeping all deployments in the
+	// registry is harmless because only the sharing strategy searches it.
+	e.deployed = append(e.deployed, si.Feed)
+
+	si.Feed.linkAdd = c.linkAdd
+	si.Feed.peerAdd = c.peerAdd
+	for l, b := range c.linkAdd {
+		e.linkUse[l] += b
+	}
+	for p, w := range c.peerAdd {
+		e.peerUse[p] += w
+	}
+	return si, nil
+}

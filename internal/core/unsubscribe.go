@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// Unsubscribe removes a continuous query from the system. Streams that were
+// deployed solely to feed it — and, transitively, their parents once no
+// consumer remains — are torn down, and the analytic bandwidth and load
+// their plans reserved is released, making room for future subscriptions
+// under admission control.
+//
+// The paper treats subscriptions as long-lived (§4) and does not specify
+// deregistration; this is the natural inverse of plan installation.
+func (e *Engine) Unsubscribe(id string) error {
+	idx := -1
+	for i, s := range e.subs {
+		if s.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: unknown subscription %q", id)
+	}
+	sub := e.subs[idx]
+	e.subs = append(e.subs[:idx], e.subs[idx+1:]...)
+	for _, si := range sub.Inputs {
+		e.release(si.Feed)
+	}
+	return nil
+}
+
+// release removes a deployed stream if nothing consumes it anymore, then
+// tries its parent.
+func (e *Engine) release(d *Deployed) {
+	if d == nil || d.Original || e.hasConsumers(d) {
+		return
+	}
+	for i, x := range e.deployed {
+		if x == d {
+			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
+			break
+		}
+	}
+	for l, b := range d.linkAdd {
+		e.linkUse[l] -= b
+		if e.linkUse[l] < 1e-9 {
+			e.linkUse[l] = 0
+		}
+	}
+	for p, w := range d.peerAdd {
+		e.peerUse[p] -= w
+		if e.peerUse[p] < 1e-9 {
+			e.peerUse[p] = 0
+		}
+	}
+	e.release(d.Parent)
+}
+
+// hasConsumers reports whether any subscription reads d or any deployed
+// stream derives from it.
+func (e *Engine) hasConsumers(d *Deployed) bool {
+	for _, s := range e.subs {
+		for _, si := range s.Inputs {
+			if si.Feed == d {
+				return true
+			}
+		}
+	}
+	for _, x := range e.deployed {
+		if x.Parent == d {
+			return true
+		}
+	}
+	return false
+}

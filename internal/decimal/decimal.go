@@ -1,0 +1,342 @@
+// Package decimal implements exact fixed-point decimal numbers with a finite
+// number of decimal places.
+//
+// The paper's predicate-graph construction ("Matching Predicates", §3.3)
+// extends Rosenkrantz & Hunt's integer-valued conjunctive-predicate graphs to
+// "decimal values with a finite number of decimal places". Floating point
+// would make edge-weight comparisons and the ≤/< rewriting unsound, so
+// constants are represented as a scaled integer together with its scale
+// (number of digits after the decimal point).
+package decimal
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxScale bounds the number of decimal places. Predicate constants in
+// WXQuery subscriptions come from query text, so a small bound is plenty and
+// keeps unit arithmetic comfortably inside int64.
+const MaxScale = 9
+
+// ErrRange reports a parse or arithmetic result outside the representable
+// range.
+var ErrRange = errors.New("decimal: value out of range")
+
+// ErrSyntax reports malformed decimal text.
+var ErrSyntax = errors.New("decimal: invalid syntax")
+
+var pow10 = [MaxScale + 1]int64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// D is an immutable fixed-point decimal: the represented value is
+// units / 10^scale. The zero value is 0.
+type D struct {
+	units int64
+	scale uint8
+}
+
+// New returns the decimal units/10^scale. It panics if scale exceeds
+// MaxScale; use Parse for untrusted input.
+func New(units int64, scale int) D {
+	if scale < 0 || scale > MaxScale {
+		panic(fmt.Sprintf("decimal: scale %d out of range", scale))
+	}
+	return D{units: units, scale: uint8(scale)}.normalize()
+}
+
+// FromInt returns the decimal with integer value n.
+func FromInt(n int64) D { return D{units: n} }
+
+// Parse converts decimal text such as "-49.0", "120", "1.3" into a D.
+func Parse(s string) (D, error) {
+	if s == "" {
+		return D{}, ErrSyntax
+	}
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg = true
+		s = s[1:]
+	}
+	intPart, fracPart, hasFrac := strings.Cut(s, ".")
+	if intPart == "" && fracPart == "" {
+		return D{}, ErrSyntax
+	}
+	if intPart == "" {
+		intPart = "0"
+	}
+	if hasFrac && fracPart == "" {
+		return D{}, ErrSyntax
+	}
+	if len(fracPart) > MaxScale {
+		// Trailing zeros beyond MaxScale are harmless; anything else is out
+		// of range for the fixed-point representation.
+		trimmed := strings.TrimRight(fracPart, "0")
+		if len(trimmed) > MaxScale {
+			return D{}, ErrRange
+		}
+		fracPart = trimmed
+	}
+	for _, c := range intPart {
+		if c < '0' || c > '9' {
+			return D{}, ErrSyntax
+		}
+	}
+	units, err := strconv.ParseInt(intPart, 10, 64)
+	if err != nil {
+		return D{}, fmt.Errorf("decimal: parsing %q: %w", s, errKind(err))
+	}
+	scale := len(fracPart)
+	for _, c := range fracPart {
+		if c < '0' || c > '9' {
+			return D{}, ErrSyntax
+		}
+	}
+	var frac int64
+	if scale > 0 {
+		frac, err = strconv.ParseInt(fracPart, 10, 64)
+		if err != nil {
+			return D{}, fmt.Errorf("decimal: parsing %q: %w", s, errKind(err))
+		}
+	}
+	u, ok := mulOK(units, pow10[scale])
+	if !ok {
+		return D{}, ErrRange
+	}
+	u, ok = addOK(u, frac)
+	if !ok {
+		return D{}, ErrRange
+	}
+	if neg {
+		u = -u
+	}
+	return D{units: u, scale: uint8(scale)}.normalize(), nil
+}
+
+// MustParse is Parse for constants known to be valid; it panics on error.
+func MustParse(s string) D {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func errKind(err error) error {
+	var ne *strconv.NumError
+	if errors.As(err, &ne) {
+		if errors.Is(ne.Err, strconv.ErrRange) {
+			return ErrRange
+		}
+	}
+	return ErrSyntax
+}
+
+// normalize strips trailing zero digits so equal values have one
+// representation ("1.30" == "1.3").
+func (d D) normalize() D {
+	for d.scale > 0 && d.units%10 == 0 {
+		d.units /= 10
+		d.scale--
+	}
+	return d
+}
+
+// Scale reports the number of decimal places of d's canonical form.
+func (d D) Scale() int { return int(d.scale) }
+
+// Units returns the scaled integer mantissa at scale s.
+// It panics if s is smaller than d's scale or exceeds MaxScale.
+func (d D) Units(s int) int64 {
+	if s < int(d.scale) || s > MaxScale {
+		panic(fmt.Sprintf("decimal: units at scale %d of %s", s, d))
+	}
+	u, ok := mulOK(d.units, pow10[s-int(d.scale)])
+	if !ok {
+		panic(ErrRange)
+	}
+	return u
+}
+
+// IsZero reports whether d == 0.
+func (d D) IsZero() bool { return d.units == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of d.
+func (d D) Sign() int {
+	switch {
+	case d.units < 0:
+		return -1
+	case d.units > 0:
+		return 1
+	}
+	return 0
+}
+
+// Neg returns -d.
+func (d D) Neg() D { return D{units: -d.units, scale: d.scale} }
+
+// align returns both mantissas at the common (max) scale.
+func align(a, b D) (au, bu int64, scale int, ok bool) {
+	scale = int(a.scale)
+	if int(b.scale) > scale {
+		scale = int(b.scale)
+	}
+	au, ok1 := mulOK(a.units, pow10[scale-int(a.scale)])
+	bu, ok2 := mulOK(b.units, pow10[scale-int(b.scale)])
+	return au, bu, scale, ok1 && ok2
+}
+
+// Cmp compares d and e, returning -1, 0, or +1.
+func (d D) Cmp(e D) int {
+	au, bu, _, ok := align(d, e)
+	if !ok {
+		// Fall back to sign/magnitude comparison on overflow: the scales
+		// differ and one magnitude is astronomically larger.
+		if d.Sign() != e.Sign() {
+			return cmpInt(d.Sign(), e.Sign())
+		}
+		// Compare via float; exactness beyond 2^63 scaled units is
+		// unreachable for parsed query constants.
+		return cmpFloat(d.Float(), e.Float())
+	}
+	return cmpInt64(au, bu)
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Add returns d + e.
+func (d D) Add(e D) (D, error) {
+	au, bu, scale, ok := align(d, e)
+	if !ok {
+		return D{}, ErrRange
+	}
+	u, ok := addOK(au, bu)
+	if !ok {
+		return D{}, ErrRange
+	}
+	return D{units: u, scale: uint8(scale)}.normalize(), nil
+}
+
+// Sub returns d - e.
+func (d D) Sub(e D) (D, error) { return d.Add(e.Neg()) }
+
+// Ulp returns the smallest positive decimal at scale s, i.e. 10^-s. It is
+// used to rewrite strict comparisons: $v < c over finite-scale decimals is
+// equivalent to $v ≤ c - ulp at the working scale.
+func Ulp(s int) D {
+	if s < 0 || s > MaxScale {
+		panic(fmt.Sprintf("decimal: ulp scale %d", s))
+	}
+	return D{units: 1, scale: uint8(s)}
+}
+
+// DivisibleBy reports whether d is an exact integer multiple of e. It is
+// used for the window-compatibility conditions ∆′ mod ∆ = 0, ∆ mod µ = 0,
+// µ′ mod µ = 0 of MatchAggregations (§3.3). e must be nonzero.
+func (d D) DivisibleBy(e D) bool {
+	if e.IsZero() {
+		panic("decimal: DivisibleBy zero")
+	}
+	au, bu, _, ok := align(d, e)
+	if !ok {
+		return false
+	}
+	return au%bu == 0
+}
+
+// Div returns the integer quotient d/e; d must be divisible by e.
+func (d D) Div(e D) int64 {
+	if !d.DivisibleBy(e) {
+		panic(fmt.Sprintf("decimal: %s not divisible by %s", d, e))
+	}
+	au, bu, _, _ := align(d, e)
+	return au / bu
+}
+
+// Mul returns d * n for an integer factor n.
+func (d D) Mul(n int64) (D, error) {
+	u, ok := mulOK(d.units, n)
+	if !ok {
+		return D{}, ErrRange
+	}
+	return D{units: u, scale: d.scale}.normalize(), nil
+}
+
+// Float returns the nearest float64; for reporting only, never for matching.
+func (d D) Float() float64 { return float64(d.units) / float64(pow10[d.scale]) }
+
+// String formats d in canonical decimal notation.
+func (d D) String() string {
+	u := d.units
+	neg := u < 0
+	if neg {
+		u = -u
+	}
+	intPart := u / pow10[d.scale]
+	frac := u % pow10[d.scale]
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	b.WriteString(strconv.FormatInt(intPart, 10))
+	if d.scale > 0 {
+		b.WriteByte('.')
+		fs := strconv.FormatInt(frac, 10)
+		for i := len(fs); i < int(d.scale); i++ {
+			b.WriteByte('0')
+		}
+		b.WriteString(fs)
+	}
+	return b.String()
+}
+
+func addOK(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}

@@ -1,0 +1,27 @@
+package decimal
+
+import "testing"
+
+// FuzzParse asserts the decimal parser never panics and every accepted
+// value round-trips through its canonical rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"0", "-0", "1.3", "-49.0", "120", "0.000000001", "9223372036854775807",
+		".", "-", "1..2", "+1.5", "1e5", " 1", "00.10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", d, src, err)
+		}
+		if back != d {
+			t.Fatalf("round trip changed value: %q → %q → %q", src, d, back)
+		}
+	})
+}

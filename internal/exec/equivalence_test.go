@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"testing"
+
+	"streamshare/internal/properties"
+	"streamshare/internal/workload"
+	"streamshare/internal/wxquery"
+	"streamshare/internal/xmlstream"
+)
+
+// TestRandomSharingEquivalence is the system-level correctness property:
+// for every ordered pair (a, b) of generated queries where Algorithm 2
+// declares a's result stream reusable for b, evaluating b over a's shared
+// canonical stream must equal evaluating b directly over the raw input.
+func TestRandomSharingEquivalence(t *testing.T) {
+	gen := workload.NewGenerator("photons", workload.DefaultSets(), 31)
+	queries := gen.Generate(30)
+	items := randomPhotons(700, 17)
+
+	type built struct {
+		src    string
+		q      *wxquery.Query
+		props  *properties.Properties
+		direct []*xmlstream.Element
+	}
+	var qs []built
+	for _, src := range queries {
+		q := wxquery.MustParse(src)
+		p, err := properties.FromQuery(q)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		qs = append(qs, built{src: src, q: q, props: p})
+	}
+	for i := range qs {
+		qs[i].direct = runFull(t, qs[i].src, items)
+	}
+
+	pairs, mismatches := 0, 0
+	for i := range qs {
+		for j := range qs {
+			if i == j {
+				continue
+			}
+			a, b := &qs[i], &qs[j]
+			ain, _ := a.props.Result().SingleInput()
+			bin, _ := b.props.SingleInput()
+			if !properties.MatchInput(ain, bin) {
+				continue
+			}
+			pairs++
+			via := shared(t, a.src, b.src, items)
+			// Window recomposition may defer trailing windows; require a
+			// matching prefix covering all but at most two items.
+			n := len(via)
+			if n < len(b.direct)-2 || n > len(b.direct) {
+				t.Errorf("pair (%d→%d): direct %d items, shared %d\nstream: %s\nsub: %s",
+					i, j, len(b.direct), n, a.src, b.src)
+				mismatches++
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if !b.direct[k].Equal(via[k]) {
+					t.Errorf("pair (%d→%d) item %d differs:\n%s\n%s",
+						i, j, k, xmlstream.Marshal(b.direct[k]), xmlstream.Marshal(via[k]))
+					mismatches++
+					break
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("workload produced no shareable pairs; property not exercised")
+	}
+	t.Logf("verified %d shareable pairs (%d mismatches)", pairs, mismatches)
+}

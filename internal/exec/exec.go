@@ -1,0 +1,208 @@
+// Package exec implements the physical stream operators that evaluate
+// WXQuery subscriptions: selection, projection, window-based aggregation
+// (including the (sum, count) transport of avg values, §3.3), recomposition
+// of coarse window aggregates from shared finer ones (Fig. 5), aggregate
+// result filters, window-content grouping, user-defined window functions,
+// and the restructuring post-processing step that materializes the return
+// clause at the subscriber's super-peer (§2).
+//
+// Operators are push-based: Process consumes one input item and returns the
+// output items it produces; Flush drains operator state at stream end.
+// Pipelines compose operators and are installed on simulated network peers.
+package exec
+
+import (
+	"streamshare/internal/decimal"
+	"streamshare/internal/predicate"
+	"streamshare/internal/xmlstream"
+)
+
+// Operator transforms a stream of XML items.
+type Operator interface {
+	// Process consumes one item and returns zero or more output items.
+	Process(item *xmlstream.Element) []*xmlstream.Element
+	// Flush emits any remaining buffered output at end of stream.
+	Flush() []*xmlstream.Element
+	// Name identifies the operator kind for load accounting and diagnostics.
+	Name() string
+}
+
+// Pipeline is a sequential composition of operators.
+type Pipeline struct {
+	Ops []Operator
+}
+
+// NewPipeline composes ops; a nil or empty pipeline is the identity.
+func NewPipeline(ops ...Operator) *Pipeline { return &Pipeline{Ops: ops} }
+
+// Process pushes one item through all stages.
+func (p *Pipeline) Process(item *xmlstream.Element) []*xmlstream.Element {
+	items := []*xmlstream.Element{item}
+	if p == nil {
+		return items
+	}
+	for _, op := range p.Ops {
+		var next []*xmlstream.Element
+		for _, it := range items {
+			next = append(next, op.Process(it)...)
+		}
+		items = next
+		if len(items) == 0 {
+			return nil
+		}
+	}
+	return items
+}
+
+// Flush drains all stages in order, pushing flushed items through the
+// remaining downstream stages.
+func (p *Pipeline) Flush() []*xmlstream.Element {
+	if p == nil {
+		return nil
+	}
+	var out []*xmlstream.Element
+	for i, op := range p.Ops {
+		items := op.Flush()
+		for _, it := range items {
+			cur := []*xmlstream.Element{it}
+			for _, down := range p.Ops[i+1:] {
+				var next []*xmlstream.Element
+				for _, c := range cur {
+					next = append(next, down.Process(c)...)
+				}
+				cur = next
+			}
+			out = append(out, cur...)
+		}
+	}
+	return out
+}
+
+// Run evaluates the pipeline over a finite item slice, including Flush.
+func (p *Pipeline) Run(items []*xmlstream.Element) []*xmlstream.Element {
+	var out []*xmlstream.Element
+	for _, it := range items {
+		out = append(out, p.Process(it)...)
+	}
+	return append(out, p.Flush()...)
+}
+
+// Select filters items by a conjunctive predicate graph whose node labels
+// are item-relative element paths. Items missing a referenced element fail
+// the predicate.
+type Select struct {
+	Graph *predicate.Graph
+
+	checks []selCheck
+}
+
+type selCheck struct {
+	from, to xmlstream.Path // nil path denotes the zero node
+	fromZero bool
+	toZero   bool
+	w        predicate.Weight
+}
+
+// NewSelect compiles a selection operator from a predicate graph.
+func NewSelect(g *predicate.Graph) *Select {
+	s := &Select{Graph: g}
+	for _, e := range g.Edges() {
+		c := selCheck{w: e.W}
+		if e.From == predicate.ZeroNode {
+			c.fromZero = true
+		} else {
+			c.from = xmlstream.ParsePath(e.From)
+		}
+		if e.To == predicate.ZeroNode {
+			c.toZero = true
+		} else {
+			c.to = xmlstream.ParsePath(e.To)
+		}
+		s.checks = append(s.checks, c)
+	}
+	return s
+}
+
+// Name implements Operator.
+func (s *Select) Name() string { return "select" }
+
+// Matches reports whether the item satisfies every constraint.
+func (s *Select) Matches(item *xmlstream.Element) bool {
+	for _, c := range s.checks {
+		var lhs, rhs decimal.D
+		if !c.fromZero {
+			v, ok := item.Decimal(c.from)
+			if !ok {
+				return false
+			}
+			lhs = v
+		}
+		if !c.toZero {
+			v, ok := item.Decimal(c.to)
+			if !ok {
+				return false
+			}
+			rhs = v
+		}
+		// Constraint: lhs ≤ rhs + C (strict: <).
+		sum, err := rhs.Add(c.w.C)
+		if err != nil {
+			return false
+		}
+		cmp := lhs.Cmp(sum)
+		if cmp > 0 || (cmp == 0 && c.w.Strict) {
+			return false
+		}
+	}
+	return true
+}
+
+// Process implements Operator.
+func (s *Select) Process(item *xmlstream.Element) []*xmlstream.Element {
+	if s.Matches(item) {
+		return []*xmlstream.Element{item}
+	}
+	return nil
+}
+
+// Flush implements Operator.
+func (s *Select) Flush() []*xmlstream.Element { return nil }
+
+// Project prunes items to the subtrees addressed by Keep.
+type Project struct {
+	Keep []xmlstream.Path
+}
+
+// NewProject returns a projection keeping the given subtrees.
+func NewProject(keep []xmlstream.Path) *Project { return &Project{Keep: keep} }
+
+// Name implements Operator.
+func (p *Project) Name() string { return "project" }
+
+// Process implements Operator.
+func (p *Project) Process(item *xmlstream.Element) []*xmlstream.Element {
+	pr := item.Prune(p.Keep)
+	if pr == nil {
+		return nil
+	}
+	return []*xmlstream.Element{pr}
+}
+
+// Flush implements Operator.
+func (p *Project) Flush() []*xmlstream.Element { return nil }
+
+// Duplicate marks a stream fan-out point. The network layer duplicates
+// items when routing; the operator itself is the identity and exists so
+// duplication points appear in plans and load accounting.
+type Duplicate struct{}
+
+// Name implements Operator.
+func (Duplicate) Name() string { return "duplicate" }
+
+// Process implements Operator.
+func (Duplicate) Process(item *xmlstream.Element) []*xmlstream.Element {
+	return []*xmlstream.Element{item}
+}
+
+// Flush implements Operator.
+func (Duplicate) Flush() []*xmlstream.Element { return nil }

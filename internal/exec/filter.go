@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"streamshare/internal/decimal"
+	"streamshare/internal/predicate"
+	"streamshare/internal/wxquery"
+	"streamshare/internal/xmlstream"
+)
+
+// AggFilter applies a predicate over aggregate result values (the having
+// filter of subscriptions like Query 4's  where $a >= 1.3). Comparisons are
+// exact: an average sum/n θ c is evaluated as sum θ c·n without division.
+type AggFilter struct {
+	Graph *predicate.Graph
+	// Groups maps predicate node labels ("avg(en)") to the group index and
+	// operator layout of the aggregate items.
+	Groups map[string]FilterGroup
+
+	checks []aggCheck
+}
+
+// FilterGroup locates one aggregate value within an aggregate item.
+type FilterGroup struct {
+	Index int
+	Op    wxquery.AggOp
+	UDF   bool
+}
+
+type aggCheck struct {
+	from, to   FilterGroup
+	fromZero   bool
+	toZero     bool
+	w          predicate.Weight
+	fromLabel  string
+	toLabelStr string
+}
+
+// NewAggFilter compiles an aggregate filter.
+func NewAggFilter(g *predicate.Graph, groups map[string]FilterGroup) *AggFilter {
+	f := &AggFilter{Graph: g, Groups: groups}
+	for _, e := range g.Edges() {
+		c := aggCheck{w: e.W, fromLabel: e.From, toLabelStr: e.To}
+		if e.From == predicate.ZeroNode {
+			c.fromZero = true
+		} else {
+			c.from = groups[e.From]
+		}
+		if e.To == predicate.ZeroNode {
+			c.toZero = true
+		} else {
+			c.to = groups[e.To]
+		}
+		f.checks = append(f.checks, c)
+	}
+	return f
+}
+
+// Name implements Operator.
+func (f *AggFilter) Name() string { return "agg-filter" }
+
+// Process implements Operator.
+func (f *AggFilter) Process(item *xmlstream.Element) []*xmlstream.Element {
+	if f.matches(item) {
+		return []*xmlstream.Element{item}
+	}
+	return nil
+}
+
+// Flush implements Operator.
+func (f *AggFilter) Flush() []*xmlstream.Element { return nil }
+
+func (f *AggFilter) matches(item *xmlstream.Element) bool {
+	for _, c := range f.checks {
+		ln, ld, lok := f.side(item, c.from, c.fromZero)
+		rn, rd, rok := f.side(item, c.to, c.toZero)
+		if !lok || !rok {
+			return false // missing aggregate value fails the filter
+		}
+		// ln/ld ≤ rn/rd + C  ⇔  ln·rd ≤ rn·ld + C·ld·rd  (denominators > 0).
+		lhs, err1 := ln.Mul(rd)
+		r1, err2 := rn.Mul(ld)
+		cw, err3 := c.w.C.Mul(ld)
+		if err3 == nil {
+			cw, err3 = cw.Mul(rd)
+		}
+		if err1 != nil || err2 != nil || err3 != nil {
+			// Overflow fallback: compare as floats.
+			lf := ln.Float() / float64(ld)
+			rf := rn.Float()/float64(rd) + c.w.C.Float()
+			if lf > rf || (lf == rf && c.w.Strict) {
+				return false
+			}
+			continue
+		}
+		rhs, err := r1.Add(cw)
+		if err != nil {
+			return false
+		}
+		cmp := lhs.Cmp(rhs)
+		if cmp > 0 || (cmp == 0 && c.w.Strict) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *AggFilter) side(item *xmlstream.Element, g FilterGroup, zero bool) (decimal.D, int64, bool) {
+	if zero {
+		return decimal.D{}, 1, true
+	}
+	return aggValue(item, g.Index, g.Op, g.UDF)
+}
+
+// WindowContents groups stream items into data windows and emits one
+// <window> element per completed window containing copies of its items
+// (queries that return window contents rather than aggregates, §3.2).
+type WindowContents struct {
+	Window wxquery.Window
+
+	itemIndex int64
+	open      map[int64][]*xmlstream.Element
+}
+
+// NewWindowContents returns a window-content grouping operator.
+func NewWindowContents(w wxquery.Window) *WindowContents {
+	return &WindowContents{Window: w, open: map[int64][]*xmlstream.Element{}}
+}
+
+// Name implements Operator.
+func (w *WindowContents) Name() string { return "window-contents" }
+
+// Process implements Operator.
+func (w *WindowContents) Process(item *xmlstream.Element) []*xmlstream.Element {
+	var pos decimal.D
+	if w.Window.Kind == wxquery.WindowCount {
+		pos = decimal.FromInt(w.itemIndex)
+		w.itemIndex++
+	} else {
+		r, ok := item.Decimal(w.Window.Ref)
+		if !ok {
+			return nil
+		}
+		pos = r
+	}
+	var out []*xmlstream.Element
+	if w.Window.Kind == wxquery.WindowDiff {
+		out = w.closeBefore(pos, pos)
+	}
+	kmax := floorDiv(pos, w.Window.Step)
+	end, err := pos.Sub(w.Window.Size)
+	if err != nil {
+		return out
+	}
+	kmin := floorDiv(end, w.Window.Step) + 1
+	if w.Window.Kind == wxquery.WindowCount && kmin < 0 {
+		kmin = 0
+	}
+	for k := kmin; k <= kmax; k++ {
+		w.open[k] = append(w.open[k], item)
+	}
+	if w.Window.Kind == wxquery.WindowCount {
+		out = append(out, w.closeBefore(decimal.FromInt(w.itemIndex), pos)...)
+	}
+	return out
+}
+
+func (w *WindowContents) closeBefore(limit, wm decimal.D) []*xmlstream.Element {
+	var out []*xmlstream.Element
+	var ks []int64
+	for k := range w.open {
+		start := mulScalar(w.Window.Step, k)
+		end, err := start.Add(w.Window.Size)
+		if err != nil {
+			continue
+		}
+		if end.Cmp(limit) <= 0 {
+			ks = append(ks, k)
+		}
+	}
+	sortInt64(ks)
+	for _, k := range ks {
+		start := mulScalar(w.Window.Step, k)
+		e := xmlstream.E(WindowedName,
+			xmlstream.T(aggWinField, start.String()),
+			xmlstream.T(aggWMField, wm.String()),
+		)
+		for _, it := range w.open[k] {
+			e.Children = append(e.Children, it.Clone())
+		}
+		delete(w.open, k)
+		out = append(out, e)
+	}
+	return out
+}
+
+// Flush implements Operator.
+func (w *WindowContents) Flush() []*xmlstream.Element {
+	w.open = map[int64][]*xmlstream.Element{}
+	return nil
+}
+
+func sortInt64(ks []int64) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"strconv"
+	"strings"
+
+	"streamshare/internal/decimal"
+	"streamshare/internal/predicate"
+	"streamshare/internal/wxquery"
+	"streamshare/internal/xmlstream"
+)
+
+// RestructureMode selects how incoming canonical items bind to variables.
+type RestructureMode int
+
+// Restructure modes.
+const (
+	// ModeItems binds the for variable to each incoming item (selection/
+	// projection queries).
+	ModeItems RestructureMode = iota
+	// ModeAggregates binds let variables to the aggregate values of each
+	// incoming aggregate item.
+	ModeAggregates
+	// ModeWindows binds the for variable to each incoming window-content
+	// element.
+	ModeWindows
+)
+
+// LetBinding associates a let variable with its group position in the
+// canonical aggregate items.
+type LetBinding struct {
+	Var  string
+	Spec AggSpec
+}
+
+// Restructure materializes the return clause of a subscription. Per §2,
+// restructuring runs as a post-processing step at the super-peer connected
+// to the subscribing peer, and its output is never considered for reuse.
+type Restructure struct {
+	Mode   RestructureMode
+	ForVar string
+	Lets   []LetBinding
+	Return wxquery.Expr
+}
+
+// NewRestructure returns the post-processing operator for one FLWR.
+func NewRestructure(mode RestructureMode, forVar string, lets []LetBinding, ret wxquery.Expr) *Restructure {
+	return &Restructure{Mode: mode, ForVar: forVar, Lets: lets, Return: ret}
+}
+
+// Name implements Operator.
+func (r *Restructure) Name() string { return "restructure" }
+
+// Process implements Operator.
+func (r *Restructure) Process(item *xmlstream.Element) []*xmlstream.Element {
+	b := &binding{r: r, item: item}
+	out := evalExpr(r.Return, b)
+	res := make([]*xmlstream.Element, 0, len(out))
+	for _, e := range out {
+		if e.Name == "" {
+			// A bare text value at the top level of a return clause is
+			// wrapped so it remains a well-formed stream item.
+			res = append(res, xmlstream.T("value", e.Text))
+			continue
+		}
+		res = append(res, e)
+	}
+	return res
+}
+
+// Flush implements Operator.
+func (r *Restructure) Flush() []*xmlstream.Element { return nil }
+
+// binding resolves variable references during return-clause evaluation.
+type binding struct {
+	r    *Restructure
+	item *xmlstream.Element
+}
+
+// resolve returns the elements a variable path denotes. Text results (e.g.
+// aggregate values) are returned as name-less text sentinels.
+func (b *binding) resolve(vp wxquery.VarPath) []*xmlstream.Element {
+	switch b.r.Mode {
+	case ModeAggregates:
+		for i, lb := range b.r.Lets {
+			if lb.Var == vp.Var {
+				v, ok := b.aggText(i, &lb.Spec)
+				if !ok {
+					return nil
+				}
+				return []*xmlstream.Element{{Text: v}}
+			}
+		}
+		return nil
+	case ModeWindows:
+		if vp.Var != b.r.ForVar {
+			return nil
+		}
+		// The window element's item children are the window contents.
+		var out []*xmlstream.Element
+		for _, c := range b.item.Children {
+			if c.Name == aggWinField || c.Name == aggWMField {
+				continue
+			}
+			if len(vp.Path) == 0 {
+				out = append(out, c.Clone())
+				continue
+			}
+			for _, m := range c.Find(vp.Path) {
+				out = append(out, m.Clone())
+			}
+		}
+		return out
+	default:
+		if vp.Var != b.r.ForVar {
+			return nil
+		}
+		if len(vp.Path) == 0 {
+			return []*xmlstream.Element{b.item.Clone()}
+		}
+		var out []*xmlstream.Element
+		for _, m := range b.item.Find(vp.Path) {
+			out = append(out, m.Clone())
+		}
+		return out
+	}
+}
+
+// aggText renders the final value of aggregate group i. avg values are
+// finalized here as sum/count (§3.3: the division happens at the super-peer
+// where the subscription is registered).
+func (b *binding) aggText(i int, spec *AggSpec) (string, bool) {
+	num, den, ok := aggValue(b.item, i, spec.Op, spec.UDF != "")
+	if !ok {
+		return "", false
+	}
+	if den == 1 {
+		return num.String(), true
+	}
+	return formatRatio(num, den), true
+}
+
+// value resolves a variable path to an exact rational for condition
+// evaluation.
+func (b *binding) value(vp wxquery.VarPath) (decimal.D, int64, bool) {
+	switch b.r.Mode {
+	case ModeAggregates:
+		for i, lb := range b.r.Lets {
+			if lb.Var == vp.Var {
+				return aggValue(b.item, i, lb.Spec.Op, lb.Spec.UDF != "")
+			}
+		}
+		return decimal.D{}, 0, false
+	default:
+		if vp.Var != b.r.ForVar {
+			return decimal.D{}, 0, false
+		}
+		d, ok := b.item.Decimal(vp.Path)
+		if !ok {
+			return decimal.D{}, 0, false
+		}
+		return d, 1, true
+	}
+}
+
+// evalExpr evaluates a return-clause expression under a binding.
+func evalExpr(e wxquery.Expr, b *binding) []*xmlstream.Element {
+	switch x := e.(type) {
+	case *wxquery.ElemCtor:
+		return []*xmlstream.Element{evalCtor(x, b)}
+	case *wxquery.Output:
+		return b.resolve(x.Ref)
+	case *wxquery.Sequence:
+		var out []*xmlstream.Element
+		for _, it := range x.Items {
+			out = append(out, evalExpr(it, b)...)
+		}
+		return out
+	case *wxquery.IfExpr:
+		if evalCond(&x.Cond, b) {
+			return evalExpr(x.Then, b)
+		}
+		return evalExpr(x.Else, b)
+	default:
+		// Nested FLWR is rejected by the properties builder; an unreachable
+		// expression contributes nothing.
+		return nil
+	}
+}
+
+func evalCtor(c *wxquery.ElemCtor, b *binding) *xmlstream.Element {
+	e := &xmlstream.Element{Name: c.Tag}
+	var text strings.Builder
+	for _, content := range c.Content {
+		for _, r := range evalExpr(content, b) {
+			if r.Name == "" {
+				text.WriteString(r.Text)
+				continue
+			}
+			e.Children = append(e.Children, r)
+		}
+	}
+	if len(e.Children) == 0 {
+		e.Text = text.String()
+	}
+	return e
+}
+
+// evalCond evaluates a conjunction with exact rational comparisons.
+func evalCond(c *wxquery.Condition, b *binding) bool {
+	for _, a := range c.Atoms {
+		ln, ld, ok := b.value(a.Left)
+		if !ok {
+			return false
+		}
+		rn, rd := a.Const, int64(1)
+		if a.Right != nil {
+			vn, vd, ok := b.value(*a.Right)
+			if !ok {
+				return false
+			}
+			// v + const with a rational v: (vn + c·vd) / vd.
+			cv, err := a.Const.Mul(vd)
+			if err != nil {
+				return false
+			}
+			sum, err := vn.Add(cv)
+			if err != nil {
+				return false
+			}
+			rn, rd = sum, vd
+		}
+		if !compareRational(ln, ld, a.Op, rn, rd) {
+			return false
+		}
+	}
+	return true
+}
+
+// compareRational evaluates (ln/ld) θ (rn/rd) with positive denominators.
+func compareRational(ln decimal.D, ld int64, op predicate.Op, rn decimal.D, rd int64) bool {
+	l, err1 := ln.Mul(rd)
+	r, err2 := rn.Mul(ld)
+	var cmp int
+	if err1 != nil || err2 != nil {
+		lf, rf := ln.Float()/float64(ld), rn.Float()/float64(rd)
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = l.Cmp(r)
+	}
+	switch op {
+	case predicate.Eq:
+		return cmp == 0
+	case predicate.Lt:
+		return cmp < 0
+	case predicate.Le:
+		return cmp <= 0
+	case predicate.Gt:
+		return cmp > 0
+	case predicate.Ge:
+		return cmp >= 0
+	}
+	return false
+}
+
+// formatRatio renders num/den exactly when the quotient has at most
+// decimal.MaxScale decimal places, otherwise as a shortest float.
+func formatRatio(num decimal.D, den int64) string {
+	if den == 0 {
+		return ""
+	}
+	if den < 0 {
+		num, den = num.Neg(), -den
+	}
+	for s := num.Scale(); s <= decimal.MaxScale; s++ {
+		u := num.Units(s)
+		if u%den == 0 {
+			return decimal.New(u/den, s).String()
+		}
+		if u > (1<<62)/10 || u < -(1<<62)/10 {
+			break // further scaling would overflow
+		}
+	}
+	return strconv.FormatFloat(num.Float()/float64(den), 'g', 10, 64)
+}

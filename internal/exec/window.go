@@ -1,0 +1,514 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"streamshare/internal/decimal"
+	"streamshare/internal/wxquery"
+	"streamshare/internal/xmlstream"
+)
+
+// Canonical aggregate-item element names. An aggregate stream item looks
+// like
+//
+//	<agg><win>40</win><wm>61.5</wm><g0><n>9</n><sum>13.5</sum></g0></agg>
+//
+// with one group element g0, g1, … per aggregation of the subscription, a
+// window start <win> and the watermark <wm> (the reference value or item
+// index that closed the window). avg aggregates are transported as their
+// sum and count (§3.3); the final value is computed by the restructuring
+// step at the subscriber's super-peer.
+const (
+	AggItemName  = "agg"
+	aggWinField  = "win"
+	aggWMField   = "wm"
+	aggNField    = "n"
+	aggSumField  = "sum"
+	aggMinField  = "min"
+	aggMaxField  = "max"
+	aggValField  = "v"
+	groupPrefix  = "g"
+	WindowedName = "window"
+)
+
+// UDFunc is a deterministic user-defined window function (Algorithm 2's
+// unknown-operator case).
+type UDFunc func(values []decimal.D, args []decimal.D) decimal.D
+
+// UDFRegistry resolves user-defined function names.
+type UDFRegistry map[string]UDFunc
+
+// AggSpec describes one aggregation computed over a window.
+type AggSpec struct {
+	Op   wxquery.AggOp
+	Elem xmlstream.Path
+	// UDF names a user-defined function; when non-empty, Op is ignored.
+	UDF     string
+	UDFArgs []decimal.D
+}
+
+// groupName returns the element name of group i in an aggregate item.
+func groupName(i int) string { return groupPrefix + strconv.Itoa(i) }
+
+// floorDiv returns ⌊a/b⌋ over decimals with b > 0.
+func floorDiv(a, b decimal.D) int64 {
+	s := a.Scale()
+	if b.Scale() > s {
+		s = b.Scale()
+	}
+	au, bu := a.Units(s), b.Units(s)
+	q := au / bu
+	if au%bu != 0 && (au < 0) != (bu < 0) {
+		q--
+	}
+	return q
+}
+
+// mulScalar returns w·k, panicking only on overflow of query-scale values.
+func mulScalar(w decimal.D, k int64) decimal.D {
+	v, err := w.Mul(k)
+	if err != nil {
+		panic(fmt.Sprintf("exec: window start overflow: %s * %d", w, k))
+	}
+	return v
+}
+
+// groupAcc accumulates one aggregation within one open window.
+type groupAcc struct {
+	n    int64
+	sum  decimal.D
+	minv decimal.D
+	maxv decimal.D
+	seen bool
+	vals []decimal.D // UDF input values
+}
+
+func (g *groupAcc) add(spec *AggSpec, item *xmlstream.Element) {
+	for _, node := range item.Find(spec.Elem) {
+		if spec.Op == wxquery.AggCount && spec.UDF == "" {
+			g.n++
+			continue
+		}
+		d, err := decimal.Parse(node.Value())
+		if err != nil {
+			continue // non-numeric occurrences are skipped
+		}
+		g.n++
+		if spec.UDF != "" {
+			g.vals = append(g.vals, d)
+			continue
+		}
+		if s, err2 := g.sum.Add(d); err2 == nil {
+			g.sum = s
+		}
+		if !g.seen || d.Cmp(g.minv) < 0 {
+			g.minv = d
+		}
+		if !g.seen || d.Cmp(g.maxv) > 0 {
+			g.maxv = d
+		}
+		g.seen = true
+	}
+}
+
+// render emits the group element for an aggregate item.
+func (g *groupAcc) render(i int, spec *AggSpec, reg UDFRegistry) *xmlstream.Element {
+	e := xmlstream.E(groupName(i), xmlstream.T(aggNField, strconv.FormatInt(g.n, 10)))
+	switch {
+	case spec.UDF != "":
+		fn := reg[spec.UDF]
+		if fn != nil && len(g.vals) > 0 {
+			e.Children = append(e.Children, xmlstream.T(aggValField, fn(g.vals, spec.UDFArgs).String()))
+		}
+	case spec.Op == wxquery.AggCount:
+		// n only.
+	case spec.Op == wxquery.AggSum || spec.Op == wxquery.AggAvg:
+		e.Children = append(e.Children, xmlstream.T(aggSumField, g.sum.String()))
+	case spec.Op == wxquery.AggMin && g.seen:
+		e.Children = append(e.Children, xmlstream.T(aggMinField, g.minv.String()))
+	case spec.Op == wxquery.AggMax && g.seen:
+		e.Children = append(e.Children, xmlstream.T(aggMaxField, g.maxv.String()))
+	}
+	return e
+}
+
+// WindowAgg evaluates one data window over its input and computes all the
+// subscription's aggregations per window, emitting one aggregate item per
+// completed window. Selection runs upstream of this operator, which is why
+// aggregate reuse requires equal pre-aggregation selections (§3.3).
+type WindowAgg struct {
+	Window   wxquery.Window
+	Aggs     []AggSpec
+	Registry UDFRegistry
+
+	itemIndex int64 // count windows: index of the next item
+	open      map[int64]*partialWindow
+}
+
+type partialWindow struct {
+	groups []groupAcc
+}
+
+// NewWindowAgg returns a window aggregation operator.
+func NewWindowAgg(w wxquery.Window, aggs []AggSpec, reg UDFRegistry) *WindowAgg {
+	return &WindowAgg{Window: w, Aggs: aggs, Registry: reg, open: map[int64]*partialWindow{}}
+}
+
+// Name implements Operator.
+func (w *WindowAgg) Name() string { return "window-agg" }
+
+// Process implements Operator.
+func (w *WindowAgg) Process(item *xmlstream.Element) []*xmlstream.Element {
+	var pos decimal.D
+	if w.Window.Kind == wxquery.WindowCount {
+		pos = decimal.FromInt(w.itemIndex)
+		w.itemIndex++
+	} else {
+		r, ok := item.Decimal(w.Window.Ref)
+		if !ok {
+			return nil // items without the reference element are dropped
+		}
+		pos = r
+	}
+	// Close every window whose end kµ+∆ ≤ pos (count windows close below,
+	// after the item is added, since the item at index kµ+∆−1 still belongs
+	// to window k).
+	var out []*xmlstream.Element
+	if w.Window.Kind == wxquery.WindowDiff {
+		out = w.closeBefore(pos, pos)
+	}
+	// Add the item to every window containing pos: kµ ≤ pos < kµ+∆.
+	kmax := floorDiv(pos, w.Window.Step)
+	end, err := pos.Sub(w.Window.Size)
+	if err != nil {
+		return out
+	}
+	kmin := floorDiv(end, w.Window.Step) + 1
+	if w.Window.Kind == wxquery.WindowCount && kmin < 0 {
+		kmin = 0
+	}
+	for k := kmin; k <= kmax; k++ {
+		p := w.open[k]
+		if p == nil {
+			p = &partialWindow{groups: make([]groupAcc, len(w.Aggs))}
+			w.open[k] = p
+		}
+		for i := range w.Aggs {
+			p.groups[i].add(&w.Aggs[i], item)
+		}
+	}
+	if w.Window.Kind == wxquery.WindowCount {
+		// Close windows ending exactly after this item.
+		next := decimal.FromInt(w.itemIndex)
+		out = append(out, w.closeBefore(next, decimal.FromInt(w.itemIndex-1))...)
+	}
+	return out
+}
+
+// closeBefore emits (in window order) every open window with kµ+∆ ≤ limit,
+// stamping wm as the watermark.
+func (w *WindowAgg) closeBefore(limit, wm decimal.D) []*xmlstream.Element {
+	var ks []int64
+	for k := range w.open {
+		endStart := mulScalar(w.Window.Step, k)
+		end, err := endStart.Add(w.Window.Size)
+		if err != nil {
+			continue
+		}
+		if end.Cmp(limit) <= 0 {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	var out []*xmlstream.Element
+	for _, k := range ks {
+		out = append(out, w.emit(k, w.open[k], wm))
+		delete(w.open, k)
+	}
+	return out
+}
+
+func (w *WindowAgg) emit(k int64, p *partialWindow, wm decimal.D) *xmlstream.Element {
+	start := mulScalar(w.Window.Step, k)
+	e := xmlstream.E(AggItemName,
+		xmlstream.T(aggWinField, start.String()),
+		xmlstream.T(aggWMField, wm.String()),
+	)
+	for i := range p.groups {
+		e.Children = append(e.Children, p.groups[i].render(i, &w.Aggs[i], w.Registry))
+	}
+	return e
+}
+
+// Flush implements Operator. Incomplete trailing windows are not emitted:
+// a window only produces a value once its step boundary has passed.
+func (w *WindowAgg) Flush() []*xmlstream.Element {
+	w.open = map[int64]*partialWindow{}
+	return nil
+}
+
+// aggValue extracts group i's value as an exact rational (num/den) from an
+// aggregate item. ok is false when the group has no value (e.g. min over an
+// empty set).
+func aggValue(item *xmlstream.Element, i int, op wxquery.AggOp, udf bool) (num decimal.D, den int64, ok bool) {
+	g := item.Child(groupName(i))
+	if g == nil {
+		return decimal.D{}, 0, false
+	}
+	n, err := strconv.ParseInt(g.Child(aggNField).Value(), 10, 64)
+	if err != nil {
+		return decimal.D{}, 0, false
+	}
+	field := ""
+	switch {
+	case udf:
+		field = aggValField
+	case op == wxquery.AggCount:
+		return decimal.FromInt(n), 1, true
+	case op == wxquery.AggSum:
+		field = aggSumField
+	case op == wxquery.AggAvg:
+		field = aggSumField
+	case op == wxquery.AggMin:
+		field = aggMinField
+	case op == wxquery.AggMax:
+		field = aggMaxField
+	}
+	fe := g.Child(field)
+	if fe == nil {
+		return decimal.D{}, 0, false
+	}
+	v, err := decimal.Parse(fe.Value())
+	if err != nil {
+		return decimal.D{}, 0, false
+	}
+	if op == wxquery.AggAvg && !udf {
+		if n == 0 {
+			return decimal.D{}, 0, false
+		}
+		return v, n, true
+	}
+	return v, 1, true
+}
+
+// WindowMerge recomposes coarse window aggregates from a shared stream of
+// finer ones (Fig. 5). The compatibility conditions ∆′ mod ∆ = 0,
+// ∆ mod µ = 0 and µ′ mod µ = 0 guarantee that a sequence of non-overlapping
+// fine windows tiles each coarse window; fine values that fall between
+// tiles are buffered or ignored as required (§3.3).
+type WindowMerge struct {
+	// Fine is the window of the reused aggregate stream, Coarse the window
+	// of the new subscription.
+	Fine, Coarse wxquery.Window
+	// Aggs lists the new subscription's aggregations; FineGroup[i] is the
+	// index of the group in the fine stream that serves Aggs[i].
+	Aggs      []AggSpec
+	FineGroup []int
+	// FineOp[i] is the fine stream's aggregation operator for that group
+	// (relevant when an avg stream serves a sum/count subscription).
+	FineOp []wxquery.AggOp
+
+	buf   map[int64]*xmlstream.Element // fine items keyed by start, in Step units of Fine
+	jNext int64
+	began bool
+}
+
+// NewWindowMerge returns a recomposition operator; the window pair must be
+// compatible per MatchAggregations.
+func NewWindowMerge(fine, coarse wxquery.Window, aggs []AggSpec, fineGroup []int, fineOp []wxquery.AggOp) *WindowMerge {
+	return &WindowMerge{
+		Fine: fine, Coarse: coarse,
+		Aggs: aggs, FineGroup: fineGroup, FineOp: fineOp,
+		buf: map[int64]*xmlstream.Element{},
+	}
+}
+
+// Name implements Operator.
+func (m *WindowMerge) Name() string { return "window-merge" }
+
+// Process implements Operator.
+func (m *WindowMerge) Process(item *xmlstream.Element) []*xmlstream.Element {
+	start, ok := item.Decimal(xmlstream.Path{aggWinField})
+	if !ok {
+		return nil
+	}
+	// Buffer the fine aggregate keyed by its start in fine-step units.
+	k := floorDiv(start, m.Fine.Step)
+	m.buf[k] = item
+	if !m.began {
+		m.began = true
+		// First coarse window that could contain this fine window:
+		// jµ′ ≥ start − ∆′ + ∆ (its last tile is not before this one).
+		adj, err := start.Sub(m.Coarse.Size)
+		if err == nil {
+			adj2, err2 := adj.Add(m.Fine.Size)
+			if err2 == nil {
+				m.jNext = -floorDiv(adj2.Neg(), m.Coarse.Step) // ceil division
+			}
+		}
+		if m.Coarse.Kind == wxquery.WindowCount && m.jNext < 0 {
+			// Item indices start at zero, so count windows never start
+			// before the stream (WindowAgg clamps identically).
+			m.jNext = 0
+		}
+	}
+	wm, okWM := item.Decimal(xmlstream.Path{aggWMField})
+	if !okWM {
+		end, err := start.Add(m.Fine.Size)
+		if err != nil {
+			return nil
+		}
+		wm = end
+	}
+	return m.closeThrough(start, wm)
+}
+
+// closeThrough emits every coarse window whose last tile start jµ′+∆′−∆ is
+// at or before the fine start just buffered. Fine aggregate streams are
+// ordered by window start, so once a fine start s has arrived, no tile with
+// start ≤ s can arrive later — watermarks alone would close a coarse window
+// before its final tile is delivered within the same closing batch.
+func (m *WindowMerge) closeThrough(s, wm decimal.D) []*xmlstream.Element {
+	var out []*xmlstream.Element
+	for {
+		startC := mulScalar(m.Coarse.Step, m.jNext)
+		endC, err := startC.Add(m.Coarse.Size)
+		if err != nil {
+			return out
+		}
+		lastTile, err := endC.Sub(m.Fine.Size)
+		if err != nil || lastTile.Cmp(s) > 0 {
+			return out
+		}
+		if e := m.combine(startC, wm); e != nil {
+			out = append(out, e)
+		}
+		m.jNext++
+		m.gc(startC)
+	}
+}
+
+// gc drops buffered fine windows that can no longer contribute.
+func (m *WindowMerge) gc(closedStart decimal.D) {
+	for k := range m.buf {
+		s := mulScalar(m.Fine.Step, k)
+		if s.Cmp(closedStart) < 0 {
+			delete(m.buf, k)
+		}
+	}
+}
+
+// combine merges the tile aggregates of the coarse window starting at
+// startC; nil if every tile is empty (empty windows are never emitted,
+// matching direct evaluation).
+func (m *WindowMerge) combine(startC, wm decimal.D) *xmlstream.Element {
+	tiles := m.Coarse.Size.Div(m.Fine.Size) // ∆′ / ∆
+	ratio := m.Fine.Size.Div(m.Fine.Step)   // ∆ / µ: tile spacing in fine-step units
+	j0 := floorDiv(startC, m.Fine.Step)     // coarse start in fine-step units
+	type accum struct {
+		n    int64
+		sum  decimal.D
+		minv decimal.D
+		maxv decimal.D
+		seen bool
+	}
+	accs := make([]accum, len(m.Aggs))
+	found := false
+	for t := int64(0); t < tiles; t++ {
+		fine := m.buf[j0+t*ratio]
+		if fine == nil {
+			continue // empty fine window: contributes nothing
+		}
+		found = true
+		for i := range m.Aggs {
+			g := fine.Child(groupName(m.FineGroup[i]))
+			if g == nil {
+				continue
+			}
+			a := &accs[i]
+			// n (the number of aggregated values) sums across tiles for
+			// every operator; count is exactly this sum (§3.3: distributive).
+			if ne := g.Child(aggNField); ne != nil {
+				if n, err := strconv.ParseInt(ne.Value(), 10, 64); err == nil {
+					a.n += n
+				}
+			}
+			read := func(field string) (decimal.D, bool) {
+				fe := g.Child(field)
+				if fe == nil {
+					return decimal.D{}, false
+				}
+				v, err := decimal.Parse(fe.Value())
+				return v, err == nil
+			}
+			switch m.Aggs[i].Op {
+			case wxquery.AggCount:
+				// n accumulation above suffices.
+			case wxquery.AggSum, wxquery.AggAvg:
+				if v, ok := read(aggSumField); ok {
+					if s, err := a.sum.Add(v); err == nil {
+						a.sum = s
+					}
+				}
+			case wxquery.AggMin:
+				if v, ok := read(aggMinField); ok {
+					if !a.seen || v.Cmp(a.minv) < 0 {
+						a.minv = v
+					}
+					a.seen = true
+				}
+			case wxquery.AggMax:
+				if v, ok := read(aggMaxField); ok {
+					if !a.seen || v.Cmp(a.maxv) > 0 {
+						a.maxv = v
+					}
+					a.seen = true
+				}
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	e := xmlstream.E(AggItemName,
+		xmlstream.T(aggWinField, startC.String()),
+		xmlstream.T(aggWMField, wm.String()),
+	)
+	for i := range m.Aggs {
+		a := &accs[i]
+		g := xmlstream.E(groupName(i))
+		switch m.Aggs[i].Op {
+		case wxquery.AggCount:
+			g.Children = append(g.Children, xmlstream.T(aggNField, strconv.FormatInt(a.n, 10)))
+		case wxquery.AggSum:
+			g.Children = append(g.Children,
+				xmlstream.T(aggNField, strconv.FormatInt(a.n, 10)),
+				xmlstream.T(aggSumField, a.sum.String()))
+		case wxquery.AggAvg:
+			g.Children = append(g.Children,
+				xmlstream.T(aggNField, strconv.FormatInt(a.n, 10)),
+				xmlstream.T(aggSumField, a.sum.String()))
+		case wxquery.AggMin:
+			g.Children = append(g.Children, xmlstream.T(aggNField, strconv.FormatInt(a.n, 10)))
+			if a.seen {
+				g.Children = append(g.Children, xmlstream.T(aggMinField, a.minv.String()))
+			}
+		case wxquery.AggMax:
+			g.Children = append(g.Children, xmlstream.T(aggNField, strconv.FormatInt(a.n, 10)))
+			if a.seen {
+				g.Children = append(g.Children, xmlstream.T(aggMaxField, a.maxv.String()))
+			}
+		}
+		e.Children = append(e.Children, g)
+	}
+	return e
+}
+
+// Flush implements Operator. Trailing coarse windows not closed by a
+// watermark stay unemitted, mirroring WindowAgg.
+func (m *WindowMerge) Flush() []*xmlstream.Element {
+	m.buf = map[int64]*xmlstream.Element{}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package network implements the super-peer backbone substrate: peers with
+// capacity and performance indices, links with bandwidth, shortest-path
+// routing, and traffic/load metering used by both the cost model (§3.2) and
+// the experimental evaluation (§4).
+//
+// The paper runs one super-peer per blade on a 100 Mbit LAN; here the
+// topology is simulated in-process and the evaluation metrics (average CPU
+// load, link traffic) are ratios of the modeled capacities, which preserves
+// the relative comparison between data shipping, query shipping and stream
+// sharing.
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PeerID names a peer, e.g. "SP4" or "P1".
+type PeerID string
+
+// Peer is a network node. Super-peers form the stationary backbone and run
+// operators; thin-peers deliver data streams or register queries.
+type Peer struct {
+	ID PeerID
+	// Super marks backbone super-peers.
+	Super bool
+	// Capacity is l(v): the maximum sustainable computational load in
+	// abstract work units per second.
+	Capacity float64
+	// PerfIndex is pindex(v): a factor scaling the cost of work on this
+	// peer (1.0 = reference hardware; larger = slower).
+	PerfIndex float64
+}
+
+// LinkID identifies an undirected link by its canonically ordered endpoints.
+type LinkID struct{ A, B PeerID }
+
+// MakeLinkID returns the canonical id for the link between two peers.
+func MakeLinkID(a, b PeerID) LinkID {
+	if b < a {
+		a, b = b, a
+	}
+	return LinkID{A: a, B: b}
+}
+
+// String renders the link as "A-B".
+func (l LinkID) String() string { return string(l.A) + "-" + string(l.B) }
+
+// Link is an undirected network connection.
+type Link struct {
+	ID LinkID
+	// Bandwidth is b(e) in bytes per second.
+	Bandwidth float64
+}
+
+// Network is a static topology of peers and links.
+type Network struct {
+	peers map[PeerID]*Peer
+	links map[LinkID]*Link
+	adj   map[PeerID][]PeerID
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		peers: map[PeerID]*Peer{},
+		links: map[LinkID]*Link{},
+		adj:   map[PeerID][]PeerID{},
+	}
+}
+
+// AddPeer registers a peer; it panics on duplicates (topologies are built
+// programmatically).
+func (n *Network) AddPeer(p Peer) {
+	if _, dup := n.peers[p.ID]; dup {
+		panic(fmt.Sprintf("network: duplicate peer %s", p.ID))
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = 1
+	}
+	if p.PerfIndex <= 0 {
+		p.PerfIndex = 1
+	}
+	cp := p
+	n.peers[p.ID] = &cp
+}
+
+// Connect links two existing peers with the given bandwidth (bytes/second).
+func (n *Network) Connect(a, b PeerID, bandwidth float64) {
+	if n.peers[a] == nil || n.peers[b] == nil {
+		panic(fmt.Sprintf("network: connect unknown peer %s-%s", a, b))
+	}
+	id := MakeLinkID(a, b)
+	if _, dup := n.links[id]; dup {
+		panic(fmt.Sprintf("network: duplicate link %s", id))
+	}
+	n.links[id] = &Link{ID: id, Bandwidth: bandwidth}
+	n.adj[a] = append(n.adj[a], b)
+	n.adj[b] = append(n.adj[b], a)
+}
+
+// Peer returns a peer by id, or nil.
+func (n *Network) Peer(id PeerID) *Peer { return n.peers[id] }
+
+// Link returns the link between two peers, or nil.
+func (n *Network) Link(a, b PeerID) *Link { return n.links[MakeLinkID(a, b)] }
+
+// Peers returns all peer ids in sorted order.
+func (n *Network) Peers() []PeerID {
+	out := make([]PeerID, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SuperPeers returns all backbone peer ids in sorted order.
+func (n *Network) SuperPeers() []PeerID {
+	var out []PeerID
+	for id, p := range n.peers {
+		if p.Super {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Links returns all link ids in sorted order.
+func (n *Network) Links() []LinkID {
+	out := make([]LinkID, 0, len(n.links))
+	for id := range n.links {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Neighbors returns the peers adjacent to id, sorted.
+func (n *Network) Neighbors(id PeerID) []PeerID {
+	out := append([]PeerID(nil), n.adj[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ShortestPath returns a minimum-hop path from a to b including both
+// endpoints, or nil if unreachable. Ties break deterministically by peer id.
+func (n *Network) ShortestPath(a, b PeerID) []PeerID {
+	if a == b {
+		return []PeerID{a}
+	}
+	prev := map[PeerID]PeerID{a: a}
+	frontier := []PeerID{a}
+	for len(frontier) > 0 {
+		var next []PeerID
+		for _, v := range frontier {
+			for _, w := range n.Neighbors(v) {
+				if _, seen := prev[w]; seen {
+					continue
+				}
+				prev[w] = v
+				if w == b {
+					return buildPath(prev, a, b)
+				}
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func buildPath(prev map[PeerID]PeerID, a, b PeerID) []PeerID {
+	var rev []PeerID
+	for v := b; v != a; v = prev[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, a)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathLinks returns the link ids along a peer path.
+func PathLinks(path []PeerID) []LinkID {
+	if len(path) < 2 {
+		return nil
+	}
+	out := make([]LinkID, len(path)-1)
+	for i := 0; i < len(path)-1; i++ {
+		out[i] = MakeLinkID(path[i], path[i+1])
+	}
+	return out
+}
+
+// Metrics accumulates traffic and load during a simulation run or from
+// analytic estimates.
+type Metrics struct {
+	// LinkBytes is the number of bytes transmitted per link.
+	LinkBytes map[LinkID]float64
+	// PeerWork is the accumulated computational work per peer in abstract
+	// work units (already scaled by pindex).
+	PeerWork map[PeerID]float64
+}
+
+// NewMetrics returns empty metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{LinkBytes: map[LinkID]float64{}, PeerWork: map[PeerID]float64{}}
+}
+
+// AddTraffic records bytes crossing a link.
+func (m *Metrics) AddTraffic(l LinkID, bytes float64) { m.LinkBytes[l] += bytes }
+
+// AddWork records work units on a peer.
+func (m *Metrics) AddWork(p PeerID, units float64) { m.PeerWork[p] += units }
+
+// Merge adds other's counters into m.
+func (m *Metrics) Merge(other *Metrics) {
+	for l, b := range other.LinkBytes {
+		m.LinkBytes[l] += b
+	}
+	for p, w := range other.PeerWork {
+		m.PeerWork[p] += w
+	}
+}
+
+// TotalBytes sums traffic over all links.
+func (m *Metrics) TotalBytes() float64 {
+	var t float64
+	for _, b := range m.LinkBytes {
+		t += b
+	}
+	return t
+}
+
+// TotalWork sums work over all peers.
+func (m *Metrics) TotalWork() float64 {
+	var t float64
+	for _, w := range m.PeerWork {
+		t += w
+	}
+	return t
+}
+
+// PeerBytes returns incoming plus outgoing traffic per peer (used for the
+// accumulated-traffic view of Fig. 7).
+func (m *Metrics) PeerBytes() map[PeerID]float64 {
+	out := map[PeerID]float64{}
+	for l, b := range m.LinkBytes {
+		out[l.A] += b
+		out[l.B] += b
+	}
+	return out
+}

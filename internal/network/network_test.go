@@ -1,0 +1,133 @@
+package network
+
+import (
+	"testing"
+)
+
+// paperTopology builds the super-peer backbone of Figs. 1/2: SP0..SP7.
+func paperTopology() *Network {
+	n := New()
+	for i := 0; i < 8; i++ {
+		n.AddPeer(Peer{ID: PeerID("SP" + string(rune('0'+i))), Super: true, Capacity: 100, PerfIndex: 1})
+	}
+	edges := [][2]PeerID{
+		{"SP0", "SP2"}, {"SP0", "SP1"}, {"SP2", "SP4"}, {"SP2", "SP3"},
+		{"SP4", "SP6"}, {"SP4", "SP5"}, {"SP6", "SP7"}, {"SP5", "SP7"},
+		{"SP1", "SP3"}, {"SP3", "SP5"}, {"SP1", "SP7"},
+	}
+	for _, e := range edges {
+		n.Connect(e[0], e[1], 12_500_000) // 100 Mbit/s
+	}
+	return n
+}
+
+func TestTopologyBasics(t *testing.T) {
+	n := paperTopology()
+	if len(n.Peers()) != 8 || len(n.SuperPeers()) != 8 {
+		t.Fatalf("peers = %d", len(n.Peers()))
+	}
+	if len(n.Links()) != 11 {
+		t.Fatalf("links = %d", len(n.Links()))
+	}
+	if n.Peer("SP4") == nil || n.Peer("nope") != nil {
+		t.Error("Peer lookup broken")
+	}
+	if n.Link("SP4", "SP5") == nil || n.Link("SP5", "SP4") == nil {
+		t.Error("Link lookup should be direction-independent")
+	}
+	if n.Link("SP0", "SP7") != nil {
+		t.Error("nonexistent link found")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	n := paperTopology()
+	p := n.ShortestPath("SP4", "SP1")
+	// SP4→SP5→SP3→SP1 and SP4→SP5→SP7→SP1 both have 3 hops; ties break
+	// deterministically.
+	if len(p) != 4 || p[0] != "SP4" || p[len(p)-1] != "SP1" {
+		t.Fatalf("path = %v", p)
+	}
+	again := n.ShortestPath("SP4", "SP1")
+	for i := range p {
+		if p[i] != again[i] {
+			t.Fatal("shortest path not deterministic")
+		}
+	}
+	if got := n.ShortestPath("SP4", "SP4"); len(got) != 1 {
+		t.Errorf("self path = %v", got)
+	}
+	if got := n.ShortestPath("SP4", "SP6"); len(got) != 2 {
+		t.Errorf("adjacent path = %v", got)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	n := New()
+	n.AddPeer(Peer{ID: "A", Super: true})
+	n.AddPeer(Peer{ID: "B", Super: true})
+	if n.ShortestPath("A", "B") != nil {
+		t.Error("disconnected peers should have no path")
+	}
+}
+
+func TestPathLinks(t *testing.T) {
+	links := PathLinks([]PeerID{"SP4", "SP5", "SP1"})
+	if len(links) != 2 || links[0].String() != "SP4-SP5" || links[1].String() != "SP1-SP5" {
+		t.Errorf("links = %v", links)
+	}
+	if PathLinks([]PeerID{"SP4"}) != nil {
+		t.Error("single-node path has no links")
+	}
+}
+
+func TestLinkIDCanonical(t *testing.T) {
+	if MakeLinkID("SP5", "SP4") != MakeLinkID("SP4", "SP5") {
+		t.Error("link ids must be canonical")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := NewMetrics()
+	l := MakeLinkID("SP4", "SP5")
+	m.AddTraffic(l, 100)
+	m.AddTraffic(l, 50)
+	m.AddWork("SP4", 7)
+	if m.LinkBytes[l] != 150 || m.PeerWork["SP4"] != 7 {
+		t.Errorf("metrics = %+v", m)
+	}
+	other := NewMetrics()
+	other.AddTraffic(l, 10)
+	other.AddWork("SP5", 3)
+	m.Merge(other)
+	if m.TotalBytes() != 160 || m.TotalWork() != 10 {
+		t.Errorf("after merge: bytes %v work %v", m.TotalBytes(), m.TotalWork())
+	}
+	pb := m.PeerBytes()
+	if pb["SP4"] != 160 || pb["SP5"] != 160 {
+		t.Errorf("peer bytes = %v", pb)
+	}
+}
+
+func TestDefaultsAndPanics(t *testing.T) {
+	n := New()
+	n.AddPeer(Peer{ID: "X"})
+	if p := n.Peer("X"); p.Capacity != 1 || p.PerfIndex != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+	expectPanic(t, "duplicate peer", func() { n.AddPeer(Peer{ID: "X"}) })
+	expectPanic(t, "unknown connect", func() { n.Connect("X", "Y", 1) })
+	n.AddPeer(Peer{ID: "Y"})
+	n.Connect("X", "Y", 1)
+	expectPanic(t, "duplicate link", func() { n.Connect("Y", "X", 1) })
+}
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

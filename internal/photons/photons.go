@@ -1,0 +1,114 @@
+// Package photons generates a synthetic ROSAT All-Sky Survey photon stream.
+//
+// The paper's evaluation uses real astrophysical data from the RASS survey
+// (obtained from MPE), which is not redistributable here. The generator
+// produces photons with the same DTD shape — celestial and detector
+// coordinates, photon pulse, energy, detection time — with uniform
+// coordinates over a configurable sky region, an exponential-ish energy
+// spectrum, and strictly increasing det_time. The stream-sharing algorithms
+// consume only element values, statistics and ordering, so this synthetic
+// stream exercises exactly the same code paths (see DESIGN.md,
+// Substitutions).
+package photons
+
+import (
+	"math/rand"
+	"strconv"
+
+	"streamshare/internal/stats"
+	"streamshare/internal/xmlstream"
+)
+
+// Config bounds the generated sky region and spectrum.
+type Config struct {
+	// RAMin/RAMax bound the right ascension in degrees.
+	RAMin, RAMax float64
+	// DecMin/DecMax bound the declination in degrees.
+	DecMin, DecMax float64
+	// EnMin/EnMax bound the photon energy in keV.
+	EnMin, EnMax float64
+	// MeanDT is the average det_time increment between photons.
+	MeanDT float64
+	// Freq is the nominal arrival frequency in photons per second, recorded
+	// in the collected statistics.
+	Freq float64
+}
+
+// DefaultConfig covers the vela region and its surroundings, matching the
+// constants of the paper's Queries 1–4 (ra 120–138, dec −49–−40, en ≥ 1.3
+// all select proper subsets).
+func DefaultConfig() Config {
+	return Config{
+		RAMin: 100, RAMax: 160,
+		DecMin: -60, DecMax: -30,
+		EnMin: 0.1, EnMax: 3.0,
+		MeanDT: 0.5,
+		Freq:   100,
+	}
+}
+
+// Generator produces a deterministic pseudo-random photon stream.
+type Generator struct {
+	cfg Config
+	rnd *rand.Rand
+	t   float64
+	n   int
+}
+
+// NewGenerator returns a generator with the given seed; equal seeds yield
+// identical streams.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	return &Generator{cfg: cfg, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Next produces the next photon item.
+func (g *Generator) Next() *xmlstream.Element {
+	c := g.cfg
+	g.t += g.rnd.ExpFloat64() * c.MeanDT
+	g.n++
+	ra := c.RAMin + g.rnd.Float64()*(c.RAMax-c.RAMin)
+	dec := c.DecMin + g.rnd.Float64()*(c.DecMax-c.DecMin)
+	// Truncated exponential spectrum: soft photons dominate, as in RASS,
+	// with the mean placed so that window averages straddle the 1.3 keV
+	// threshold of the paper's Queries 2 and 4.
+	en := c.EnMin + g.rnd.ExpFloat64()*1.2
+	if en > c.EnMax {
+		en = c.EnMin + g.rnd.Float64()*(c.EnMax-c.EnMin)
+	}
+	return xmlstream.E("photon",
+		xmlstream.E("coord",
+			xmlstream.E("cel",
+				xmlstream.T("ra", fixed(ra, 1)),
+				xmlstream.T("dec", fixed(dec, 1)),
+			),
+			xmlstream.E("det",
+				xmlstream.T("dx", strconv.Itoa(g.rnd.Intn(512))),
+				xmlstream.T("dy", strconv.Itoa(g.rnd.Intn(512))),
+			),
+		),
+		xmlstream.T("phc", strconv.Itoa(1+g.rnd.Intn(254))),
+		xmlstream.T("en", fixed(en, 2)),
+		xmlstream.T("det_time", fixed(g.t, 2)),
+	)
+}
+
+// Generate returns n photons.
+func (g *Generator) Generate(n int) []*xmlstream.Element {
+	out := make([]*xmlstream.Element, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Stream generates n photons and collects their statistics, ready for
+// registration with the engine.
+func Stream(name string, cfg Config, seed int64, n int) ([]*xmlstream.Element, *stats.Stream) {
+	items := NewGenerator(cfg, seed).Generate(n)
+	return items, stats.Collect(name, "photon", items, cfg.Freq)
+}
+
+// fixed formats v with the given number of decimal places.
+func fixed(v float64, places int) string {
+	return strconv.FormatFloat(v, 'f', places, 64)
+}

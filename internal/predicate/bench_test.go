@@ -1,0 +1,35 @@
+package predicate
+
+import "testing"
+
+func BenchmarkMatchPredicates(b *testing.B) {
+	g, sub := q1Graph(), q2Graph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !MatchPredicates(g, sub) {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+func BenchmarkSatisfiableAndMinimize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := q2Graph()
+		g.AddAtom(Atom{Left: "ra", Op: Ge, Const: dec("120")}) // redundant
+		if !g.Satisfiable() {
+			b.Fatal("unsat")
+		}
+		g.Minimize()
+	}
+}
+
+func BenchmarkImpliedByClosure(b *testing.B) {
+	g, sub := q1Graph(), q2Graph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !g.ImpliedBy(sub) {
+			b.Fatal("implication failed")
+		}
+	}
+}

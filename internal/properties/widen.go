@@ -1,0 +1,58 @@
+package properties
+
+import (
+	"streamshare/internal/predicate"
+	"streamshare/internal/xmlstream"
+)
+
+// Widen computes the properties of a widened stream that contains
+// everything the existing stream a carries plus everything subscription
+// input b needs — the paper's §6 extension: "consider data streams for
+// sharing that initially do not contain all the necessary data for a new
+// query but can be altered to do so by changing some operators in the
+// network".
+//
+// Widening is defined for plain selection/projection streams: the widened
+// selection is the weakest-common-constraint union of both predicates (a
+// conjunction implied by each side), and the widened projection keeps the
+// union of both sides' referenced elements, so both the old consumers and
+// the new subscription can be reconstructed from the widened stream by
+// residual operators. nil is returned when the inputs are not widenable
+// (different streams, or window/aggregate/UDF operators involved).
+func Widen(a, b *Input) *Input {
+	if a.Stream != b.Stream || !a.ItemPath.Equal(b.ItemPath) {
+		return nil
+	}
+	for _, in := range []*Input{a, b} {
+		for _, o := range in.Ops {
+			switch o.Kind {
+			case OpAggregate, OpWindow, OpUDF:
+				return nil
+			}
+		}
+	}
+	w := &Input{Stream: a.Stream, ItemPath: append(xmlstream.Path(nil), a.ItemPath...)}
+
+	// Selection: drop it entirely if either side is unfiltered; otherwise
+	// keep the weakest common constraints.
+	if ga, gb := a.Selection(), b.Selection(); ga != nil && gb != nil {
+		if u := predicate.Union(ga, gb); u.Len() > 0 {
+			w.Ops = append(w.Ops, Op{Kind: OpSelect, Sel: u})
+		}
+	}
+
+	// Projection: the widened stream must carry every element either side
+	// references (a's consumers re-apply a's selection, so a's predicate
+	// paths must survive too). If either side keeps whole items, so does
+	// the widened stream.
+	pa, pb := a.Find(OpProject), b.Find(OpProject)
+	if pa != nil && pb != nil {
+		var keep []xmlstream.Path
+		keep = append(keep, pa.Ref...)
+		keep = append(keep, pa.Out...)
+		keep = append(keep, pb.Ref...)
+		out := xmlstream.DedupPaths(keep)
+		w.Ops = append(w.Ops, Op{Kind: OpProject, Out: out, Ref: out})
+	}
+	return w
+}

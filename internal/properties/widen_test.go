@@ -1,0 +1,123 @@
+package properties
+
+import (
+	"testing"
+)
+
+func TestWidenDisjointBoxes(t *testing.T) {
+	// Two non-overlapping sky boxes: neither stream serves the other, but
+	// the widened stream serves both.
+	a := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 10 and $p/x <= 20 return <o>{ $p/x }{ $p/y }</o> }</r>`)
+	b := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 30 and $p/x <= 40 return <o>{ $p/x }</o> }</r>`)
+	ain, _ := a.Result().SingleInput()
+	bin, _ := b.SingleInput()
+	if MatchInput(ain, bin) {
+		t.Fatal("test premise: disjoint boxes must not match")
+	}
+	w := Widen(ain, bin)
+	if w == nil {
+		t.Fatal("widening failed")
+	}
+	// Both the old consumer and the new subscription match the widened
+	// stream.
+	aSub, _ := a.SingleInput()
+	if !MatchInput(w, aSub) {
+		t.Errorf("widened stream must serve the original consumer:\nw: %+v", w)
+	}
+	if !MatchInput(w, bin) {
+		t.Errorf("widened stream must serve the new subscription")
+	}
+	// Widened selection keeps only the common x bounds, weakened: [10,40].
+	sel := w.Selection()
+	if sel == nil {
+		t.Fatal("widened selection missing")
+	}
+	if !MatchInput(&Input{Stream: "s", ItemPath: ain.ItemPath, Ops: []Op{{Kind: OpSelect, Sel: sel}}},
+		&Input{Stream: "s", ItemPath: ain.ItemPath, Ops: bin.Ops}) {
+		t.Errorf("widened selection %s should admit the subscription", sel)
+	}
+}
+
+func TestWidenProjectionUnion(t *testing.T) {
+	a := props(t, `<r>{ for $p in stream("s")/r/i return <o>{ $p/x }</o> }</r>`)
+	b := props(t, `<r>{ for $p in stream("s")/r/i where $p/z >= 1 return <o>{ $p/y }</o> }</r>`)
+	ain, _ := a.Result().SingleInput()
+	bin, _ := b.SingleInput()
+	w := Widen(ain, bin)
+	if w == nil {
+		t.Fatal("widening failed")
+	}
+	proj := w.Find(OpProject)
+	if proj == nil {
+		t.Fatal("widened projection missing")
+	}
+	// x from a, y AND z (predicate path) from b.
+	got := map[string]bool{}
+	for _, p := range proj.Out {
+		got[p.String()] = true
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		if !got[want] {
+			t.Errorf("widened projection lacks %s: %v", want, proj.Out)
+		}
+	}
+	// One side unfiltered → widened selection absent.
+	if w.Selection() != nil {
+		t.Errorf("selection should be dropped when one side is unfiltered: %s", w.Selection())
+	}
+}
+
+func TestWidenRejectsWindows(t *testing.T) {
+	a := props(t, `<r>{ for $w in stream("s")/r/i |count 5| let $a := sum($w/x) return <o>{ $a }</o> }</r>`)
+	b := props(t, `<r>{ for $p in stream("s")/r/i return <o>{ $p/x }</o> }</r>`)
+	ain, _ := a.Result().SingleInput()
+	bin, _ := b.SingleInput()
+	if Widen(ain, bin) != nil || Widen(bin, ain) != nil {
+		t.Error("aggregate streams must not be widened")
+	}
+	c := props(t, `<r>{ for $p in stream("other")/r/i return <o>{ $p/x }</o> }</r>`)
+	cin, _ := c.SingleInput()
+	if Widen(bin, cin) != nil {
+		t.Error("different streams must not be widened")
+	}
+}
+
+func TestWidenWholeItem(t *testing.T) {
+	// One side returns whole items → widened stream keeps whole items.
+	a := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 1 return <o>{ $p }</o> }</r>`)
+	b := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 5 and $p/y >= 2 return <o>{ $p/y }</o> }</r>`)
+	ain, _ := a.Result().SingleInput()
+	bin, _ := b.SingleInput()
+	w := Widen(ain, bin)
+	if w == nil {
+		t.Fatal("widening failed")
+	}
+	if w.Find(OpProject) != nil {
+		t.Error("whole-item side should suppress the widened projection")
+	}
+	// Widened selection: only x bounds (y appears in one side only),
+	// weakest: x ≥ 1.
+	if !MatchInput(w, bin) {
+		t.Error("widened stream should serve the subscription")
+	}
+	aSub := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 1 return <o>{ $p }</o> }</r>`)
+	as, _ := aSub.SingleInput()
+	if !MatchInput(w, as) {
+		t.Error("widened stream should serve the original consumer")
+	}
+}
+
+func TestWidenIdempotentWhenContained(t *testing.T) {
+	a := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 10 return <o>{ $p/x }</o> }</r>`)
+	b := props(t, `<r>{ for $p in stream("s")/r/i where $p/x >= 20 return <o>{ $p/x }</o> }</r>`)
+	ain, _ := a.Result().SingleInput()
+	bin, _ := b.SingleInput()
+	w := Widen(ain, bin)
+	// Containment: widened == a (x ≥ 10 is the weaker bound, same paths).
+	if w == nil || !MatchInput(w, func() *Input { s, _ := a.SingleInput(); return s }()) {
+		t.Fatal("widen of contained inputs should equal the wider input")
+	}
+	if !MatchInput(ain, bin) {
+		t.Error("premise: a already serves b")
+	}
+}

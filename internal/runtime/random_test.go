@@ -1,0 +1,52 @@
+package runtime
+
+import (
+	"testing"
+
+	"streamshare/internal/core"
+	"streamshare/internal/photons"
+	"streamshare/internal/workload"
+	"streamshare/internal/xmlstream"
+)
+
+// TestRandomWorkloadBackendEquivalence runs a template-generated workload
+// through both execution backends and requires identical per-subscription
+// counts and total traffic — a randomized extension of the targeted
+// equivalence test.
+func TestRandomWorkloadBackendEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 21, 77} {
+		build := func() (*core.Engine, []*xmlstream.Element) {
+			eng := core.NewEngine(testNet(), core.Config{})
+			items, st := photons.Stream("photons", photons.DefaultConfig(), seed, 900)
+			if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+				t.Fatal(err)
+			}
+			gen := workload.NewGenerator("photons", workload.DefaultSets(), seed)
+			peers := eng.Net.SuperPeers()
+			for i, q := range gen.Generate(12) {
+				if _, err := eng.Subscribe(q, peers[(i*5)%len(peers)], core.StreamSharing); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return eng, items
+		}
+		simEng, items := build()
+		sim, err := simEng.Simulate(map[string][]*xmlstream.Element{"photons": items}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distEng, items2 := build()
+		dist, err := New(distEng, false).Run(map[string][]*xmlstream.Element{"photons": items2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, n := range sim.Results {
+			if dist.Results[id] != n {
+				t.Errorf("seed %d, %s: simulator %d vs runtime %d", seed, id, n, dist.Results[id])
+			}
+		}
+		if sim.Metrics.TotalBytes() != dist.Metrics.TotalBytes() {
+			t.Errorf("seed %d: traffic %v vs %v", seed, sim.Metrics.TotalBytes(), dist.Metrics.TotalBytes())
+		}
+	}
+}

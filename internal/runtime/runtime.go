@@ -1,0 +1,346 @@
+// Package runtime executes installed stream-sharing plans on a concurrent
+// super-peer runtime: every peer is a goroutine with a mailbox, streams
+// travel as serialized XML messages over metered links, and operator
+// pipelines run where the plan installed them. It is the distributed
+// counterpart of core's in-process simulator — the paper's system ran one
+// super-peer per blade — and doubles as an end-to-end exercise of the wire
+// format (every item is marshalled and parsed again on each stream hop).
+//
+// Run wiring is derived from a core.Engine's installed subscriptions, so
+// plans are planned once and can be executed by either backend; tests
+// assert both produce identical results and traffic.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"streamshare/internal/core"
+	"streamshare/internal/exec"
+	"streamshare/internal/network"
+	"streamshare/internal/xmlstream"
+)
+
+// message is one unit on a peer's mailbox: a data item of a stream, or its
+// end-of-stream marker.
+type message struct {
+	stream *core.Deployed
+	// data is the serialized item; nil marks end of stream.
+	data []byte
+	// hop is the index of the receiving peer within stream's route.
+	hop int
+}
+
+// mailbox is an unbounded FIFO queue. Unboundedness rules out deadlock
+// between mutually forwarding peers; per-stream order is preserved because
+// each (stream, hop) has exactly one sender.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg message) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// pop blocks until a message is available or the mailbox is closed.
+func (m *mailbox) pop() (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return message{}, false
+	}
+	msg := m.q[0]
+	m.q = m.q[1:]
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Result holds the outcome of a distributed run.
+type Result struct {
+	Metrics *network.Metrics
+	// Results counts delivered result items per subscription id.
+	Results map[string]int
+	// Collected holds the result items per subscription id when collection
+	// was requested.
+	Collected map[string][]*xmlstream.Element
+}
+
+// Runtime hosts one peer goroutine per network node.
+type Runtime struct {
+	eng     *core.Engine
+	collect bool
+
+	nodes map[network.PeerID]*node
+
+	// quiescence tracking: inflight counts queued plus in-processing
+	// messages; Run waits until it returns to zero.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	inflight int
+
+	mu      sync.Mutex
+	metrics *network.Metrics
+	counts  map[string]int
+	items   map[string][]*xmlstream.Element
+	errs    []error
+}
+
+// node is one peer actor.
+type node struct {
+	id    network.PeerID
+	inbox *mailbox
+	// taps lists derived streams whose residual runs here, keyed by parent.
+	taps map[*core.Deployed][]*core.Deployed
+	// readers lists subscription inputs consuming a stream at this target.
+	readers map[*core.Deployed][]readerEntry
+}
+
+type readerEntry struct {
+	sub *core.Subscription
+	si  *core.SubInput
+}
+
+// New builds a runtime over the engine's installed plans. The engine must
+// not be modified while the runtime runs, and a Runtime is single-use.
+func New(eng *core.Engine, collect bool) *Runtime {
+	r := &Runtime{
+		eng:     eng,
+		collect: collect,
+		nodes:   map[network.PeerID]*node{},
+		metrics: network.NewMetrics(),
+		counts:  map[string]int{},
+	}
+	r.qcond = sync.NewCond(&r.qmu)
+	if collect {
+		r.items = map[string][]*xmlstream.Element{}
+	}
+	for _, id := range eng.Net.Peers() {
+		r.nodes[id] = &node{
+			id:      id,
+			inbox:   newMailbox(),
+			taps:    map[*core.Deployed][]*core.Deployed{},
+			readers: map[*core.Deployed][]readerEntry{},
+		}
+	}
+	for _, d := range eng.Streams() {
+		if d.Parent != nil {
+			r.nodes[d.Tap].taps[d.Parent] = append(r.nodes[d.Tap].taps[d.Parent], d)
+		}
+	}
+	for _, sub := range eng.Subscriptions() {
+		for _, si := range sub.Inputs {
+			tgt := si.Feed.Target()
+			r.nodes[tgt].readers[si.Feed] = append(r.nodes[tgt].readers[si.Feed], readerEntry{sub: sub, si: si})
+		}
+	}
+	return r
+}
+
+// Run feeds the given original stream items through the distributed plan
+// and blocks until every message has been processed.
+func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			r.nodeLoop(n)
+		}(n)
+	}
+
+	// Inject the original streams at their source peers, concurrently per
+	// stream (as independent telescopes would).
+	var sources sync.WaitGroup
+	for _, d := range r.eng.Streams() {
+		if !d.Original {
+			continue
+		}
+		feed := items[d.Input.Stream]
+		sources.Add(1)
+		go func(d *core.Deployed, feed []*xmlstream.Element) {
+			defer sources.Done()
+			for _, it := range feed {
+				r.send(message{stream: d, data: []byte(xmlstream.Marshal(it)), hop: 0})
+			}
+			r.send(message{stream: d, hop: 0})
+		}(d, feed)
+	}
+	sources.Wait()
+
+	// Quiescence: every queued or in-processing message has completed.
+	r.qmu.Lock()
+	for r.inflight > 0 {
+		r.qcond.Wait()
+	}
+	r.qmu.Unlock()
+
+	for _, n := range r.nodes {
+		n.inbox.close()
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.errs) > 0 {
+		return nil, r.errs[0]
+	}
+	return &Result{Metrics: r.metrics, Results: r.counts, Collected: r.items}, nil
+}
+
+// send enqueues a message for the peer at the given hop of the stream's
+// route, accounting link traffic for hops past the producer.
+func (r *Runtime) send(m message) {
+	peer := m.stream.Route[m.hop]
+	if m.hop > 0 && m.data != nil {
+		l := network.MakeLinkID(m.stream.Route[m.hop-1], peer)
+		r.mu.Lock()
+		r.metrics.AddTraffic(l, float64(len(m.data)))
+		r.mu.Unlock()
+	}
+	r.qmu.Lock()
+	r.inflight++
+	r.qmu.Unlock()
+	r.nodes[peer].inbox.push(m)
+}
+
+func (r *Runtime) finish() {
+	r.qmu.Lock()
+	r.inflight--
+	if r.inflight == 0 {
+		r.qcond.Broadcast()
+	}
+	r.qmu.Unlock()
+}
+
+// nodeLoop processes a peer's mailbox sequentially (operator state is
+// single-threaded per peer, like one blade's engine).
+func (r *Runtime) nodeLoop(n *node) {
+	for {
+		m, ok := n.inbox.pop()
+		if !ok {
+			return
+		}
+		r.handle(n, m)
+		r.finish()
+	}
+}
+
+// handle processes one message at one peer: derived streams tapping here,
+// readers at the route end, and forwarding along the route. All downstream
+// sends happen before the in-flight counter is released, so quiescence is
+// exact.
+func (r *Runtime) handle(n *node, m message) {
+	d := m.stream
+	for _, child := range n.taps[d] {
+		if child.Tap != n.id {
+			continue
+		}
+		r.feedChild(n, child, m.data)
+	}
+	if m.hop == len(d.Route)-1 {
+		for _, re := range n.readers[d] {
+			r.feedReader(n, re, m.data)
+		}
+	}
+	if m.hop < len(d.Route)-1 {
+		next := m
+		next.hop = m.hop + 1
+		if m.data != nil && m.hop > 0 {
+			// Forwarding work accrues at relay peers strictly inside the
+			// route; the producer's emission cost is part of its operators.
+			r.work(n.id, r.eng.Cfg.Model.ForwardPerByte*float64(len(m.data)))
+		}
+		r.send(next)
+	}
+}
+
+// feedChild runs a derived stream's residual at its tap and emits results
+// at hop 0 of the child's route.
+func (r *Runtime) feedChild(n *node, child *core.Deployed, data []byte) {
+	if data != nil {
+		r.work(n.id, r.eng.Cfg.Model.BLoad["duplicate"])
+	}
+	outs, eos := r.runPipe(n, child.Residual, data)
+	for _, out := range outs {
+		r.send(message{stream: child, data: []byte(xmlstream.Marshal(out)), hop: 0})
+	}
+	if eos {
+		r.send(message{stream: child, hop: 0})
+	}
+}
+
+// feedReader runs a subscription's local pipeline at the target.
+func (r *Runtime) feedReader(n *node, re readerEntry, data []byte) {
+	outs, _ := r.runPipe(n, re.si.Local, data)
+	if len(outs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counts[re.sub.ID] += len(outs)
+	if r.collect {
+		r.items[re.sub.ID] = append(r.items[re.sub.ID], outs...)
+	}
+	r.mu.Unlock()
+}
+
+// runPipe pushes one serialized item (or EOS when data is nil) through a
+// pipeline, charging per-stage work; eos reports that downstream EOS should
+// propagate.
+func (r *Runtime) runPipe(n *node, p *exec.Pipeline, data []byte) (outs []*xmlstream.Element, eos bool) {
+	if data == nil {
+		return p.Flush(), true
+	}
+	item, err := xmlstream.Unmarshal(string(data))
+	if err != nil {
+		r.fail(fmt.Errorf("runtime: peer %s: %w", n.id, err))
+		return nil, false
+	}
+	items := []*xmlstream.Element{item}
+	for _, op := range p.Ops {
+		bload := r.eng.Cfg.Model.BLoad[op.Name()]
+		var next []*xmlstream.Element
+		for _, it := range items {
+			r.work(n.id, bload)
+			next = append(next, op.Process(it)...)
+		}
+		items = next
+		if len(items) == 0 {
+			return nil, false
+		}
+	}
+	return items, false
+}
+
+func (r *Runtime) work(p network.PeerID, units float64) {
+	units *= r.eng.Net.Peer(p).PerfIndex
+	r.mu.Lock()
+	r.metrics.AddWork(p, units)
+	r.mu.Unlock()
+}
+
+func (r *Runtime) fail(err error) {
+	r.mu.Lock()
+	r.errs = append(r.errs, err)
+	r.mu.Unlock()
+}

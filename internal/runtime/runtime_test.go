@@ -1,0 +1,209 @@
+package runtime
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"streamshare/internal/core"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/xmlstream"
+)
+
+const velaQ = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>`
+
+const rxjQ = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+  and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/en } </rxj> }
+</photons>`
+
+const aggQ = `<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0]
+  |det_time diff 20 step 10|
+  let $a := avg($w/en)
+  return <avg_en> { $a } </avg_en> }
+</photons>`
+
+func testNet() *network.Network {
+	n := network.New()
+	ids := []network.PeerID{"SP0", "SP1", "SP2", "SP3", "SP4", "SP5"}
+	for _, id := range ids {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	edges := [][2]network.PeerID{
+		{"SP0", "SP1"}, {"SP1", "SP2"}, {"SP2", "SP3"},
+		{"SP1", "SP4"}, {"SP4", "SP5"}, {"SP5", "SP3"},
+	}
+	for _, e := range edges {
+		n.Connect(e[0], e[1], 12_500_000)
+	}
+	return n
+}
+
+func setup(t *testing.T, strat core.Strategy) (*core.Engine, []*xmlstream.Element) {
+	t.Helper()
+	eng := core.NewEngine(testNet(), core.Config{})
+	items, st := photons.Stream("photons", photons.DefaultConfig(), 13, 2000)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []struct {
+		src string
+		at  network.PeerID
+	}{{velaQ, "SP3"}, {rxjQ, "SP2"}, {aggQ, "SP5"}, {velaQ, "SP4"}} {
+		if _, err := eng.Subscribe(q.src, q.at, strat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, items
+}
+
+// TestDistributedMatchesSimulator is the backend-equivalence check: the
+// concurrent runtime (with real wire serialization on every hop) must
+// produce exactly the results, traffic and work of the in-process
+// simulator.
+func TestDistributedMatchesSimulator(t *testing.T) {
+	for _, strat := range []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing} {
+		eng, items := setup(t, strat)
+		feed := map[string][]*xmlstream.Element{"photons": items}
+
+		sim, err := eng.Simulate(feed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fresh engine with identical plans for the distributed run
+		// (operator state is consumed by execution).
+		eng2, items2 := setup(t, strat)
+		rt := New(eng2, true)
+		dist, err := rt.Run(map[string][]*xmlstream.Element{"photons": items2})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for id, n := range sim.Results {
+			if dist.Results[id] != n {
+				t.Errorf("%s/%s: simulator %d items, runtime %d", strat, id, n, dist.Results[id])
+			}
+		}
+		for id, a := range sim.Collected {
+			b := dist.Collected[id]
+			if len(a) != len(b) {
+				t.Fatalf("%s/%s: %d vs %d items", strat, id, len(a), len(b))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Fatalf("%s/%s item %d differs:\n%s\n%s", strat, id, i,
+						xmlstream.Marshal(a[i]), xmlstream.Marshal(b[i]))
+				}
+			}
+		}
+		if sb, db := sim.Metrics.TotalBytes(), dist.Metrics.TotalBytes(); math.Abs(sb-db) > 1e-6 {
+			t.Errorf("%s: traffic simulator %.0f vs runtime %.0f", strat, sb, db)
+		}
+		if sw, dw := sim.Metrics.TotalWork(), dist.Metrics.TotalWork(); math.Abs(sw-dw) > 1e-6 {
+			t.Errorf("%s: work simulator %.1f vs runtime %.1f", strat, sw, dw)
+		}
+		// Per-link traffic must also agree.
+		for l, b := range sim.Metrics.LinkBytes {
+			if math.Abs(dist.Metrics.LinkBytes[l]-b) > 1e-6 {
+				t.Errorf("%s link %s: %.0f vs %.0f", strat, l, b, dist.Metrics.LinkBytes[l])
+			}
+		}
+	}
+}
+
+func TestDistributedMultiStream(t *testing.T) {
+	eng := core.NewEngine(testNet(), core.Config{})
+	itemsA, stA := photons.Stream("photons", photons.DefaultConfig(), 1, 800)
+	itemsB, stB := photons.Stream("photons2", photons.DefaultConfig(), 2, 800)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", stA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RegisterStream("photons2", xmlstream.ParsePath("photons/photon"), "SP3", stB); err != nil {
+		t.Fatal(err)
+	}
+	q2 := `<photons>
+{ for $p in stream("photons2")/photons/photon
+  where $p/en >= 1.0
+  return <hit> { $p/en } </hit> }
+</photons>`
+	s1, err := eng.Subscribe(velaQ, "SP2", core.StreamSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := eng.Subscribe(q2, "SP2", core.StreamSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(eng, false).Run(map[string][]*xmlstream.Element{
+		"photons": itemsA, "photons2": itemsB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[s1.ID] == 0 || res.Results[s2.ID] == 0 {
+		t.Errorf("results = %v", res.Results)
+	}
+}
+
+func TestDistributedEmptyFeed(t *testing.T) {
+	eng, _ := setup(t, core.StreamSharing)
+	res, err := New(eng, true).Run(map[string][]*xmlstream.Element{"photons": nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range res.Results {
+		if n != 0 {
+			t.Errorf("%s produced %d items from an empty stream", id, n)
+		}
+	}
+	if res.Metrics.TotalBytes() != 0 {
+		t.Errorf("traffic %v from empty stream", res.Metrics.TotalBytes())
+	}
+}
+
+func TestDistributedDeterministicPerSubscription(t *testing.T) {
+	// Two runs deliver identical per-subscription sequences even though
+	// node scheduling differs.
+	run := func() map[string][]string {
+		eng, items := setup(t, core.StreamSharing)
+		res, err := New(eng, true).Run(map[string][]*xmlstream.Element{"photons": items})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]string{}
+		for id, its := range res.Collected {
+			for _, it := range its {
+				out[id] = append(out[id], xmlstream.Marshal(it))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if len(a[id]) != len(b[id]) {
+			t.Fatalf("%s: %d vs %d items across runs", id, len(a[id]), len(b[id]))
+		}
+		for i := range a[id] {
+			if a[id][i] != b[id][i] {
+				t.Fatalf("%s item %d differs across runs", id, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+)
+
+// Config is the JSON description of a custom scenario, loadable by
+// cmd/sgsim -config. Example:
+//
+//	{
+//	  "peers": [{"id": "SP0", "capacity": 50000}, {"id": "SP1"}],
+//	  "links": [{"a": "SP0", "b": "SP1", "bandwidth": 12500000}],
+//	  "streams": [{"name": "photons", "at": "SP0", "freq": 100, "seed": 42}],
+//	  "queries": [{"target": "SP1", "text": "<r>{ for $p in … }</r>"}],
+//	  "hop_latency_ms": 120
+//	}
+type Config struct {
+	Peers []struct {
+		ID        string  `json:"id"`
+		Capacity  float64 `json:"capacity"`
+		PerfIndex float64 `json:"perf_index"`
+	} `json:"peers"`
+	Links   []LinkConfig `json:"links"`
+	Streams []struct {
+		Name string  `json:"name"`
+		At   string  `json:"at"`
+		Freq float64 `json:"freq"`
+		Seed int64   `json:"seed"`
+	} `json:"streams"`
+	Queries []struct {
+		Target string `json:"target"`
+		Text   string `json:"text"`
+	} `json:"queries"`
+	HopLatencyMS int `json:"hop_latency_ms"`
+}
+
+// LinkConfig is one undirected connection.
+type LinkConfig struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// LoadConfig reads a JSON scenario description.
+func LoadConfig(r io.Reader) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &c, nil
+}
+
+// Build materializes the configuration into a runnable scenario. items is
+// the number of photons generated per stream.
+func (c *Config) Build(items int) (*Scenario, error) {
+	if len(c.Peers) == 0 {
+		return nil, fmt.Errorf("scenario: no peers")
+	}
+	if len(c.Streams) == 0 {
+		return nil, fmt.Errorf("scenario: no streams")
+	}
+	n := network.New()
+	for _, p := range c.Peers {
+		cap := p.Capacity
+		if cap == 0 {
+			cap = scenario2Capacity
+		}
+		pi := p.PerfIndex
+		if pi == 0 {
+			pi = 1
+		}
+		n.AddPeer(network.Peer{ID: network.PeerID(p.ID), Super: true, Capacity: cap, PerfIndex: pi})
+	}
+	for _, l := range c.Links {
+		bw := l.Bandwidth
+		if bw == 0 {
+			bw = linkBandwidth
+		}
+		if n.Peer(network.PeerID(l.A)) == nil || n.Peer(network.PeerID(l.B)) == nil {
+			return nil, fmt.Errorf("scenario: link %s-%s references unknown peer", l.A, l.B)
+		}
+		n.Connect(network.PeerID(l.A), network.PeerID(l.B), bw)
+	}
+	s := &Scenario{Name: "config", Net: n, HopLatency: time.Duration(c.HopLatencyMS) * time.Millisecond}
+	if s.HopLatency == 0 {
+		s.HopLatency = 120 * time.Millisecond
+	}
+	for _, st := range c.Streams {
+		if n.Peer(network.PeerID(st.At)) == nil {
+			return nil, fmt.Errorf("scenario: stream %q at unknown peer %q", st.Name, st.At)
+		}
+		cfg := photons.DefaultConfig()
+		if st.Freq > 0 {
+			cfg.Freq = st.Freq
+		}
+		s.Sources = append(s.Sources, makeSource(st.Name, network.PeerID(st.At), cfg, st.Seed, items))
+	}
+	for _, q := range c.Queries {
+		if n.Peer(network.PeerID(q.Target)) == nil {
+			return nil, fmt.Errorf("scenario: query target %q unknown", q.Target)
+		}
+		s.Queries = append(s.Queries, Query{Src: q.Text, Target: network.PeerID(q.Target)})
+	}
+	return s, nil
+}

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamshare/internal/core"
+)
+
+const sampleConfig = `{
+  "peers": [
+    {"id": "SRC", "capacity": 50000},
+    {"id": "MID"},
+    {"id": "OBS", "perf_index": 2}
+  ],
+  "links": [
+    {"a": "SRC", "b": "MID"},
+    {"a": "MID", "b": "OBS", "bandwidth": 1000000}
+  ],
+  "streams": [{"name": "photons", "at": "SRC", "freq": 50, "seed": 7}],
+  "queries": [
+    {"target": "OBS", "text": "<r>{ for $p in stream(\"photons\")/photons/photon where $p/en >= 1.3 return <o>{ $p/en }</o> }</r>"}
+  ],
+  "hop_latency_ms": 90
+}`
+
+func TestLoadAndBuildConfig(t *testing.T) {
+	c, err := LoadConfig(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Build(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Net.Peers()) != 3 || len(s.Net.Links()) != 2 {
+		t.Fatalf("topology = %d peers, %d links", len(s.Net.Peers()), len(s.Net.Links()))
+	}
+	if s.Net.Peer("OBS").PerfIndex != 2 || s.Net.Peer("MID").Capacity != scenario2Capacity {
+		t.Error("peer defaults/overrides wrong")
+	}
+	if s.Net.Link("MID", "OBS").Bandwidth != 1e6 || s.Net.Link("SRC", "MID").Bandwidth != linkBandwidth {
+		t.Error("link bandwidth defaults/overrides wrong")
+	}
+	if s.HopLatency != 90*time.Millisecond {
+		t.Errorf("hop latency = %v", s.HopLatency)
+	}
+	r, err := s.Run(core.StreamSharing, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reg) != 1 || r.Sim.Metrics.TotalBytes() == 0 {
+		t.Errorf("run = %d regs, %.0f bytes", len(r.Reg), r.Sim.Metrics.TotalBytes())
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad json", `{`},
+		{"unknown field", `{"peerz": []}`},
+		{"no peers", `{"peers": [], "streams": [{"name":"x","at":"A"}]}`},
+		{"no streams", `{"peers": [{"id":"A"}], "streams": []}`},
+		{"unknown link peer", `{"peers": [{"id":"A"}], "links":[{"a":"A","b":"Z"}], "streams": [{"name":"x","at":"A"}]}`},
+		{"unknown stream peer", `{"peers": [{"id":"A"}], "streams": [{"name":"x","at":"Z"}]}`},
+		{"unknown target", `{"peers": [{"id":"A"}], "streams": [{"name":"x","at":"A"}], "queries":[{"target":"Z","text":"x"}]}`},
+	}
+	for _, c := range cases {
+		cfg, err := LoadConfig(strings.NewReader(c.src))
+		if err != nil {
+			continue // load-time rejection is fine
+		}
+		if _, err := cfg.Build(10); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

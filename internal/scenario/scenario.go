@@ -1,0 +1,268 @@
+// Package scenario builds and runs the paper's two evaluation scenarios
+// (§4) and collects the measurements behind Figure 6, Figure 7, Table 1 and
+// the rejection experiment:
+//
+//   - Scenario 1: the extended example network of Figs. 1/2 — 8 super-peers,
+//     1 photon stream, 25 template-generated queries;
+//   - Scenario 2: a 4×4 grid — 16 super-peers, 2 photon streams, 100
+//     queries.
+//
+// Each scenario is run under data shipping, query shipping and stream
+// sharing; stream delivery is simulated with synthetic RASS photons (see
+// package photons for the substitution rationale).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/stats"
+	"streamshare/internal/workload"
+	"streamshare/internal/xmlstream"
+)
+
+// Source describes one original stream of a scenario.
+type Source struct {
+	Name  string
+	At    network.PeerID
+	Cfg   photons.Config
+	Seed  int64
+	Items []*xmlstream.Element
+	Stats *stats.Stream
+}
+
+// Query is one subscription of a scenario.
+type Query struct {
+	Src    string
+	Target network.PeerID
+}
+
+// Scenario is a fully specified evaluation setup.
+type Scenario struct {
+	Name    string
+	Net     *network.Network
+	Sources []*Source
+	Queries []Query
+	// HopLatency is the modeled per-control-message network latency used
+	// for Table 1's registration times.
+	HopLatency time.Duration
+}
+
+// Capacity and bandwidth defaults: 100 Mbit/s links, uniform super-peers.
+// The per-scenario capacities are calibrated so the unconstrained CPU
+// percentages land in the bands of the paper's Figs. 6 and 7 (see
+// EXPERIMENTS.md).
+const (
+	linkBandwidth     = 12_500_000 // bytes/second = 100 Mbit/s
+	scenario1Capacity = 8000       // work units/second
+	scenario2Capacity = 42_000     // work units/second
+)
+
+// Scenario1 builds the extended example scenario: 8 super-peers, 1 data
+// stream, 25 queries (Fig. 6).
+func Scenario1(items int) *Scenario {
+	n := network.New()
+	for i := 0; i < 8; i++ {
+		n.AddPeer(network.Peer{ID: sp(i), Super: true, Capacity: scenario1Capacity, PerfIndex: 1})
+	}
+	for _, e := range [][2]int{
+		{4, 5}, {5, 1}, {4, 6}, {6, 7}, {5, 7}, {7, 1}, {4, 2}, {2, 0}, {0, 1}, {1, 3}, {3, 5},
+	} {
+		n.Connect(sp(e[0]), sp(e[1]), linkBandwidth)
+	}
+	src := makeSource("photons", sp(4), photons.DefaultConfig(), 42, items)
+	gen := workload.NewGenerator("photons", workload.DefaultSets(), 1)
+	// Subscribers cluster at a few institute super-peers, as in the paper's
+	// motivating scenario (P1–P4 at SP1, SP3, SP5, SP7): 25 queries over
+	// five target peers.
+	targets := []network.PeerID{sp(1), sp(7), sp(3), sp(0), sp(1)}
+	var queries []Query
+	for i, q := range gen.Generate(25) {
+		queries = append(queries, Query{Src: q, Target: targets[i%len(targets)]})
+	}
+	return &Scenario{
+		Name:       "scenario1",
+		Net:        n,
+		Sources:    []*Source{src},
+		Queries:    queries,
+		HopLatency: 120 * time.Millisecond,
+	}
+}
+
+// Scenario2 builds the 4×4 grid scenario: 16 super-peers, 2 data streams,
+// 100 queries (Fig. 7, Table 1, rejection experiment).
+func Scenario2(items int) *Scenario {
+	n := network.New()
+	for i := 0; i < 16; i++ {
+		n.AddPeer(network.Peer{ID: sp(i), Super: true, Capacity: scenario2Capacity, PerfIndex: 1})
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			i := r*4 + c
+			if c < 3 {
+				n.Connect(sp(i), sp(i+1), linkBandwidth)
+			}
+			if r < 3 {
+				n.Connect(sp(i), sp(i+4), linkBandwidth)
+			}
+		}
+	}
+	cfg2 := photons.DefaultConfig()
+	cfg2.RAMin, cfg2.RAMax = 90, 150 // overlapping but distinct sky band
+	sources := []*Source{
+		makeSource("photons", sp(5), photons.DefaultConfig(), 42, items),
+		makeSource("photons2", sp(10), cfg2, 43, items),
+	}
+	genA := workload.NewGenerator("photons", workload.DefaultSets(), 2)
+	genB := workload.NewGenerator("photons2", workload.DefaultSets(), 3)
+	var queries []Query
+	for i := 0; i < 100; i++ {
+		var q string
+		if i%2 == 0 {
+			q = genA.Next()
+		} else {
+			q = genB.Next()
+		}
+		queries = append(queries, Query{Src: q, Target: sp((i * 7) % 16)})
+	}
+	return &Scenario{
+		Name:       "scenario2",
+		Net:        n,
+		Sources:    sources,
+		Queries:    queries,
+		HopLatency: 120 * time.Millisecond,
+	}
+}
+
+// ScaleGrid builds an n×n grid with one stream per corner and the given
+// number of queries — beyond the paper's evaluation, used to study how
+// Algorithm 1's discovery scales with network size (the §6 scalability
+// concern that motivates hierarchical subnets).
+func ScaleGrid(n, queries, items int) *Scenario {
+	net := network.New()
+	for i := 0; i < n*n; i++ {
+		net.AddPeer(network.Peer{ID: sp(i), Super: true, Capacity: scenario2Capacity, PerfIndex: 1})
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			i := r*n + c
+			if c < n-1 {
+				net.Connect(sp(i), sp(i+1), linkBandwidth)
+			}
+			if r < n-1 {
+				net.Connect(sp(i), sp(i+n), linkBandwidth)
+			}
+		}
+	}
+	src := makeSource("photons", sp(0), photons.DefaultConfig(), 42, items)
+	gen := workload.NewGenerator("photons", workload.DefaultSets(), 9)
+	var qs []Query
+	for i, q := range gen.Generate(queries) {
+		qs = append(qs, Query{Src: q, Target: sp((i * 13) % (n * n))})
+	}
+	return &Scenario{
+		Name:       fmt.Sprintf("scale-%dx%d", n, n),
+		Net:        net,
+		Sources:    []*Source{src},
+		Queries:    qs,
+		HopLatency: 120 * time.Millisecond,
+	}
+}
+
+func sp(i int) network.PeerID { return network.PeerID(fmt.Sprintf("SP%d", i)) }
+
+func makeSource(name string, at network.PeerID, cfg photons.Config, seed int64, n int) *Source {
+	items, st := photons.Stream(name, cfg, seed, n)
+	return &Source{Name: name, At: at, Cfg: cfg, Seed: seed, Items: items, Stats: st}
+}
+
+// Result holds the outcome of running one scenario under one strategy.
+type Result struct {
+	Strategy core.Strategy
+	Sim      *core.SimResult
+	// Reg holds the modeled registration time per accepted query.
+	Reg []time.Duration
+	// Rejected counts queries refused by admission control.
+	Rejected int
+	Engine   *core.Engine
+}
+
+// Run registers every query under the given strategy and simulates stream
+// delivery. When admission is true, peers are limited to capFraction of
+// their capacity and links to bwLimit bytes/second, and overloading queries
+// are rejected (the §4 rejection experiment); pass admission=false for the
+// throughput figures.
+func (s *Scenario) Run(strat core.Strategy, cfg core.Config) (*Result, error) {
+	eng := core.NewEngine(s.Net, cfg)
+	for _, src := range s.Sources {
+		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Strategy: strat, Engine: eng}
+	for _, q := range s.Queries {
+		sub, err := eng.Subscribe(q.Src, q.Target, strat)
+		if err != nil {
+			if cfg.Admission {
+				res.Rejected++
+				continue
+			}
+			return nil, fmt.Errorf("%s at %s: %w", strat, q.Target, err)
+		}
+		res.Reg = append(res.Reg, sub.Reg.Time(s.HopLatency))
+	}
+	feed := map[string][]*xmlstream.Element{}
+	for _, src := range s.Sources {
+		feed[src.Name] = src.Items
+	}
+	sim, err := eng.Simulate(feed, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Sim = sim
+	return res, nil
+}
+
+// Constrained returns a derived scenario for the rejection experiment:
+// peers limited to capFraction of their capacity, links to bwBytes/second.
+func (s *Scenario) Constrained(capFraction, bwBytes float64) *Scenario {
+	n := network.New()
+	for _, id := range s.Net.Peers() {
+		p := *s.Net.Peer(id)
+		p.Capacity *= capFraction
+		n.AddPeer(p)
+	}
+	for _, l := range s.Net.Links() {
+		n.Connect(l.A, l.B, bwBytes)
+	}
+	out := *s
+	out.Net = n
+	return &out
+}
+
+// RegSummary summarizes registration times as in Table 1.
+type RegSummary struct {
+	Avg, Min, Max time.Duration
+}
+
+// Summary computes Table 1's aggregate for one run.
+func (r *Result) Summary() RegSummary {
+	if len(r.Reg) == 0 {
+		return RegSummary{}
+	}
+	min, max := r.Reg[0], r.Reg[0]
+	var total time.Duration
+	for _, d := range r.Reg {
+		total += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return RegSummary{Avg: total / time.Duration(len(r.Reg)), Min: min, Max: max}
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+
+	"streamshare/internal/core"
+)
+
+func TestScenario1Shapes(t *testing.T) {
+	s := Scenario1(1500)
+	if len(s.Net.SuperPeers()) != 8 || len(s.Sources) != 1 || len(s.Queries) != 25 {
+		t.Fatalf("scenario1 = %d peers, %d sources, %d queries",
+			len(s.Net.SuperPeers()), len(s.Sources), len(s.Queries))
+	}
+	results := map[core.Strategy]*Result{}
+	for _, strat := range []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing} {
+		r, err := s.Run(strat, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if r.Rejected != 0 || len(r.Reg) != 25 {
+			t.Fatalf("%s: rejected %d, reg %d", strat, r.Rejected, len(r.Reg))
+		}
+		results[strat] = r
+	}
+
+	ds := results[core.DataShipping].Sim.Metrics.TotalBytes()
+	qs := results[core.QueryShipping].Sim.Metrics.TotalBytes()
+	ss := results[core.StreamSharing].Sim.Metrics.TotalBytes()
+	if !(ss < qs && qs < ds) {
+		t.Errorf("Fig.6 shape: want SS < QS < DS traffic, got %.0f / %.0f / %.0f", ds, qs, ss)
+	}
+
+	// Query shipping has a CPU peak at the source peer SP4.
+	qsr := results[core.QueryShipping]
+	peak := qsr.Sim.AvgCPUPercent(s.Net, "SP4")
+	for _, p := range s.Net.SuperPeers() {
+		if p != "SP4" && qsr.Sim.AvgCPUPercent(s.Net, p) > peak {
+			t.Errorf("query shipping CPU peak should be at the source, %s exceeds SP4", p)
+		}
+	}
+
+	// Stream sharing's total CPU is below data shipping's.
+	if results[core.StreamSharing].Sim.Metrics.TotalWork() >= results[core.DataShipping].Sim.Metrics.TotalWork() {
+		t.Error("stream sharing should use less total CPU than data shipping")
+	}
+}
+
+func TestScenario2Shapes(t *testing.T) {
+	s := Scenario2(800)
+	if len(s.Net.SuperPeers()) != 16 || len(s.Sources) != 2 || len(s.Queries) != 100 {
+		t.Fatalf("scenario2 shape wrong")
+	}
+	var totals []float64
+	for _, strat := range []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing} {
+		r, err := s.Run(strat, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		totals = append(totals, r.Sim.Metrics.TotalBytes())
+	}
+	if !(totals[2] < totals[1] && totals[1] < totals[0]) {
+		t.Errorf("Fig.7 shape: want SS < QS < DS traffic, got %v", totals)
+	}
+}
+
+func TestRegistrationTimesShape(t *testing.T) {
+	s := Scenario1(400)
+	var avg []float64
+	for _, strat := range []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing} {
+		r, err := s.Run(strat, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := r.Summary()
+		if sum.Min > sum.Avg || sum.Avg > sum.Max {
+			t.Errorf("%s: summary ordering broken: %+v", strat, sum)
+		}
+		avg = append(avg, float64(sum.Avg))
+	}
+	// Table 1 shape: stream sharing is slower but stays within a small
+	// factor of the simpler strategies.
+	if !(avg[2] > avg[0]) {
+		t.Errorf("stream sharing registration should cost more than data shipping: %v", avg)
+	}
+	if avg[2] > 6*avg[0] {
+		t.Errorf("stream sharing registration should stay within a small factor: %v", avg)
+	}
+}
+
+func TestRejectionExperimentShape(t *testing.T) {
+	// §4: peers at 10% capacity, links at 1 Mbit/s; paper rejects 47 (DS),
+	// 35 (QS), 2 (SS) of 100 queries. The shape to preserve: DS > QS ≫ SS.
+	s := Scenario2(400).Constrained(0.10, 125_000)
+	rej := map[core.Strategy]int{}
+	for _, strat := range []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing} {
+		r, err := s.Run(strat, core.Config{Admission: true})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		rej[strat] = r.Rejected
+	}
+	t.Logf("rejected: DS=%d QS=%d SS=%d (paper: 47/35/2)",
+		rej[core.DataShipping], rej[core.QueryShipping], rej[core.StreamSharing])
+	if !(rej[core.DataShipping] > rej[core.QueryShipping]) {
+		t.Errorf("data shipping should reject more than query shipping: %v", rej)
+	}
+	if !(rej[core.QueryShipping] > rej[core.StreamSharing]) {
+		t.Errorf("query shipping should reject more than stream sharing: %v", rej)
+	}
+	if rej[core.StreamSharing] > 10 {
+		t.Errorf("stream sharing should reject almost nothing, got %d", rej[core.StreamSharing])
+	}
+}
+
+func TestConstrainedDoesNotMutate(t *testing.T) {
+	s := Scenario2(10)
+	c := s.Constrained(0.1, 1000)
+	if s.Net.Peer("SP0").Capacity == c.Net.Peer("SP0").Capacity {
+		t.Error("constrained copy should scale capacity")
+	}
+	if s.Net.Peer("SP0").Capacity != scenario2Capacity {
+		t.Error("original scenario mutated")
+	}
+}

@@ -1,0 +1,319 @@
+// Package server exposes a stream-sharing engine over a TCP line protocol,
+// so the system can run as a daemon (cmd/sgd) that astronomer clients talk
+// to. Commands:
+//
+//	SUBSCRIBE <peer> <data|query|sharing>   register a continuous query;
+//	    the WXQuery text follows on subsequent lines, terminated by a line
+//	    containing only "."  → "OK <id>" or "ERR <reason>"
+//	EXPLAIN <id>       → the installed plan, one indented line per input
+//	UNSUBSCRIBE <id>   → tear the plan down
+//	RUN <n>            → simulate n photons per stream; per-subscription
+//	                     result counts follow as "<id> <count>" lines
+//	FEED <stream>      → push client-supplied items through the plans: an
+//	                     XML stream document follows, terminated by a line
+//	                     containing only "."; attributes are converted to
+//	                     elements (§2)
+//	STATS              → streams, subscriptions, total traffic of last run
+//	PEERS              → the super-peer topology
+//	QUIT               → close the connection
+//
+// Every reply is a single "OK …"/"ERR …" line, optionally followed by
+// indented continuation lines, and always terminated by a line containing
+// only ".", so clients can parse responses without knowing each command.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"streamshare/internal/core"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/xmlstream"
+)
+
+// Server hosts one engine behind a listener.
+type Server struct {
+	eng *core.Engine
+	cfg photons.Config
+
+	mu      sync.Mutex
+	seed    int64
+	lastSim *core.SimResult
+	ln      net.Listener
+	wg      sync.WaitGroup
+}
+
+// New wraps an engine whose streams are fed from the synthetic photon
+// generator on RUN. Every registered original stream is fed the same item
+// count with stream-specific seeds.
+func New(eng *core.Engine, cfg photons.Config) *Server {
+	return &Server{eng: eng, cfg: cfg, seed: 1}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.session(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for running sessions.
+func (s *Server) Close() error {
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) session(conn io.ReadWriter) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		if cmd == "QUIT" {
+			fmt.Fprintln(w, "OK bye")
+			fmt.Fprintln(w, ".")
+			w.Flush()
+			return
+		}
+		s.dispatch(w, r, cmd, fields[1:])
+		fmt.Fprintln(w, ".")
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w io.Writer, r *bufio.Reader, cmd string, args []string) {
+	switch cmd {
+	case "SUBSCRIBE":
+		s.subscribe(w, r, args)
+	case "EXPLAIN":
+		s.explain(w, args)
+	case "UNSUBSCRIBE":
+		s.unsubscribe(w, args)
+	case "RUN":
+		s.run(w, args)
+	case "FEED":
+		s.feed(w, r, args)
+	case "STATS":
+		s.stats(w)
+	case "PEERS":
+		s.peers(w)
+	default:
+		fmt.Fprintf(w, "ERR unknown command %s\n", cmd)
+	}
+}
+
+// readQuery consumes the query body up to a lone ".".
+func readQuery(r *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimSpace(line) == "." {
+			return b.String(), nil
+		}
+		b.WriteString(line)
+	}
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "data":
+		return core.DataShipping, nil
+	case "query":
+		return core.QueryShipping, nil
+	case "sharing":
+		return core.StreamSharing, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (data|query|sharing)", s)
+}
+
+func (s *Server) subscribe(w io.Writer, r *bufio.Reader, args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(w, "ERR usage: SUBSCRIBE <peer> <data|query|sharing>")
+		// Still consume the body so the connection stays in sync.
+		readQuery(r) //nolint:errcheck
+		return
+	}
+	strat, err := parseStrategy(args[1])
+	if err != nil {
+		readQuery(r) //nolint:errcheck
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	src, err := readQuery(r)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	s.mu.Lock()
+	sub, err := s.eng.Subscribe(src, network.PeerID(args[0]), strat)
+	s.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %s\n", sub.ID)
+}
+
+func (s *Server) explain(w io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(w, "ERR usage: EXPLAIN <id>")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sub := range s.eng.Subscriptions() {
+		if sub.ID == args[0] {
+			fmt.Fprintf(w, "OK %s\n", args[0])
+			for _, line := range strings.Split(strings.TrimSpace(sub.Explain()), "\n") {
+				fmt.Fprintf(w, "  %s\n", strings.TrimSpace(line))
+			}
+			return
+		}
+	}
+	fmt.Fprintf(w, "ERR unknown subscription %s\n", args[0])
+}
+
+func (s *Server) unsubscribe(w io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(w, "ERR usage: UNSUBSCRIBE <id>")
+		return
+	}
+	s.mu.Lock()
+	err := s.eng.Unsubscribe(args[0])
+	s.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %s removed\n", args[0])
+}
+
+func (s *Server) run(w io.Writer, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(w, "ERR usage: RUN <items>")
+		return
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		fmt.Fprintf(w, "ERR bad item count %q\n", args[0])
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	feed := map[string][]*xmlstream.Element{}
+	seed := s.seed
+	for _, d := range s.eng.Streams() {
+		if !d.Original {
+			continue
+		}
+		feed[d.Input.Stream] = photons.NewGenerator(s.cfg, seed).Generate(n)
+		seed++
+	}
+	s.seed = seed
+	res, err := s.eng.Simulate(feed, false)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	s.lastSim = res
+	fmt.Fprintf(w, "OK %d streams fed %d items\n", len(feed), n)
+	for _, sub := range s.eng.Subscriptions() {
+		fmt.Fprintf(w, "  %s %d\n", sub.ID, res.Results[sub.ID])
+	}
+}
+
+// feed parses a client-supplied stream document and pushes its items
+// through the installed plans.
+func (s *Server) feed(w io.Writer, r *bufio.Reader, args []string) {
+	if len(args) != 1 {
+		readQuery(r) //nolint:errcheck
+		fmt.Fprintln(w, "ERR usage: FEED <stream>")
+		return
+	}
+	doc, err := readQuery(r)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	dec := xmlstream.NewDecoder(strings.NewReader(doc)).ConvertAttributes()
+	var items []*xmlstream.Element
+	for {
+		item, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		items = append(items, item)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.eng.Simulate(map[string][]*xmlstream.Element{args[0]: items}, false)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	s.lastSim = res
+	fmt.Fprintf(w, "OK fed %d items into %s\n", len(items), args[0])
+	for _, sub := range s.eng.Subscriptions() {
+		fmt.Fprintf(w, "  %s %d\n", sub.ID, res.Results[sub.ID])
+	}
+}
+
+func (s *Server) stats(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "OK %d streams, %d subscriptions\n",
+		len(s.eng.Streams()), len(s.eng.Subscriptions()))
+	for _, d := range s.eng.Streams() {
+		fmt.Fprintf(w, "  stream %s route %v\n", d.ID, d.Route)
+	}
+	if s.lastSim != nil {
+		fmt.Fprintf(w, "  last run: %.0f bytes total traffic, %.0f work units\n",
+			s.lastSim.Metrics.TotalBytes(), s.lastSim.Metrics.TotalWork())
+	}
+}
+
+func (s *Server) peers(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peers := s.eng.Net.Peers()
+	fmt.Fprintf(w, "OK %d peers\n", len(peers))
+	for _, p := range peers {
+		fmt.Fprintf(w, "  %s neighbors %v\n", p, s.eng.Net.Neighbors(p))
+	}
+}

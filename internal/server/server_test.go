@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"streamshare/internal/core"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/xmlstream"
+)
+
+const velaQ = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  return <vela> { $p/coord/cel/ra } { $p/en } </vela> }
+</photons>`
+
+func startServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	n := network.New()
+	for _, id := range []network.PeerID{"SP0", "SP1", "SP2"} {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	n.Connect("SP0", "SP1", 12_500_000)
+	n.Connect("SP1", "SP2", 12_500_000)
+	eng := core.NewEngine(n, core.Config{})
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, photons.DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// cmd sends a command (plus optional body) and reads the status line with
+// its indented continuation lines, up to the "." terminator.
+func (c *client) cmd(t *testing.T, line, body string) (status string, cont []string) {
+	t.Helper()
+	fmt.Fprintf(c.conn, "%s\n", line)
+	if body != "" {
+		fmt.Fprintf(c.conn, "%s\n.\n", body)
+	}
+	raw, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	status = strings.TrimSpace(raw)
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(l) == "." {
+			return status, cont
+		}
+		cont = append(cont, strings.TrimSpace(l))
+	}
+}
+
+func TestServerProtocol(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+
+	status, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ)
+	if status != "OK q1" {
+		t.Fatalf("subscribe = %q", status)
+	}
+
+	status, cont := c.cmd(t, "EXPLAIN q1", "")
+	if !strings.HasPrefix(status, "OK") || len(cont) == 0 {
+		t.Fatalf("explain = %q %v", status, cont)
+	}
+	if !strings.Contains(strings.Join(cont, "\n"), "photons") {
+		t.Errorf("explain lacks plan detail: %v", cont)
+	}
+
+	status, cont = c.cmd(t, "RUN 400", "")
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("run = %q", status)
+	}
+	found := false
+	for _, l := range cont {
+		if strings.HasPrefix(l, "q1 ") && !strings.HasSuffix(l, " 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("run results = %v", cont)
+	}
+
+	status, cont = c.cmd(t, "STATS", "")
+	if !strings.HasPrefix(status, "OK 2 streams, 1 subscriptions") {
+		t.Fatalf("stats = %q", status)
+	}
+	if len(cont) < 2 {
+		t.Errorf("stats continuation = %v", cont)
+	}
+
+	status, cont = c.cmd(t, "PEERS", "")
+	if status != "OK 3 peers" || len(cont) != 3 {
+		t.Fatalf("peers = %q %v", status, cont)
+	}
+
+	status, _ = c.cmd(t, "UNSUBSCRIBE q1", "")
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("unsubscribe = %q", status)
+	}
+	status, _ = c.cmd(t, "UNSUBSCRIBE q1", "")
+	if !strings.HasPrefix(status, "ERR") {
+		t.Fatalf("double unsubscribe = %q", status)
+	}
+
+	status, _ = c.cmd(t, "QUIT", "")
+	if status != "OK bye" {
+		t.Fatalf("quit = %q", status)
+	}
+}
+
+func TestServerFeed(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("subscribe = %q", s)
+	}
+	doc := `<photons>
+<photon><coord><cel><ra>130.0</ra><dec>-45.0</dec></cel></coord><en>1.5</en><det_time>1</det_time></photon>
+<photon><coord><cel><ra>90.0</ra><dec>-45.0</dec></cel></coord><en>1.5</en><det_time>2</det_time></photon>
+</photons>`
+	status, cont := c.cmd(t, "FEED photons", doc)
+	if status != "OK fed 2 items into photons" {
+		t.Fatalf("feed = %q", status)
+	}
+	// Only the in-box photon passes the vela ra filter.
+	if len(cont) != 1 || cont[0] != "q1 1" {
+		t.Errorf("feed results = %v", cont)
+	}
+	// Malformed feed is rejected but the session survives.
+	if s, _ := c.cmd(t, "FEED photons", "<photons><broken>"); !strings.HasPrefix(s, "ERR") {
+		t.Errorf("broken feed = %q", s)
+	}
+	if s, _ := c.cmd(t, "PEERS", ""); !strings.HasPrefix(s, "OK") {
+		t.Errorf("session after broken feed = %q", s)
+	}
+	// Feeding an unregistered stream fails cleanly.
+	if s, _ := c.cmd(t, "FEED nope", "<r></r>"); !strings.HasPrefix(s, "ERR") {
+		t.Errorf("unknown stream feed = %q", s)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+
+	if s, _ := c.cmd(t, "FROBNICATE", ""); !strings.HasPrefix(s, "ERR unknown command") {
+		t.Errorf("unknown command = %q", s)
+	}
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 teleport", "whatever"); !strings.HasPrefix(s, "ERR unknown strategy") {
+		t.Errorf("bad strategy = %q", s)
+	}
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", "not a query"); !strings.HasPrefix(s, "ERR") {
+		t.Errorf("bad query = %q", s)
+	}
+	if s, _ := c.cmd(t, "EXPLAIN nope", ""); !strings.HasPrefix(s, "ERR") {
+		t.Errorf("bad explain = %q", s)
+	}
+	if s, _ := c.cmd(t, "RUN many", ""); !strings.HasPrefix(s, "ERR") {
+		t.Errorf("bad run = %q", s)
+	}
+	// The connection stays usable after errors.
+	if s, _ := c.cmd(t, "PEERS", ""); !strings.HasPrefix(s, "OK") {
+		t.Errorf("peers after errors = %q", s)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	done := make(chan string, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			c := dial(t, addr)
+			s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ)
+			done <- s
+		}()
+	}
+	ids := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		s := <-done
+		if !strings.HasPrefix(s, "OK q") {
+			t.Fatalf("concurrent subscribe = %q", s)
+		}
+		if ids[s] {
+			t.Fatalf("duplicate subscription id %q", s)
+		}
+		ids[s] = true
+	}
+}

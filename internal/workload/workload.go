@@ -1,0 +1,180 @@
+// Package workload generates evaluation queries the way the paper's §4
+// describes: "queries were generated using query templates for selection,
+// projection, and aggregation queries. Constant values, e.g., in selection
+// predicates or data window definitions, were chosen uniformly from a
+// predefined set of values to enable a certain degree of shareability."
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Template enumerates the three query template families of §4.
+type Template int
+
+// Template families.
+const (
+	// Selection filters a sky box (optionally an energy threshold) and
+	// returns a fixed projection.
+	Selection Template = iota
+	// Projection returns a subset of photon elements without predicates.
+	Projection
+	// Aggregation computes a window aggregate over a sky box.
+	Aggregation
+)
+
+// Sets holds the predefined value sets constants are drawn from. Small sets
+// make generated queries overlap, which is what enables sharing.
+type Sets struct {
+	RALo     []float64
+	RAWidth  []float64
+	DecLo    []float64
+	DecWidth []float64
+	// EnMin holds optional energy thresholds; a negative value means "no
+	// energy predicate".
+	EnMin []float64
+	// Projections lists element subsets (always including the elements the
+	// predicates reference is not required — the generator adds them).
+	Projections [][]string
+	// WindowSize and WindowStep are ∆ and µ sets for det_time diff windows;
+	// steps must divide sizes for shareability.
+	WindowSize []int
+	WindowStep []int
+	AggOps     []string
+	// AggBoxes lists the sky boxes (raLo, raHi, decLo, decHi) aggregate
+	// queries draw from. Aggregate reuse requires identical pre-aggregation
+	// selections (§3.3), so the set is kept very small.
+	AggBoxes [][4]float64
+	// TemplateWeights orders selection, projection, aggregation.
+	TemplateWeights [3]int
+}
+
+// DefaultSets covers the vela region of the photons stream. The sets are
+// deliberately small and containment-friendly (wider boxes contain narrower
+// ones, projections form subset chains) so that batches of generated
+// queries are shareable, as in §4.
+func DefaultSets() Sets {
+	return Sets{
+		RALo:     []float64{110, 120},
+		RAWidth:  []float64{18, 28},
+		DecLo:    []float64{-50, -49},
+		DecWidth: []float64{9, 12},
+		EnMin:    []float64{-1, -1, 1.3},
+		Projections: [][]string{
+			{"coord/cel/ra", "coord/cel/dec", "phc", "en", "det_time"},
+			{"coord/cel/ra", "coord/cel/dec", "en", "det_time"},
+		},
+		WindowSize: []int{20, 40, 80},
+		WindowStep: []int{10, 20, 40},
+		AggOps:     []string{"avg", "avg", "sum", "count", "max"},
+		AggBoxes: [][4]float64{
+			{120, 138, -49, -40}, // the vela box of Queries 3/4
+			{110, 138, -50, -38},
+		},
+		TemplateWeights: [3]int{5, 2, 3},
+	}
+}
+
+// Generator produces WXQuery subscription texts for a photon stream.
+type Generator struct {
+	Stream string
+	Sets   Sets
+	rnd    *rand.Rand
+}
+
+// NewGenerator returns a deterministic generator for the named stream.
+func NewGenerator(stream string, sets Sets, seed int64) *Generator {
+	return &Generator{Stream: stream, Sets: sets, rnd: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) pickF(vs []float64) float64 { return vs[g.rnd.Intn(len(vs))] }
+func (g *Generator) pickI(vs []int) int         { return vs[g.rnd.Intn(len(vs))] }
+
+// Next generates one query.
+func (g *Generator) Next() string {
+	w := g.Sets.TemplateWeights
+	total := w[0] + w[1] + w[2]
+	n := g.rnd.Intn(total)
+	switch {
+	case n < w[0]:
+		return g.selection()
+	case n < w[0]+w[1]:
+		return g.projection()
+	default:
+		return g.aggregation()
+	}
+}
+
+// Generate produces n queries.
+func (g *Generator) Generate(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// box picks a sky box predicate from the value sets.
+func (g *Generator) box() (raLo, raHi, decLo, decHi float64) {
+	raLo = g.pickF(g.Sets.RALo)
+	raHi = raLo + g.pickF(g.Sets.RAWidth)
+	decLo = g.pickF(g.Sets.DecLo)
+	decHi = decLo + g.pickF(g.Sets.DecWidth)
+	return
+}
+
+func (g *Generator) selection() string {
+	raLo, raHi, decLo, decHi := g.box()
+	conds := []string{
+		fmt.Sprintf("$p/coord/cel/ra >= %.1f", raLo),
+		fmt.Sprintf("$p/coord/cel/ra <= %.1f", raHi),
+		fmt.Sprintf("$p/coord/cel/dec >= %.1f", decLo),
+		fmt.Sprintf("$p/coord/cel/dec <= %.1f", decHi),
+	}
+	if en := g.pickF(g.Sets.EnMin); en >= 0 {
+		conds = append(conds, fmt.Sprintf("$p/en >= %.1f", en))
+	}
+	proj := g.Sets.Projections[g.rnd.Intn(len(g.Sets.Projections))]
+	var outs []string
+	for _, p := range proj {
+		outs = append(outs, fmt.Sprintf("{ $p/%s }", p))
+	}
+	return fmt.Sprintf(`<photons>
+{ for $p in stream(%q)/photons/photon
+  where %s
+  return <sel> %s </sel> }
+</photons>`, g.Stream, strings.Join(conds, " and "), strings.Join(outs, " "))
+}
+
+func (g *Generator) projection() string {
+	proj := g.Sets.Projections[g.rnd.Intn(len(g.Sets.Projections))]
+	var outs []string
+	for _, p := range proj {
+		outs = append(outs, fmt.Sprintf("{ $p/%s }", p))
+	}
+	return fmt.Sprintf(`<photons>
+{ for $p in stream(%q)/photons/photon
+  return <proj> %s </proj> }
+</photons>`, g.Stream, strings.Join(outs, " "))
+}
+
+func (g *Generator) aggregation() string {
+	box := g.Sets.AggBoxes[g.rnd.Intn(len(g.Sets.AggBoxes))]
+	raLo, raHi, decLo, decHi := box[0], box[1], box[2], box[3]
+	size := g.pickI(g.Sets.WindowSize)
+	step := g.pickI(g.Sets.WindowStep)
+	if step > size {
+		step = size
+	}
+	op := g.Sets.AggOps[g.rnd.Intn(len(g.Sets.AggOps))]
+	return fmt.Sprintf(`<photons>
+{ for $w in stream(%q)/photons/photon
+  [coord/cel/ra >= %.1f and coord/cel/ra <= %.1f
+   and coord/cel/dec >= %.1f and coord/cel/dec <= %.1f]
+  |det_time diff %d step %d|
+  let $a := %s($w/en)
+  return <agg_en> { $a } </agg_en> }
+</photons>`, g.Stream, raLo, raHi, decLo, decHi, size, step, op)
+}

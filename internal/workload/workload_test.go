@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"streamshare/internal/properties"
+	"streamshare/internal/wxquery"
+)
+
+func TestGeneratedQueriesParseAndBuild(t *testing.T) {
+	g := NewGenerator("photons", DefaultSets(), 7)
+	kinds := map[string]int{}
+	for i, src := range g.Generate(200) {
+		q, err := wxquery.Parse(src)
+		if err != nil {
+			t.Fatalf("query %d does not parse: %v\n%s", i, err, src)
+		}
+		p, err := properties.FromQuery(q)
+		if err != nil {
+			t.Fatalf("query %d has no properties: %v\n%s", i, err, src)
+		}
+		in, ok := p.SingleInput()
+		if !ok || in.Stream != "photons" {
+			t.Fatalf("query %d input = %v", i, p)
+		}
+		switch {
+		case in.Find(properties.OpAggregate) != nil:
+			kinds["agg"]++
+		case in.Find(properties.OpSelect) != nil:
+			kinds["sel"]++
+		default:
+			kinds["proj"]++
+		}
+	}
+	if kinds["sel"] == 0 || kinds["proj"] == 0 || kinds["agg"] == 0 {
+		t.Errorf("template mix missing a family: %v", kinds)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator("photons", DefaultSets(), 5).Generate(20)
+	b := NewGenerator("photons", DefaultSets(), 5).Generate(20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestShareability(t *testing.T) {
+	// With the small default value sets, a batch of queries must contain
+	// matching pairs — that is the point of the predefined sets (§4).
+	g := NewGenerator("photons", DefaultSets(), 11)
+	var props []*properties.Properties
+	for _, src := range g.Generate(25) {
+		p, err := properties.FromQuery(wxquery.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		props = append(props, p)
+	}
+	pairs := 0
+	for i := range props {
+		for j := range props {
+			if i != j && properties.MatchProperties(props[i].Result(), props[j]) {
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Error("no shareable pairs among 25 generated queries")
+	}
+	t.Logf("shareable ordered pairs among 25 queries: %d", pairs)
+}
+
+func TestWindowStepsDivideSizes(t *testing.T) {
+	s := DefaultSets()
+	for _, size := range s.WindowSize {
+		ok := false
+		for _, step := range s.WindowStep {
+			if step <= size && size%step == 0 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("window size %d has no dividing step in %v", size, s.WindowStep)
+		}
+	}
+}

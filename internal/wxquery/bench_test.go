@@ -1,0 +1,29 @@
+package wxquery
+
+import "testing"
+
+func BenchmarkParseSelection(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(Q1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseAggregation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(Q4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	q := MustParse(Q1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.String()
+	}
+}

@@ -1,0 +1,34 @@
+package wxquery
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that every accepted query
+// re-parses from its canonical rendering (print/parse stability).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		Q1, Q2, Q3, Q4,
+		`<a/>`,
+		`<r>{ $x }</r>`,
+		`<r>{ for $p in stream("s")/a/b where $p/x >= 1 and $p/x <= $p/y + 2 return ($p/x, <t/>) }</r>`,
+		`<r>{ for $w in stream("s")/i |count 5 step 5| let $a := avg($w/x) return if $a > 1 then $a else <n/> }</r>`,
+		`<r>{ for $w in stream("s")/i [x >= 1.5] |t diff 2.5 step 0.5| let $a := f($w/x, 1, -2.5) return $a }</r>`,
+		`<a><b></a>`,
+		`<r>{ for $p in stream("s") return $p }`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not a fixed point:\n%q\n%q", rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package wxquery
+
+import (
+	"strings"
+	"testing"
+
+	"streamshare/internal/predicate"
+)
+
+// The paper's four example queries (§1 and §2), verbatim.
+const (
+	Q1 = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>`
+
+	Q2 = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+  and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/en } { $p/det_time } </rxj> }
+</photons>`
+
+	Q3 = `<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+   and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 20 step 10|
+  let $a := avg($w/en)
+  return <avg_en> { $a } </avg_en> }
+</photons>`
+
+	Q4 = `<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+   and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 60 step 40|
+  let $a := avg($w/en)
+  where $a >= 1.3
+  return <avg_en> { $a } </avg_en> }
+</photons>`
+)
+
+func flwrOf(t *testing.T, q *Query) *FLWR {
+	t.Helper()
+	if len(q.Root.Content) != 1 {
+		t.Fatalf("root content = %d entries", len(q.Root.Content))
+	}
+	f, ok := q.Root.Content[0].(*FLWR)
+	if !ok {
+		t.Fatalf("root content is %T, want *FLWR", q.Root.Content[0])
+	}
+	return f
+}
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(Q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Root.Tag != "photons" {
+		t.Errorf("root tag = %s", q.Root.Tag)
+	}
+	f := flwrOf(t, q)
+	if len(f.Clauses) != 1 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+	fc := f.Clauses[0].(*ForClause)
+	if fc.Var != "p" || fc.Source.Stream != "photons" {
+		t.Errorf("for clause = %s", fc)
+	}
+	if got := fc.Source.Path().String(); got != "photons/photon" {
+		t.Errorf("source path = %s", got)
+	}
+	if fc.Window != nil {
+		t.Error("Q1 has no window")
+	}
+	if f.Where == nil || len(f.Where.Atoms) != 4 {
+		t.Fatalf("where = %v", f.Where)
+	}
+	a := f.Where.Atoms[0]
+	if a.Left.String() != "$p/coord/cel/ra" || a.Op != predicate.Ge || a.Const.String() != "120" {
+		t.Errorf("atom 0 = %s", a)
+	}
+	a3 := f.Where.Atoms[2]
+	if a3.Const.String() != "-49" {
+		t.Errorf("atom 2 const = %s", a3.Const)
+	}
+	ret := f.Return.(*ElemCtor)
+	if ret.Tag != "vela" || len(ret.Content) != 5 {
+		t.Errorf("return = %s", ret)
+	}
+	if out := ret.Content[2].(*Output); out.Ref.String() != "$p/phc" {
+		t.Errorf("output 2 = %s", out)
+	}
+}
+
+func TestParseQ2(t *testing.T) {
+	q, err := Parse(Q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flwrOf(t, q)
+	if len(f.Where.Atoms) != 5 {
+		t.Errorf("Q2 where atoms = %d", len(f.Where.Atoms))
+	}
+	if f.Where.Atoms[0].Left.String() != "$p/en" || f.Where.Atoms[0].Const.String() != "1.3" {
+		t.Errorf("Q2 atom 0 = %s", f.Where.Atoms[0])
+	}
+}
+
+func TestParseQ3(t *testing.T) {
+	q, err := Parse(Q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flwrOf(t, q)
+	if len(f.Clauses) != 2 {
+		t.Fatalf("Q3 clauses = %d", len(f.Clauses))
+	}
+	fc := f.Clauses[0].(*ForClause)
+	// Path condition on the photon step.
+	last := fc.Source.Steps[len(fc.Source.Steps)-1]
+	if last.Name != "photon" || last.Cond == nil || len(last.Cond.Atoms) != 4 {
+		t.Fatalf("path condition = %v", last.Cond)
+	}
+	if last.Cond.Atoms[0].Left.String() != "coord/cel/ra" {
+		t.Errorf("path-relative atom = %s", last.Cond.Atoms[0])
+	}
+	w := fc.Window
+	if w == nil || w.Kind != WindowDiff || w.Ref.String() != "det_time" {
+		t.Fatalf("window = %v", w)
+	}
+	if w.Size.String() != "20" || w.Step.String() != "10" {
+		t.Errorf("window size/step = %s/%s", w.Size, w.Step)
+	}
+	lc := f.Clauses[1].(*LetClause)
+	if lc.Var != "a" || lc.Agg != AggAvg || lc.Of.String() != "$w/en" {
+		t.Errorf("let clause = %s", lc)
+	}
+	if f.Where != nil {
+		t.Error("Q3 has no where")
+	}
+}
+
+func TestParseQ4(t *testing.T) {
+	q, err := Parse(Q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flwrOf(t, q)
+	fc := f.Clauses[0].(*ForClause)
+	if fc.Window.Size.String() != "60" || fc.Window.Step.String() != "40" {
+		t.Errorf("Q4 window = %s", fc.Window)
+	}
+	if f.Where == nil || len(f.Where.Atoms) != 1 {
+		t.Fatalf("Q4 where = %v", f.Where)
+	}
+	a := f.Where.Atoms[0]
+	if a.Left.String() != "$a" || a.Op != predicate.Ge || a.Const.String() != "1.3" {
+		t.Errorf("Q4 aggregate filter = %s", a)
+	}
+}
+
+func TestParseWindowDefaults(t *testing.T) {
+	q := MustParse(`<r>{ for $w in stream("s")/r/i |count 20| let $a := sum($w/x) return <o>{ $a }</o> }</r>`)
+	w := flwrOf(t, q).Clauses[0].(*ForClause).Window
+	if w.Kind != WindowCount || w.Size.String() != "20" || w.Step.String() != "20" {
+		t.Errorf("count window with default step = %s", w)
+	}
+	if w.String() != "|count 20|" {
+		t.Errorf("window String = %s", w)
+	}
+}
+
+func TestParseEmptyAndNestedCtor(t *testing.T) {
+	q := MustParse(`<a><b/><c><d/></c></a>`)
+	if len(q.Root.Content) != 2 {
+		t.Fatalf("content = %d", len(q.Root.Content))
+	}
+	if q.Root.Content[0].(*ElemCtor).Tag != "b" {
+		t.Error("first child should be <b/>")
+	}
+	if q.Root.Content[1].(*ElemCtor).Content[0].(*ElemCtor).Tag != "d" {
+		t.Error("nested <d/> lost")
+	}
+}
+
+func TestParseIfAndSequence(t *testing.T) {
+	q := MustParse(`<r>{ for $p in stream("s")/r/i return if $p/x >= 1 then ($p/x, $p/y) else <none/> }</r>`)
+	f := flwrOf(t, q)
+	ife, ok := f.Return.(*IfExpr)
+	if !ok {
+		t.Fatalf("return = %T", f.Return)
+	}
+	if ife.Cond.Atoms[0].Left.String() != "$p/x" {
+		t.Errorf("if cond = %s", ife.Cond.String())
+	}
+	seq := ife.Then.(*Sequence)
+	if len(seq.Items) != 2 {
+		t.Errorf("sequence = %s", seq)
+	}
+	if _, ok := ife.Else.(*ElemCtor); !ok {
+		t.Errorf("else = %T", ife.Else)
+	}
+}
+
+func TestParseVarToVarPredicate(t *testing.T) {
+	q := MustParse(`<r>{ for $p in stream("s")/r/i where $p/x <= $p/y + 2.5 return <o>{ $p/x }</o> }</r>`)
+	a := flwrOf(t, q).Where.Atoms[0]
+	if a.Right == nil || a.Right.String() != "$p/y" || a.Const.String() != "2.5" {
+		t.Errorf("var-vs-var atom = %s", a)
+	}
+	q2 := MustParse(`<r>{ for $p in stream("s")/r/i where $p/x < $p/y - 1 return <o>{ $p/x }</o> }</r>`)
+	a2 := flwrOf(t, q2).Where.Atoms[0]
+	if a2.Const.String() != "-1" || a2.Op != predicate.Lt {
+		t.Errorf("negative offset atom = %s", a2)
+	}
+}
+
+func TestParseUDFLet(t *testing.T) {
+	q := MustParse(`<r>{ for $w in stream("s")/r/i |count 5| let $a := smooth($w/x, 3, 0.5) return <o>{ $a }</o> }</r>`)
+	lc := flwrOf(t, q).Clauses[1].(*LetClause)
+	if lc.UDF != "smooth" || len(lc.ExtraArgs) != 2 || lc.ExtraArgs[1].String() != "0.5" {
+		t.Errorf("udf let = %s", lc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"empty", ""},
+		{"no root ctor", `for $x in stream("s") return $x`},
+		{"mismatched tags", `<a></b>`},
+		{"raw text content", `<a>hello</a>`},
+		{"unclosed", `<a><b/>`},
+		{"trailing input", `<a/><b/>`},
+		{"flwr without clause", `<a>{ where $x >= 1 return $x }</a>`},
+		{"bad window size", `<r>{ for $w in stream("s")/i |count 0| let $a := sum($w/x) return $a }</r>`},
+		{"negative step", `<r>{ for $w in stream("s")/i |count 5 step -1| let $a := sum($w/x) return $a }</r>`},
+		{"agg multiple args", `<r>{ for $w in stream("s")/i |count 5| let $a := avg($w/x, 3) return $a }</r>`},
+		{"bad operator", `<r>{ for $p in stream("s")/i where $p/x != 3 return $p }</r>`},
+		{"unterminated stream", `<r>{ for $p in stream("s/i return $p }</r>`},
+		{"missing in", `<r>{ for $p stream("s")/i return $p }</r>`},
+		{"bare path in where", `<r>{ for $p in stream("s")/i where x >= 3 return $p }</r>`},
+		{"missing then", `<r>{ for $p in stream("s")/i return if $p/x >= 1 $p else $p }</r>`},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		} else if !strings.Contains(err.Error(), "wxquery:") {
+			t.Errorf("%s: error lacks position info: %v", c.name, err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{Q1, Q2, Q3, Q4} {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("String round trip unstable:\n%s\n%s", q1, q2)
+		}
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := Parse("<a>{")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type = %T", err)
+	}
+	if pe.Offset <= 0 {
+		t.Errorf("offset = %d", pe.Offset)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}

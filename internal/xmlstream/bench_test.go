@@ -1,0 +1,63 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchItem() *Element {
+	return photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	it := benchItem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(it)
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	doc := Marshal(benchItem())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeStream(b *testing.B) {
+	var sb strings.Builder
+	enc := NewEncoder(&sb, "photons")
+	for i := 0; i < 64; i++ {
+		if err := enc.Encode(benchItem()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(strings.NewReader(doc))
+		for {
+			if _, err := d.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	it := benchItem()
+	p := ParsePath("coord/cel/ra")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if it.First(p) == nil {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package xmlstream provides the XML data-stream substrate: a lightweight
+// element-tree item model, a streaming parser and serializer, path
+// navigation along the child axis, and byte-size accounting.
+//
+// The paper restricts itself to element content ("attributes in XML data can
+// always be converted into corresponding elements", §2), so items are plain
+// trees of named elements whose leaves carry text.
+package xmlstream
+
+import (
+	"sort"
+	"strings"
+
+	"streamshare/internal/decimal"
+)
+
+// Element is one node of an XML item. A leaf element has Text and no
+// Children; an interior element has Children and empty Text.
+type Element struct {
+	Name     string
+	Text     string
+	Children []*Element
+}
+
+// E constructs an interior element.
+func E(name string, children ...*Element) *Element {
+	return &Element{Name: name, Children: children}
+}
+
+// T constructs a leaf element with text content.
+func T(name, text string) *Element {
+	return &Element{Name: name, Text: text}
+}
+
+// Clone returns a deep copy of e.
+func (e *Element) Clone() *Element {
+	if e == nil {
+		return nil
+	}
+	c := &Element{Name: e.Name, Text: e.Text}
+	if len(e.Children) > 0 {
+		c.Children = make([]*Element, len(e.Children))
+		for i, ch := range e.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports whether two element trees are structurally identical.
+func (e *Element) Equal(o *Element) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Name != o.Name || e.Text != o.Text || len(e.Children) != len(o.Children) {
+		return false
+	}
+	for i := range e.Children {
+		if !e.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Child returns the first direct child named name, or nil.
+func (e *Element) Child(name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Find returns all descendants reached from e by following path along the
+// child axis. An empty path yields e itself.
+func (e *Element) Find(p Path) []*Element {
+	if e == nil {
+		return nil
+	}
+	cur := []*Element{e}
+	for _, seg := range p {
+		var next []*Element
+		for _, n := range cur {
+			for _, c := range n.Children {
+				if c.Name == seg {
+					next = append(next, c)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// First returns the first element reached by path, or nil.
+func (e *Element) First(p Path) *Element {
+	if e == nil {
+		return nil
+	}
+	cur := e
+	for _, seg := range p {
+		cur = cur.Child(seg)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Value returns the concatenated text content of e's subtree.
+func (e *Element) Value() string {
+	if e == nil {
+		return ""
+	}
+	if len(e.Children) == 0 {
+		return e.Text
+	}
+	var b strings.Builder
+	e.appendValue(&b)
+	return b.String()
+}
+
+func (e *Element) appendValue(b *strings.Builder) {
+	if len(e.Children) == 0 {
+		b.WriteString(e.Text)
+		return
+	}
+	for _, c := range e.Children {
+		c.appendValue(b)
+	}
+}
+
+// Decimal parses the text content at path as a fixed-point decimal.
+// ok is false if the path is absent or the content is not numeric.
+func (e *Element) Decimal(p Path) (decimal.D, bool) {
+	n := e.First(p)
+	if n == nil {
+		return decimal.D{}, false
+	}
+	d, err := decimal.Parse(strings.TrimSpace(n.Value()))
+	if err != nil {
+		return decimal.D{}, false
+	}
+	return d, true
+}
+
+// ByteSize returns the size in bytes of e's canonical serialization. The
+// cost model's size(p) and all traffic metering are defined over this size.
+func (e *Element) ByteSize() int {
+	if e == nil {
+		return 0
+	}
+	// <name></name> plus content.
+	n := 2*len(e.Name) + 5
+	if len(e.Children) == 0 {
+		if e.Text == "" {
+			return len(e.Name) + 3 // <name/>
+		}
+		return n + len(e.Text)
+	}
+	for _, c := range e.Children {
+		n += c.ByteSize()
+	}
+	return n
+}
+
+// Prune returns a copy of e that keeps only the subtrees addressed by the
+// given paths (a projection). Interior elements on the way to a kept subtree
+// are retained; everything else is dropped. Returns nil if nothing matches.
+func (e *Element) Prune(paths []Path) *Element {
+	if e == nil {
+		return nil
+	}
+	keepSelf := false
+	for _, p := range paths {
+		if len(p) == 0 {
+			keepSelf = true
+			break
+		}
+	}
+	if keepSelf {
+		return e.Clone()
+	}
+	out := &Element{Name: e.Name, Text: e.Text}
+	for _, c := range e.Children {
+		var sub []Path
+		for _, p := range paths {
+			if len(p) > 0 && p[0] == c.Name {
+				sub = append(sub, p[1:])
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		if pc := c.Prune(sub); pc != nil {
+			out.Children = append(out.Children, pc)
+		}
+	}
+	if len(out.Children) == 0 {
+		return nil
+	}
+	out.Text = ""
+	return out
+}
+
+// Paths enumerates the leaf paths present in e's subtree, relative to e,
+// in document order without duplicates.
+func (e *Element) Paths() []Path {
+	var out []Path
+	seen := map[string]bool{}
+	var walk func(n *Element, prefix Path)
+	walk = func(n *Element, prefix Path) {
+		if len(n.Children) == 0 {
+			key := prefix.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, append(Path(nil), prefix...))
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, append(prefix, c.Name))
+		}
+	}
+	walk(e, nil)
+	return out
+}
+
+// Path addresses elements along the child axis ("/"), e.g. coord/cel/ra.
+// Wildcards, conditions, and other axes are outside WXQuery's path fragment.
+type Path []string
+
+// ParsePath splits a child-axis path such as "coord/cel/ra". Leading and
+// trailing slashes are tolerated; empty input yields an empty path.
+func ParsePath(s string) Path {
+	s = strings.Trim(s, "/")
+	if s == "" {
+		return nil
+	}
+	return Path(strings.Split(s, "/"))
+}
+
+// String renders the path in a/b/c form.
+func (p Path) String() string { return strings.Join(p, "/") }
+
+// Equal reports segment-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	for i := range q {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the concatenation p/q.
+func (p Path) Join(q Path) Path {
+	out := make(Path, 0, len(p)+len(q))
+	out = append(out, p...)
+	return append(out, q...)
+}
+
+// SortPaths orders paths lexicographically by their string form, in place.
+func SortPaths(ps []Path) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].String() < ps[j].String() })
+}
+
+// DedupPaths sorts ps and removes duplicates and paths already covered by a
+// prefix in the set (a prefix addresses the whole subtree).
+func DedupPaths(ps []Path) []Path {
+	if len(ps) == 0 {
+		return nil
+	}
+	SortPaths(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := out[len(out)-1]
+		if p.HasPrefix(last) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package xmlstream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// photon builds a stream item matching the paper's photon DTD.
+func photon(ra, dec, dx, dy, phc, en, det string) *Element {
+	return E("photon",
+		E("coord",
+			E("cel", T("ra", ra), T("dec", dec)),
+			E("det", T("dx", dx), T("dy", dy)),
+		),
+		T("phc", phc),
+		T("en", en),
+		T("det_time", det),
+	)
+}
+
+func TestFindFirst(t *testing.T) {
+	p := photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+	if got := p.First(ParsePath("coord/cel/ra")).Value(); got != "130.7" {
+		t.Errorf("ra = %q", got)
+	}
+	if got := p.First(ParsePath("en")).Value(); got != "1.5" {
+		t.Errorf("en = %q", got)
+	}
+	if p.First(ParsePath("coord/cel/nothere")) != nil {
+		t.Error("missing path should yield nil")
+	}
+	if n := len(p.Find(ParsePath("coord"))); n != 1 {
+		t.Errorf("Find(coord) returned %d nodes", n)
+	}
+	multi := E("r", T("a", "1"), T("a", "2"), E("b", T("a", "3")))
+	if n := len(multi.Find(ParsePath("a"))); n != 2 {
+		t.Errorf("Find(a) = %d matches, want 2 (child axis only)", n)
+	}
+}
+
+func TestDecimal(t *testing.T) {
+	p := photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+	d, ok := p.Decimal(ParsePath("coord/cel/dec"))
+	if !ok || d.String() != "-46.2" {
+		t.Errorf("Decimal(dec) = %v %v", d, ok)
+	}
+	if _, ok := p.Decimal(ParsePath("coord")); ok {
+		t.Error("interior node text should not parse as decimal")
+	}
+	if _, ok := p.Decimal(ParsePath("nope")); ok {
+		t.Error("missing path should not parse")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	p := photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+	c := p.Clone()
+	if !p.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.First(ParsePath("en")).Text = "9.9"
+	if p.Equal(c) {
+		t.Error("mutating clone affected original or Equal is broken")
+	}
+	if p.First(ParsePath("en")).Value() != "1.5" {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestByteSizeMatchesMarshal(t *testing.T) {
+	p := photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+	if p.ByteSize() != len(Marshal(p)) {
+		t.Errorf("ByteSize %d != len(Marshal) %d", p.ByteSize(), len(Marshal(p)))
+	}
+	empty := T("e", "")
+	if empty.ByteSize() != len(Marshal(empty)) {
+		t.Errorf("empty leaf: %d != %d", empty.ByteSize(), len(Marshal(empty)))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	p := photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+	keep := []Path{ParsePath("coord/cel/ra"), ParsePath("en")}
+	pr := p.Prune(keep)
+	if pr == nil {
+		t.Fatal("prune dropped everything")
+	}
+	if pr.First(ParsePath("coord/cel/ra")).Value() != "130.7" {
+		t.Error("kept path lost")
+	}
+	if pr.First(ParsePath("coord/cel/dec")) != nil {
+		t.Error("dec should be projected away")
+	}
+	if pr.First(ParsePath("phc")) != nil {
+		t.Error("phc should be projected away")
+	}
+	// Keeping a subtree root keeps the whole subtree.
+	pr2 := p.Prune([]Path{ParsePath("coord/cel")})
+	if pr2.First(ParsePath("coord/cel/dec")) == nil {
+		t.Error("subtree prefix should keep descendants")
+	}
+	if p.Prune([]Path{ParsePath("does/not/exist")}) != nil {
+		t.Error("no match should yield nil")
+	}
+	// Empty path keeps everything.
+	if !p.Prune([]Path{nil}).Equal(p) {
+		t.Error("empty path should keep the item")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	p := photon("1", "2", "3", "4", "5", "6", "7")
+	got := p.Paths()
+	want := []string{"coord/cel/ra", "coord/cel/dec", "coord/det/dx", "coord/det/dy", "phc", "en", "det_time"}
+	if len(got) != len(want) {
+		t.Fatalf("Paths() = %v", got)
+	}
+	for i, w := range want {
+		if got[i].String() != w {
+			t.Errorf("path %d = %s, want %s", i, got[i], w)
+		}
+	}
+}
+
+func TestPathOps(t *testing.T) {
+	p := ParsePath("/coord/cel/ra/")
+	if p.String() != "coord/cel/ra" {
+		t.Errorf("trim slashes: %s", p)
+	}
+	if !p.HasPrefix(ParsePath("coord/cel")) || p.HasPrefix(ParsePath("coord/det")) {
+		t.Error("HasPrefix broken")
+	}
+	if got := ParsePath("a").Join(ParsePath("b/c")).String(); got != "a/b/c" {
+		t.Errorf("Join = %s", got)
+	}
+	if len(ParsePath("")) != 0 {
+		t.Error("empty path should be nil")
+	}
+}
+
+func TestDedupPaths(t *testing.T) {
+	ps := []Path{
+		ParsePath("coord/cel/ra"),
+		ParsePath("coord/cel"),
+		ParsePath("coord/cel/dec"),
+		ParsePath("en"),
+		ParsePath("en"),
+	}
+	got := DedupPaths(ps)
+	want := []string{"coord/cel", "en"}
+	if len(got) != len(want) {
+		t.Fatalf("DedupPaths = %v", got)
+	}
+	for i, w := range want {
+		if got[i].String() != w {
+			t.Errorf("dedup %d = %s, want %s", i, got[i], w)
+		}
+	}
+}
+
+// Property: Prune keeps exactly the addressed values for arbitrary subsets
+// of photon leaf paths.
+func TestQuickPruneKeepsAddressed(t *testing.T) {
+	p := photon("130.7", "-46.2", "11", "12", "77", "1.5", "100")
+	all := p.Paths()
+	f := func(mask uint8) bool {
+		var keep []Path
+		for i, pa := range all {
+			if mask&(1<<uint(i%8)) != 0 && i < 8 {
+				keep = append(keep, pa)
+			}
+		}
+		pr := p.Prune(keep)
+		for i, pa := range all {
+			kept := mask&(1<<uint(i%8)) != 0 && i < 8
+			has := pr.First(pa) != nil
+			if kept != has {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

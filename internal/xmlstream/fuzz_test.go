@@ -1,0 +1,38 @@
+package xmlstream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzDecoder asserts the stream decoder never panics and that every
+// decoded item survives a marshal/unmarshal round trip.
+func FuzzDecoder(f *testing.F) {
+	f.Add("<photons><photon><en>1.5</en></photon></photons>")
+	f.Add("<r><a x=\"1\">t</a><b/></r>")
+	f.Add("<r>")
+	f.Add("")
+	f.Add("<r><i><deep><deeper>v</deeper></deep></i></r>")
+	f.Add("not xml at all")
+	f.Fuzz(func(t *testing.T, doc string) {
+		d := NewDecoder(strings.NewReader(doc))
+		for {
+			item, err := d.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					return // malformed input is rejected, not mishandled
+				}
+				return
+			}
+			back, err := Unmarshal(Marshal(item))
+			if err != nil {
+				t.Fatalf("canonical form does not re-parse: %v\n%s", err, Marshal(item))
+			}
+			if !item.Equal(back) {
+				t.Fatalf("round trip changed item:\n%s\n%s", Marshal(item), Marshal(back))
+			}
+		}
+	})
+}

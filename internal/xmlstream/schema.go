@@ -1,0 +1,138 @@
+package xmlstream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a DTD-like tree of element names, as in the paper's photon DTD
+// (§1): each node names an element; leaves carry text content. Occurrence
+// counts are not constrained — WXQuery's data model only needs the element
+// structure.
+type Schema struct {
+	Name     string
+	Children []*Schema
+	// Leaf marks elements observed with text content (no children).
+	Leaf bool
+}
+
+// Child returns the named child schema, or nil.
+func (s *Schema) Child(name string) *Schema {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// InferSchema derives the union schema of a sample of stream items; nil for
+// an empty sample.
+func InferSchema(items []*Element) *Schema {
+	if len(items) == 0 {
+		return nil
+	}
+	root := &Schema{Name: items[0].Name}
+	for _, it := range items {
+		if it.Name != root.Name {
+			root.Name = it.Name // last writer wins; Validate flags mixtures
+		}
+		mergeSchema(root, it)
+	}
+	sortSchema(root)
+	return root
+}
+
+func mergeSchema(s *Schema, e *Element) {
+	if len(e.Children) == 0 {
+		s.Leaf = true
+		return
+	}
+	for _, c := range e.Children {
+		cs := s.Child(c.Name)
+		if cs == nil {
+			cs = &Schema{Name: c.Name}
+			s.Children = append(s.Children, cs)
+		}
+		mergeSchema(cs, c)
+	}
+}
+
+func sortSchema(s *Schema) {
+	sort.Slice(s.Children, func(i, j int) bool { return s.Children[i].Name < s.Children[j].Name })
+	for _, c := range s.Children {
+		sortSchema(c)
+	}
+}
+
+// Validate reports the first structural violation of an item against the
+// schema: a wrong item name, or an element not declared at its position.
+// Missing optional elements are fine (projections produce them).
+func (s *Schema) Validate(e *Element) error {
+	if e.Name != s.Name {
+		return fmt.Errorf("xmlstream: item <%s> does not match schema <%s>", e.Name, s.Name)
+	}
+	return s.validateChildren(e, s.Name)
+}
+
+func (s *Schema) validateChildren(e *Element, path string) error {
+	for _, c := range e.Children {
+		cs := s.Child(c.Name)
+		if cs == nil {
+			return fmt.Errorf("xmlstream: undeclared element <%s> under %s", c.Name, path)
+		}
+		if err := cs.validateChildren(c, path+"/"+c.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasPath reports whether the child-axis path exists in the schema
+// (relative to the item root).
+func (s *Schema) HasPath(p Path) bool {
+	cur := s
+	for _, seg := range p {
+		cur = cur.Child(seg)
+		if cur == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafPaths enumerates the leaf element paths, sorted.
+func (s *Schema) LeafPaths() []Path {
+	var out []Path
+	var walk func(n *Schema, prefix Path)
+	walk = func(n *Schema, prefix Path) {
+		if len(n.Children) == 0 {
+			out = append(out, append(Path(nil), prefix...))
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, append(prefix, c.Name))
+		}
+	}
+	walk(s, nil)
+	SortPaths(out)
+	return out
+}
+
+// String renders the schema as an indented tree, like the paper's DTD
+// figure.
+func (s *Schema) String() string {
+	var b strings.Builder
+	var walk func(n *Schema, depth int)
+	walk = func(n *Schema, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Name)
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,80 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferSchemaPhotonDTD(t *testing.T) {
+	items := []*Element{
+		photon("1", "2", "3", "4", "5", "6", "7"),
+		photon("8", "9", "1", "2", "3", "4", "5"),
+	}
+	s := InferSchema(items)
+	if s == nil || s.Name != "photon" {
+		t.Fatalf("schema = %+v", s)
+	}
+	for _, p := range []string{"coord/cel/ra", "coord/cel/dec", "coord/det/dx", "coord/det/dy", "phc", "en", "det_time"} {
+		if !s.HasPath(ParsePath(p)) {
+			t.Errorf("schema lacks %s", p)
+		}
+	}
+	if s.HasPath(ParsePath("coord/cel/nope")) {
+		t.Error("phantom path found")
+	}
+	leaves := s.LeafPaths()
+	if len(leaves) != 7 {
+		t.Errorf("leaf paths = %v", leaves)
+	}
+	// The rendered tree mirrors the paper's DTD figure.
+	str := s.String()
+	if !strings.HasPrefix(str, "photon\n") || !strings.Contains(str, "    cel\n      dec") {
+		t.Errorf("rendered schema:\n%s", str)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := InferSchema([]*Element{photon("1", "2", "3", "4", "5", "6", "7")})
+	ok := photon("9", "9", "9", "9", "9", "9", "9")
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("valid photon rejected: %v", err)
+	}
+	// Projected items (missing elements) remain valid.
+	pruned := ok.Prune([]Path{ParsePath("en")})
+	if err := s.Validate(pruned); err != nil {
+		t.Errorf("projected photon rejected: %v", err)
+	}
+	// Undeclared elements are flagged with their location.
+	bad := photon("1", "2", "3", "4", "5", "6", "7")
+	bad.Children = append(bad.Children, T("rogue", "x"))
+	if err := s.Validate(bad); err == nil || !strings.Contains(err.Error(), "rogue") {
+		t.Errorf("rogue element: %v", err)
+	}
+	deep := photon("1", "2", "3", "4", "5", "6", "7")
+	deep.First(ParsePath("coord/cel")).Children = append(
+		deep.First(ParsePath("coord/cel")).Children, T("rz", "1"))
+	if err := s.Validate(deep); err == nil || !strings.Contains(err.Error(), "photon/coord/cel") {
+		t.Errorf("nested rogue element: %v", err)
+	}
+	// Wrong item name.
+	if err := s.Validate(E("meteor")); err == nil {
+		t.Error("wrong item name accepted")
+	}
+}
+
+func TestInferSchemaEmpty(t *testing.T) {
+	if InferSchema(nil) != nil {
+		t.Error("empty sample should infer no schema")
+	}
+}
+
+func TestInferSchemaUnionAcrossItems(t *testing.T) {
+	items := []*Element{
+		E("i", T("a", "1")),
+		E("i", T("b", "2")),
+	}
+	s := InferSchema(items)
+	if !s.HasPath(ParsePath("a")) || !s.HasPath(ParsePath("b")) {
+		t.Error("schema should union element sets across items")
+	}
+}

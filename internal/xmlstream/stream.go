@@ -1,0 +1,198 @@
+package xmlstream
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrNoRoot reports input that ends before a stream root element opens.
+var ErrNoRoot = errors.New("xmlstream: no root element")
+
+// Decoder reads a stream document of the form
+//
+//	<root> <item>…</item> <item>…</item> … </root>
+//
+// and yields one item element at a time, so arbitrarily long (conceptually
+// infinite) streams are processed without buffering the document.
+type Decoder struct {
+	d      *xml.Decoder
+	root   string
+	opened bool
+	done   bool
+	attrs  bool
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{d: xml.NewDecoder(r)}
+}
+
+// ConvertAttributes makes the decoder turn XML attributes into equivalent
+// child elements (<p a="1"/> becomes <p><a>1</a></p>). The paper restricts
+// the data model to elements because "attributes in XML data can always be
+// converted into corresponding elements" (§2); this performs that
+// conversion at ingestion.
+func (s *Decoder) ConvertAttributes() *Decoder {
+	s.attrs = true
+	return s
+}
+
+// Root returns the stream's root element name. It is empty until the first
+// call to Next has consumed the opening tag.
+func (s *Decoder) Root() string { return s.root }
+
+// Next returns the next item element, or io.EOF after the root closes.
+func (s *Decoder) Next() (*Element, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	for {
+		tok, err := s.d.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) && !s.opened {
+				return nil, ErrNoRoot
+			}
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if !s.opened {
+				s.opened = true
+				s.root = t.Name.Local
+				continue
+			}
+			return s.readElement(t)
+		case xml.EndElement:
+			if s.opened && t.Name.Local == s.root {
+				s.done = true
+				return nil, io.EOF
+			}
+		}
+	}
+}
+
+func (s *Decoder) readElement(start xml.StartElement) (*Element, error) {
+	e := &Element{Name: start.Name.Local}
+	if s.attrs {
+		for _, a := range start.Attr {
+			e.Children = append(e.Children, T(a.Name.Local, a.Value))
+		}
+	}
+	var text strings.Builder
+	for {
+		tok, err := s.d.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlstream: inside <%s>: %w", e.Name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			c, err := s.readElement(t)
+			if err != nil {
+				return nil, err
+			}
+			e.Children = append(e.Children, c)
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			switch txt := strings.TrimSpace(text.String()); {
+			case len(e.Children) == 0:
+				e.Text = txt
+			case s.attrs && txt != "":
+				// An attributed leaf's text survives the attribute
+				// conversion as a value child element.
+				e.Children = append(e.Children, T("value", txt))
+			}
+			return e, nil
+		}
+	}
+}
+
+// Encoder writes a stream document item by item.
+type Encoder struct {
+	w      io.Writer
+	root   string
+	opened bool
+	n      int64
+}
+
+// NewEncoder returns an Encoder that writes a document rooted at root.
+func NewEncoder(w io.Writer, root string) *Encoder {
+	return &Encoder{w: w, root: root}
+}
+
+// Encode appends one item to the stream document.
+func (e *Encoder) Encode(item *Element) error {
+	if !e.opened {
+		if err := e.write("<" + e.root + ">"); err != nil {
+			return err
+		}
+		e.opened = true
+	}
+	return e.write(Marshal(item))
+}
+
+// Close emits the closing root tag. Encode must not be called afterwards.
+func (e *Encoder) Close() error {
+	if !e.opened {
+		if err := e.write("<" + e.root + ">"); err != nil {
+			return err
+		}
+		e.opened = true
+	}
+	return e.write("</" + e.root + ">")
+}
+
+// BytesWritten reports the total bytes emitted so far.
+func (e *Encoder) BytesWritten() int64 { return e.n }
+
+func (e *Encoder) write(s string) error {
+	n, err := io.WriteString(e.w, s)
+	e.n += int64(n)
+	return err
+}
+
+// Marshal renders an element tree in the canonical form counted by
+// Element.ByteSize: no indentation, <name/> for empty leaves.
+func Marshal(e *Element) string {
+	var b strings.Builder
+	marshalTo(&b, e)
+	return b.String()
+}
+
+func marshalTo(b *strings.Builder, e *Element) {
+	if e == nil {
+		return
+	}
+	if len(e.Children) == 0 && e.Text == "" {
+		b.WriteByte('<')
+		b.WriteString(e.Name)
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+	if len(e.Children) == 0 {
+		b.WriteString(e.Text)
+	} else {
+		for _, c := range e.Children {
+			marshalTo(b, c)
+		}
+	}
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+}
+
+// Unmarshal parses a single element document, e.g. one stream item.
+func Unmarshal(s string) (*Element, error) {
+	d := NewDecoder(strings.NewReader("<x>" + s + "</x>"))
+	item, err := d.Next()
+	if err != nil {
+		return nil, err
+	}
+	return item, nil
+}

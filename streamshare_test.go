@@ -1,0 +1,145 @@
+package streamshare_test
+
+import (
+	"testing"
+
+	"streamshare"
+	"streamshare/internal/photons"
+)
+
+const velaQuery = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>`
+
+const rxjQuery = `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+  and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/en } { $p/det_time } </rxj> }
+</photons>`
+
+func lineNet() *streamshare.Network {
+	net := streamshare.NewNetwork()
+	for _, id := range []streamshare.PeerID{"SP0", "SP1", "SP2"} {
+		net.AddPeer(streamshare.Peer{ID: id, Super: true, Capacity: 10000, PerfIndex: 1})
+	}
+	net.Connect("SP0", "SP1", 12_500_000)
+	net.Connect("SP1", "SP2", 12_500_000)
+	return net
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys := streamshare.NewSystem(lineNet(), streamshare.Config{})
+	items := photons.NewGenerator(photons.DefaultConfig(), 9).Generate(1000)
+	if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SP0", items, 100); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sys.Subscribe(velaQuery, "SP1", streamshare.StreamSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sys.Subscribe(rxjQuery, "SP2", streamshare.StreamSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Inputs[0].Feed.Parent != s1.Inputs[0].Feed {
+		t.Error("second query should reuse the first query's stream")
+	}
+	res, err := sys.Simulate(map[string][]*streamshare.Item{"photons": items}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results["q1"] == 0 || res.Results["q2"] == 0 {
+		t.Errorf("results = %v", res.Results)
+	}
+	if len(sys.Streams()) != 3 || len(sys.Subscriptions()) != 2 {
+		t.Errorf("streams=%d subs=%d", len(sys.Streams()), len(sys.Subscriptions()))
+	}
+}
+
+func TestRunDistributedPublic(t *testing.T) {
+	build := func() (*streamshare.System, []*streamshare.Item) {
+		sys := streamshare.NewSystem(lineNet(), streamshare.Config{})
+		items := photons.NewGenerator(photons.DefaultConfig(), 9).Generate(600)
+		if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SP0", items, 100); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Subscribe(velaQuery, "SP2", streamshare.StreamSharing); err != nil {
+			t.Fatal(err)
+		}
+		return sys, items
+	}
+	simSys, items := build()
+	sim, err := simSys.Simulate(map[string][]*streamshare.Item{"photons": items}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distSys, items2 := build()
+	dist, err := distSys.RunDistributed(map[string][]*streamshare.Item{"photons": items2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Results["q1"] != dist.Results["q1"] || dist.Results["q1"] == 0 {
+		t.Errorf("simulator %d vs distributed %d results", sim.Results["q1"], dist.Results["q1"])
+	}
+	if sim.Metrics.TotalBytes() != dist.Metrics.TotalBytes() {
+		t.Errorf("traffic mismatch: %v vs %v", sim.Metrics.TotalBytes(), dist.Metrics.TotalBytes())
+	}
+}
+
+func TestUnsubscribePublic(t *testing.T) {
+	sys := streamshare.NewSystem(lineNet(), streamshare.Config{})
+	items := photons.NewGenerator(photons.DefaultConfig(), 4).Generate(300)
+	if _, err := sys.RegisterStreamItems("photons", "photons/photon", "SP0", items, 100); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sys.Subscribe(velaQuery, "SP2", streamshare.StreamSharing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Explain() == "" {
+		t.Error("Explain should describe the plan")
+	}
+	if err := sys.Unsubscribe(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Subscriptions()) != 0 || len(sys.Streams()) != 1 {
+		t.Error("unsubscribe did not tear down the plan")
+	}
+	if err := sys.RepairFuzzyOrder("photons", "det_time", 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	q, err := streamshare.ParseQuery(velaQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := streamshare.BuildProperties(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := streamshare.ParseQuery(rxjQuery)
+	p2, _ := streamshare.BuildProperties(q2)
+	if !streamshare.Match(p1.Result(), p2) {
+		t.Error("Q2 should match Q1's stream (the paper's example)")
+	}
+	if streamshare.Match(p2.Result(), p1) {
+		t.Error("Q1 must not match Q2's narrower stream")
+	}
+	if streamshare.ParsePath("coord/cel/ra").String() != "coord/cel/ra" {
+		t.Error("ParsePath broken")
+	}
+	st := streamshare.CollectStats("photons", "photon",
+		photons.NewGenerator(photons.DefaultConfig(), 1).Generate(100), 50)
+	if st.AvgItemSize <= 0 {
+		t.Error("stats collection broken")
+	}
+}
