@@ -6,6 +6,13 @@
 //	experiments -table 1    Table 1: query registration times
 //	experiments -rejection  the constrained-capacity rejection experiment
 //	experiments -all        everything (default)
+//	experiments -json       additionally write BENCH_<rev>.json with the
+//	                        measured series (rev = current git commit, "dev"
+//	                        outside a checkout)
+//
+// -trace prints every registration's planning decision (candidate streams,
+// match outcomes, cost breakdowns); -metrics dumps each run's metrics
+// registry snapshot.
 //
 // Absolute numbers depend on the synthetic substrate (see DESIGN.md); the
 // paper's shape — who wins, by what factor, where the peaks are — is what
@@ -13,10 +20,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -26,29 +35,102 @@ import (
 
 var strategies = []core.Strategy{core.DataShipping, core.QueryShipping, core.StreamSharing}
 
+var (
+	showMetrics = flag.Bool("metrics", false, "dump each run's metrics registry snapshot")
+	showTrace   = flag.Bool("trace", false, "print each registration's planning decision trace")
+)
+
+// figData holds one figure's measured series: per-label values for the three
+// strategies in DS, QS, SS order.
+type figData struct {
+	CPULabels     []string              `json:"cpuLabels"`
+	CPU           map[string][3]float64 `json:"cpuPercent"`
+	TrafficLabels []string              `json:"trafficLabels"`
+	Traffic       map[string][3]float64 `json:"traffic"`
+	TrafficUnit   string                `json:"trafficUnit"`
+}
+
+// table1Row is one strategy's registration-time summary over both scenarios,
+// in milliseconds.
+type table1Row struct {
+	Strategy string  `json:"strategy"`
+	Avg1     float64 `json:"avgMs1"`
+	Avg2     float64 `json:"avgMs2"`
+	Min1     float64 `json:"minMs1"`
+	Min2     float64 `json:"minMs2"`
+	Max1     float64 `json:"maxMs1"`
+	Max2     float64 `json:"maxMs2"`
+}
+
+// rejRow is one strategy's rejection count next to the paper's.
+type rejRow struct {
+	Strategy string `json:"strategy"`
+	Rejected int    `json:"rejected"`
+	Paper    int    `json:"paper"`
+}
+
+// benchReport is the -json output: everything the run measured, keyed the
+// way EXPERIMENTS.md discusses it.
+type benchReport struct {
+	Rev       string      `json:"rev"`
+	Items     int         `json:"items"`
+	Fig6      *figData    `json:"fig6,omitempty"`
+	Fig7      *figData    `json:"fig7,omitempty"`
+	Table1    []table1Row `json:"table1,omitempty"`
+	Rejection []rejRow    `json:"rejection,omitempty"`
+}
+
 func main() {
 	fig := flag.Int("fig", 0, "reproduce figure 6 or 7")
 	table := flag.Int("table", 0, "reproduce table 1")
 	rejection := flag.Bool("rejection", false, "run the rejection experiment")
 	all := flag.Bool("all", false, "run everything")
 	items := flag.Int("items", 3000, "photons per stream to simulate")
+	jsonOut := flag.Bool("json", false, "write BENCH_<rev>.json with the measured series")
 	flag.Parse()
 
 	if !*all && *fig == 0 && *table == 0 && !*rejection {
 		*all = true
 	}
+	report := &benchReport{Rev: gitRev(), Items: *items}
 	if *all || *fig == 6 {
-		figure6(*items)
+		report.Fig6 = figure6(*items)
 	}
 	if *all || *fig == 7 {
-		figure7(*items)
+		report.Fig7 = figure7(*items)
 	}
 	if *all || *table == 1 {
-		table1(*items)
+		report.Table1 = table1(*items)
 	}
 	if *all || *rejection {
-		rejectionExperiment(*items)
+		report.Rejection = rejectionExperiment(*items)
 	}
+	if *jsonOut {
+		name := fmt.Sprintf("BENCH_%s.json", report.Rev)
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", name)
+	}
+}
+
+// gitRev returns the current short commit hash, or "dev" outside a git
+// checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func runAll(s *scenario.Scenario) map[core.Strategy]*scenario.Result {
@@ -59,8 +141,26 @@ func runAll(s *scenario.Scenario) map[core.Strategy]*scenario.Result {
 			log.Fatalf("%s: %v", strat, err)
 		}
 		out[strat] = r
+		dumpObs(strat, r.Engine)
 	}
 	return out
+}
+
+// dumpObs prints the per-run observability output requested by -trace and
+// -metrics.
+func dumpObs(strat core.Strategy, eng *core.Engine) {
+	if *showTrace {
+		fmt.Printf("--- decision traces (%s) ---\n", strat)
+		for _, d := range eng.Obs().Tracer.Recent(0) {
+			for _, line := range d.Lines() {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+	if *showMetrics {
+		fmt.Printf("--- metrics snapshot (%s) ---\n", strat)
+		eng.Obs().Metrics.Snapshot().WriteText(os.Stdout)
+	}
 }
 
 func header(title string) {
@@ -93,72 +193,69 @@ func bars(labels []string, series map[string][3]float64, unit string) {
 	}
 }
 
-func figure6(items int) {
+func figure6(items int) *figData {
 	s := scenario.Scenario1(items)
 	res := runAll(s)
+	d := &figData{CPU: map[string][3]float64{}, Traffic: map[string][3]float64{}, TrafficUnit: "kbps"}
 
-	header("Figure 6 (left): extended example scenario — avg. CPU load (%)")
-	cpu := map[string][3]float64{}
-	var peers []string
 	for _, p := range s.Net.SuperPeers() {
-		peers = append(peers, string(p))
-		cpu[string(p)] = [3]float64{
+		d.CPULabels = append(d.CPULabels, string(p))
+		d.CPU[string(p)] = [3]float64{
 			res[core.DataShipping].Sim.AvgCPUPercent(s.Net, p),
 			res[core.QueryShipping].Sim.AvgCPUPercent(s.Net, p),
 			res[core.StreamSharing].Sim.AvgCPUPercent(s.Net, p),
 		}
 	}
-	bars(peers, cpu, "%")
-
-	header("Figure 6 (right): avg. network traffic (kbps) per connection")
-	traffic := map[string][3]float64{}
-	var links []string
 	for _, l := range s.Net.Links() {
-		links = append(links, l.String())
-		traffic[l.String()] = [3]float64{
+		d.TrafficLabels = append(d.TrafficLabels, l.String())
+		d.Traffic[l.String()] = [3]float64{
 			res[core.DataShipping].Sim.LinkKbps(l),
 			res[core.QueryShipping].Sim.LinkKbps(l),
 			res[core.StreamSharing].Sim.LinkKbps(l),
 		}
 	}
-	bars(links, traffic, "kbps")
+
+	header("Figure 6 (left): extended example scenario — avg. CPU load (%)")
+	bars(d.CPULabels, d.CPU, "%")
+	header("Figure 6 (right): avg. network traffic (kbps) per connection")
+	bars(d.TrafficLabels, d.Traffic, d.TrafficUnit)
+	return d
 }
 
-func figure7(items int) {
+func figure7(items int) *figData {
 	s := scenario.Scenario2(items)
 	res := runAll(s)
+	d := &figData{CPU: map[string][3]float64{}, Traffic: map[string][3]float64{}, TrafficUnit: "MBit"}
 
-	header("Figure 7 (left): 4×4 grid scenario — avg. CPU load (%)")
-	cpu := map[string][3]float64{}
-	var peers []string
 	for _, p := range s.Net.SuperPeers() {
-		peers = append(peers, string(p))
-		cpu[string(p)] = [3]float64{
+		d.CPULabels = append(d.CPULabels, string(p))
+		d.CPU[string(p)] = [3]float64{
 			res[core.DataShipping].Sim.AvgCPUPercent(s.Net, p),
 			res[core.QueryShipping].Sim.AvgCPUPercent(s.Net, p),
 			res[core.StreamSharing].Sim.AvgCPUPercent(s.Net, p),
 		}
-	}
-	bars(peers, cpu, "%")
-
-	header("Figure 7 (right): acc. network traffic (MBit) per super-peer (in+out)")
-	traffic := map[string][3]float64{}
-	for _, p := range s.Net.SuperPeers() {
-		traffic[string(p)] = [3]float64{
+		d.TrafficLabels = append(d.TrafficLabels, string(p))
+		d.Traffic[string(p)] = [3]float64{
 			res[core.DataShipping].Sim.PeerMbit(p),
 			res[core.QueryShipping].Sim.PeerMbit(p),
 			res[core.StreamSharing].Sim.PeerMbit(p),
 		}
 	}
-	bars(peers, traffic, "MBit")
+
+	header("Figure 7 (left): 4×4 grid scenario — avg. CPU load (%)")
+	bars(d.CPULabels, d.CPU, "%")
+	header("Figure 7 (right): acc. network traffic (MBit) per super-peer (in+out)")
+	bars(d.TrafficLabels, d.Traffic, d.TrafficUnit)
+	return d
 }
 
-func table1(items int) {
+func table1(items int) []table1Row {
 	header("Table 1: query registration times (ms)")
 	fmt.Printf("%-16s %10s %10s %10s %10s %10s %10s\n", "Scenario",
 		"Avg 1", "Avg 2", "Min 1", "Min 2", "Max 1", "Max 2")
 	s1 := scenario.Scenario1(items / 4)
 	s2 := scenario.Scenario2(items / 4)
+	var rows []table1Row
 	for _, strat := range strategies {
 		r1, err := s1.Run(strat, core.Config{})
 		if err != nil {
@@ -168,29 +265,42 @@ func table1(items int) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		dumpObs(strat, r1.Engine)
+		dumpObs(strat, r2.Engine)
 		a, b := r1.Summary(), r2.Summary()
-		fmt.Printf("%-16s %10s %10s %10s %10s %10s %10s\n", strat,
+		rows = append(rows, table1Row{
+			Strategy: strat.String(),
+			Avg1:     ms(a.Avg), Avg2: ms(b.Avg),
+			Min1: ms(a.Min), Min2: ms(b.Min),
+			Max1: ms(a.Max), Max2: ms(b.Max),
+		})
+		fmt.Printf("%-16s %10.0f %10.0f %10.0f %10.0f %10.0f %10.0f\n", strat,
 			ms(a.Avg), ms(b.Avg), ms(a.Min), ms(b.Min), ms(a.Max), ms(b.Max))
 	}
 	fmt.Println("(measured algorithm time plus modeled control-message latency;")
 	fmt.Println(" paper: DS 931/1363, QS 890/1287, SS 2153/3558 ms averages)")
+	return rows
 }
 
-func ms(d time.Duration) string {
-	return fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond))
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
-func rejectionExperiment(items int) {
+func rejectionExperiment(items int) []rejRow {
 	header("Rejection experiment: peers at 10% capacity, links at 1 Mbit/s")
 	s := scenario.Scenario2(items/4).Constrained(0.10, 125_000)
 	fmt.Printf("%-16s %s\n", "Strategy", "Rejected of 100 queries (paper)")
 	paper := map[core.Strategy]int{core.DataShipping: 47, core.QueryShipping: 35, core.StreamSharing: 2}
+	var rows []rejRow
 	for _, strat := range strategies {
 		r, err := s.Run(strat, core.Config{Admission: true})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", strat, err)
 			continue
 		}
+		dumpObs(strat, r.Engine)
+		rows = append(rows, rejRow{Strategy: strat.String(), Rejected: r.Rejected, Paper: paper[strat]})
 		fmt.Printf("%-16s %d (%d)\n", strat, r.Rejected, paper[strat])
 	}
+	return rows
 }

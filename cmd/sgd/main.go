@@ -14,13 +14,20 @@
 //	OK q1
 //	.
 //	RUN 1000
+//
+// With -http an introspection endpoint is served alongside: /metricz dumps
+// the engine's metrics registry as text, /debug/vars (expvar) exposes the
+// same snapshot as JSON, and /debug/pprof/* provides the usual profiles.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 
 	"streamshare/internal/core"
 	"streamshare/internal/network"
@@ -31,6 +38,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	httpAddr := flag.String("http", "", "optional HTTP introspection address (/metricz, expvar, pprof)")
 	grid := flag.Int("grid", 3, "grid side length (n×n super-peers)")
 	capacity := flag.Float64("capacity", 50000, "peer capacity (work units/s)")
 	bandwidth := flag.Float64("bandwidth", 12_500_000, "link bandwidth (bytes/s)")
@@ -65,10 +73,35 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *httpAddr != "" {
+		go serveHTTP(*httpAddr, eng)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("sgd: %d super-peers, stream photons at SP0, listening on %s", *grid**grid, ln.Addr())
 	server.New(eng, cfg).Serve(ln)
+}
+
+// serveHTTP exposes the engine's metrics registry and the standard Go
+// introspection handlers on a side port.
+func serveHTTP(addr string, eng *core.Engine) {
+	expvar.Publish("streamshare", expvar.Func(func() any {
+		return eng.Obs().Metrics.Snapshot()
+	}))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		eng.Obs().Metrics.Snapshot().WriteText(w)
+	})
+	log.Printf("sgd: introspection on http://%s/metricz", addr)
+	log.Println(http.ListenAndServe(addr, mux))
 }

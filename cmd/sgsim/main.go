@@ -37,6 +37,8 @@ func main() {
 	bandwidth := flag.Float64("bandwidth", 12_500_000, "link bandwidth (bytes/s)")
 	gamma := flag.Float64("gamma", 0.5, "cost weighting γ (traffic vs load)")
 	configPath := flag.String("config", "", "JSON scenario description (overrides -grid/-queries)")
+	showMetrics := flag.Bool("metrics", false, "dump the metrics registry snapshot after the run")
+	showTrace := flag.Bool("trace", false, "print the planning decision trace of every registration")
 	flag.Parse()
 
 	var strat core.Strategy
@@ -52,7 +54,7 @@ func main() {
 	}
 
 	if *configPath != "" {
-		runConfig(*configPath, strat, *items, *admission, *gamma)
+		runConfig(*configPath, strat, *items, *admission, *gamma, *showMetrics, *showTrace)
 		return
 	}
 
@@ -116,10 +118,28 @@ func main() {
 	for _, p := range n.SuperPeers() {
 		fmt.Printf("  %-6s %6.2f\n", p, res.AvgCPUPercent(n, p))
 	}
+	dumpObs(eng, *showMetrics, *showTrace)
+}
+
+// dumpObs prints the requested observability output: the recorded decision
+// traces (candidate tables) and/or a metrics registry snapshot.
+func dumpObs(eng *core.Engine, metrics, trace bool) {
+	if trace {
+		fmt.Println("decision traces:")
+		for _, d := range eng.Obs().Tracer.Recent(0) {
+			for _, line := range d.Lines() {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+	if metrics {
+		fmt.Println("metrics snapshot:")
+		eng.Obs().Metrics.Snapshot().WriteText(os.Stdout)
+	}
 }
 
 // runConfig executes a JSON-described scenario.
-func runConfig(path string, strat core.Strategy, items int, admission bool, gamma float64) {
+func runConfig(path string, strat core.Strategy, items int, admission bool, gamma float64, showMetrics, showTrace bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -148,4 +168,5 @@ func runConfig(path string, strat core.Strategy, items int, admission bool, gamm
 	for _, p := range s.Net.SuperPeers() {
 		fmt.Printf("  %-6s %6.2f\n", p, r.Sim.AvgCPUPercent(s.Net, p))
 	}
+	dumpObs(r.Engine, showMetrics, showTrace)
 }

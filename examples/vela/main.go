@@ -89,6 +89,11 @@ func run(strat streamshare.Strategy, items []*streamshare.Item, verbose bool) fl
 			}
 			fmt.Printf("  %-34s → %s: operators at %s (reusing %s), stream routed %v\n",
 				q.name, q.target, feed.Tap, src, feed.Route)
+			// The planning decision: every candidate stream the search saw,
+			// with match outcome, rejection reason and cost breakdown.
+			for _, line := range sub.Trace.Lines()[1:] {
+				fmt.Printf("      %s\n", line)
+			}
 		}
 	}
 	res, err := sys.Simulate(map[string][]*streamshare.Item{"photons": items}, true)

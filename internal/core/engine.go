@@ -16,6 +16,7 @@ import (
 	"streamshare/internal/cost"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/properties"
 	"streamshare/internal/stats"
 	"streamshare/internal/wxquery"
@@ -123,6 +124,10 @@ type Subscription struct {
 	Inputs []*SubInput
 	// Reg reports how the registration went.
 	Reg RegStats
+	// Trace records the planning decision: every candidate stream the search
+	// considered, per-candidate match outcomes and rejection reasons, cost
+	// breakdowns, and the winning plan.
+	Trace *obs.DecisionTrace
 }
 
 // Explain renders the installed evaluation plan in a human-readable form:
@@ -201,6 +206,11 @@ type Config struct {
 	ValidatePaths bool
 	// NoMinimize skips predicate-graph minimization (ablation).
 	NoMinimize bool
+	// Obs injects a shared observability layer (metrics registry + decision
+	// tracer); nil gives the engine a private one. Instrumentation is always
+	// on — it is cheap enough to leave enabled (atomic counters, bounded
+	// trace ring).
+	Obs *obs.Observer
 }
 
 // Engine is a StreamGlobe-style data stream management system instance over
@@ -210,6 +220,7 @@ type Engine struct {
 	Cfg Config
 	Est *cost.Estimator
 
+	obs       *obs.Observer
 	originals map[string]*Deployed
 	origStats map[string]*stats.Stream
 	deployed  []*Deployed
@@ -226,9 +237,13 @@ func NewEngine(net *network.Network, cfg Config) *Engine {
 	if cfg.Model.BLoad == nil {
 		cfg.Model = cost.DefaultModel()
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewObserver()
+	}
 	return &Engine{
 		Net:       net,
 		Cfg:       cfg,
+		obs:       cfg.Obs,
 		Est:       cost.NewEstimator(cfg.Model, map[string]*stats.Stream{}),
 		originals: map[string]*Deployed{},
 		origStats: map[string]*stats.Stream{},
@@ -261,7 +276,27 @@ func (e *Engine) RegisterStream(name string, itemPath xmlstream.Path, at network
 	e.origStats[name] = st
 	e.Est.Stats[name] = st
 	e.deployed = append(e.deployed, d)
+	e.obs.Metrics.Counter("core.streams.registered").Inc()
+	e.obs.Metrics.Gauge("core.streams.deployed").Set(float64(len(e.deployed)))
 	return d, nil
+}
+
+// Obs returns the engine's observability layer: the metrics registry every
+// subsystem feeds and the tracer holding recent Subscribe decision traces.
+func (e *Engine) Obs() *obs.Observer { return e.obs }
+
+// publishUse mirrors the analytic reserved usage into per-link and per-peer
+// gauges so snapshots show the current bandwidth/load reservation state.
+func (e *Engine) publishUse() {
+	reg := e.obs.Metrics
+	for l, b := range e.linkUse {
+		reg.Gauge("core.link_use." + l.String()).Set(b)
+	}
+	for p, w := range e.peerUse {
+		reg.Gauge("core.peer_use." + string(p)).Set(w)
+	}
+	reg.Gauge("core.streams.deployed").Set(float64(len(e.deployed)))
+	reg.Gauge("core.subscriptions.active").Set(float64(len(e.subs)))
 }
 
 // RepairFuzzyOrder attaches a fixed-size sort buffer to an original stream
@@ -275,7 +310,7 @@ func (e *Engine) RepairFuzzyOrder(stream string, ref xmlstream.Path, size int) e
 	if d == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, stream)
 	}
-	d.Residual = exec.NewPipeline(exec.NewSortBuffer(ref, size))
+	d.Residual = exec.Instrument(exec.NewPipeline(exec.NewSortBuffer(ref, size)), e.obs.Metrics, "exec.op")
 	return nil
 }
 

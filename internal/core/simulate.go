@@ -97,6 +97,12 @@ func (e *Engine) Simulate(items map[string][]*xmlstream.Element, collect bool) (
 		}
 		s.flush(d)
 	}
+	reg := e.obs.Metrics
+	reg.Counter("sim.runs").Inc()
+	for _, n := range s.res.Results {
+		reg.Counter("sim.results.items").Add(float64(n))
+	}
+	s.res.Metrics.Publish(reg, "sim")
 	return s.res, nil
 }
 

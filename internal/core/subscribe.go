@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"streamshare/internal/cost"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/predicate"
 	"streamshare/internal/properties"
 	"streamshare/internal/wxquery"
@@ -39,24 +41,48 @@ type candidate struct {
 // using the engine's configured strategy and installs the chosen evaluation
 // plan. It returns ErrRejected when admission control is enabled and every
 // plan would overload a peer or network connection.
+//
+// Every call — successful or not — leaves a decision trace in the engine's
+// observer recording candidate streams, match outcomes, cost breakdowns and
+// the winner; successful registrations also keep it on Subscription.Trace.
 func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*Subscription, error) {
 	started := time.Now()
+	reg := e.obs.Metrics
+	reg.Counter("core.subscribe.total").Inc()
+	dt := &obs.DecisionTrace{
+		SubID:    fmt.Sprintf("q%d", len(e.subs)+1),
+		Strategy: strat.String(),
+		Target:   string(target),
+		Query:    src,
+	}
+	fail := func(err error) (*Subscription, error) {
+		dt.Err = err.Error()
+		dt.Duration = time.Since(started)
+		e.obs.Tracer.Record(dt)
+		if errors.Is(err, ErrRejected) {
+			reg.Counter("core.subscribe.rejected").Inc()
+		} else {
+			reg.Counter("core.subscribe.errors").Inc()
+		}
+		return nil, err
+	}
 	if e.Net.Peer(target) == nil {
-		return nil, fmt.Errorf("core: unknown peer %s", target)
+		return fail(fmt.Errorf("core: unknown peer %s", target))
 	}
 	q, err := wxquery.Parse(src)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	props, err := properties.Build(q, properties.Options{NoMinimize: e.Cfg.NoMinimize})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	sub := &Subscription{
-		ID:     fmt.Sprintf("q%d", len(e.subs)+1),
+		ID:     dt.SubID,
 		Query:  q,
 		Props:  props,
 		Target: target,
+		Trace:  dt,
 	}
 	result := props.Result()
 
@@ -69,26 +95,27 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 	}
 	var plans []planned
 	for _, in := range props.Inputs {
+		it := dt.Input(in.Stream)
 		if e.originals[in.Stream] == nil {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownStream, in.Stream)
+			return fail(fmt.Errorf("%w: %q", ErrUnknownStream, in.Stream))
 		}
 		if e.Cfg.ValidatePaths {
 			if err := e.validatePaths(in); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		var c *candidate
 		var err error
 		switch strat {
 		case DataShipping:
-			c, err = e.planDataShipping(q, in, target, &sub.Reg)
+			c, err = e.planDataShipping(q, in, target, &sub.Reg, it)
 		case QueryShipping:
-			c, err = e.planQueryShipping(q, in, target, &sub.Reg)
+			c, err = e.planQueryShipping(q, in, target, &sub.Reg, it)
 		default:
-			c, err = e.planStreamSharing(in, target, &sub.Reg)
+			c, err = e.planStreamSharing(in, target, &sub.Reg, it)
 		}
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		plans = append(plans, planned{in: in, resIn: result.Input(in.Stream), cand: c})
 	}
@@ -96,12 +123,28 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 	for _, p := range plans {
 		si, err := e.install(sub, q, p.in, p.resIn, p.cand, strat)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		sub.Inputs = append(sub.Inputs, si)
 	}
 	sub.Reg.Compute = time.Since(started)
+	dt.Duration = sub.Reg.Compute
+	dt.Messages = sub.Reg.Messages
+	dt.VisitedPeers = sub.Reg.Visited
+	e.obs.Tracer.Record(dt)
 	e.subs = append(e.subs, sub)
+
+	reg.Counter("core.subscribe.installed").Inc()
+	reg.Counter("core.discovery.visited").Add(float64(sub.Reg.Visited))
+	reg.Counter("core.discovery.candidates").Add(float64(sub.Reg.Candidates))
+	reg.Counter("core.control.messages").Add(float64(sub.Reg.Messages))
+	reg.Histogram("core.subscribe.compute_seconds", obs.ExpBuckets(1e-6, 10, 8)).
+		Observe(sub.Reg.Compute.Seconds())
+	costHist := reg.Histogram("core.plan.cost", obs.ExpBuckets(1e-8, 10, 12))
+	for _, p := range plans {
+		costHist.Observe(p.cand.cost)
+	}
+	e.publishUse()
 	return sub, nil
 }
 
@@ -153,12 +196,33 @@ func (e *Engine) validatePaths(in *properties.Input) error {
 	return nil
 }
 
+func peerStrings(ps []network.PeerID) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}
+
+// traceCandidate fills a trace row's plan fields from a costed candidate.
+func (e *Engine) traceCandidate(ct *obs.CandidateTrace, c *candidate) {
+	ct.Tap = string(c.tap)
+	ct.Route = peerStrings(c.route)
+	ct.Residual = append([]string(nil), c.residualOps...)
+	ct.Cost = obs.CostBreakdown(e.Cfg.Model.Breakdown(c.usage))
+	ct.Overloaded = c.usage.Overloaded()
+}
+
 // planDataShipping routes the raw input stream to the target, once for this
 // subscription, and evaluates the whole query there.
-func (e *Engine) planDataShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats) (*candidate, error) {
+func (e *Engine) planDataShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats, it *obs.InputTrace) (*candidate, error) {
 	orig := e.originals[in.Stream]
+	it.Visited = append(it.Visited, string(orig.Tap))
+	ct := obs.CandidateTrace{Stream: orig.ID, FoundAt: string(orig.Tap), Match: true, Reason: "match"}
 	route := e.Net.ShortestPath(orig.Tap, target)
 	if route == nil {
+		ct.Err = "no path to target"
+		it.Candidates = append(it.Candidates, ct)
 		return nil, fmt.Errorf("core: no path from %s to %s", orig.Tap, target)
 	}
 	reg.Messages += 2*(len(route)-1) + 2
@@ -169,18 +233,26 @@ func (e *Engine) planDataShipping(q *wxquery.Query, in *properties.Input, target
 		return nil, err
 	}
 	e.costCandidate(c, in, opNames(full.Ops), target)
+	e.traceCandidate(&ct, c)
 	if e.Cfg.Admission && c.usage.Overloaded() {
+		it.Candidates = append(it.Candidates, ct)
 		return nil, ErrRejected
 	}
+	ct.Selected = true
+	it.Candidates = append(it.Candidates, ct)
 	return c, nil
 }
 
 // planQueryShipping evaluates the whole query at the source super-peer and
 // ships the (restructured) result.
-func (e *Engine) planQueryShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats) (*candidate, error) {
+func (e *Engine) planQueryShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats, it *obs.InputTrace) (*candidate, error) {
 	orig := e.originals[in.Stream]
+	it.Visited = append(it.Visited, string(orig.Tap))
+	ct := obs.CandidateTrace{Stream: orig.ID, FoundAt: string(orig.Tap), Match: true, Reason: "match"}
 	route := e.Net.ShortestPath(orig.Tap, target)
 	if route == nil {
+		ct.Err = "no path to target"
+		it.Candidates = append(it.Candidates, ct)
 		return nil, fmt.Errorf("core: no path from %s to %s", orig.Tap, target)
 	}
 	reg.Messages += 2*(len(route)-1) + 2
@@ -192,9 +264,13 @@ func (e *Engine) planQueryShipping(q *wxquery.Query, in *properties.Input, targe
 	c := &candidate{source: orig, tap: orig.Tap, route: route, size: size, freq: freq,
 		residualOps: opNames(full.Ops)}
 	e.costCandidate(c, in, nil, target)
+	e.traceCandidate(&ct, c)
 	if e.Cfg.Admission && c.usage.Overloaded() {
+		it.Candidates = append(it.Candidates, ct)
 		return nil, ErrRejected
 	}
+	ct.Selected = true
+	it.Candidates = append(it.Candidates, ct)
 	return c, nil
 }
 
@@ -202,14 +278,39 @@ func (e *Engine) planQueryShipping(q *wxquery.Query, in *properties.Input, targe
 // breadth-first search over the stream overlay starting at the input's
 // source super-peer, matching the properties of every stream available at
 // each visited peer and keeping the cheapest plan according to the cost
-// function C.
-func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, reg *RegStats) (*candidate, error) {
+// function C. Every considered stream is recorded in the input trace — a
+// stream discovered at several peers gets one row, at its first discovery.
+func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, reg *RegStats, it *obs.InputTrace) (*candidate, error) {
 	orig := e.originals[in.Stream]
 	vb := orig.Tap
+
+	rows := map[*Deployed]int{}
+	rowFor := func(d *Deployed, at network.PeerID) (int, bool) {
+		if i, ok := rows[d]; ok {
+			return i, false
+		}
+		it.Candidates = append(it.Candidates, obs.CandidateTrace{Stream: d.ID, FoundAt: string(at)})
+		i := len(it.Candidates) - 1
+		rows[d] = i
+		return i, true
+	}
+	chosen := map[*candidate]int{}
+	selectable := func(c *candidate) bool {
+		return !(e.Cfg.Admission && c.usage.Overloaded())
+	}
 
 	best, err := e.shareCandidate(orig, vb, in, target)
 	if err != nil {
 		return nil, err
+	}
+	if i, fresh := rowFor(orig, vb); fresh {
+		ct := &it.Candidates[i]
+		ct.Match, ct.Reason = true, "match"
+		e.traceCandidate(ct, best)
+		chosen[best] = i
+	}
+	if !selectable(best) {
+		best = nil
 	}
 	feasible := best != nil
 
@@ -228,11 +329,16 @@ func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, 
 		}
 		marked[v] = true
 		reg.Visited++
+		it.Visited = append(it.Visited, string(v))
 		for _, d := range e.availableAt(v, in.Stream) {
 			reg.Candidates++
+			i, fresh := rowFor(d, v)
 			if !properties.MatchInput(d.Input, in) {
 				// Non-matching properties do not extend the search (§3.3:
 				// following these paths cannot yield a reusable stream).
+				if fresh {
+					it.Candidates[i].Reason = properties.ExplainInputMismatch(d.Input, in)
+				}
 				continue
 			}
 			if n := d.Target(); !marked[n] && !queued[n] {
@@ -240,7 +346,20 @@ func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, 
 				queued[n] = true
 			}
 			cand, err := e.shareCandidate(d, v, in, target)
-			if err != nil || cand == nil {
+			if err != nil {
+				if fresh {
+					ct := &it.Candidates[i]
+					ct.Match, ct.Reason, ct.Err = true, "match", err.Error()
+				}
+				continue
+			}
+			if fresh {
+				ct := &it.Candidates[i]
+				ct.Match, ct.Reason = true, "match"
+				e.traceCandidate(ct, cand)
+				chosen[cand] = i
+			}
+			if !selectable(cand) {
 				continue
 			}
 			if !feasible || cand.cost < best.cost {
@@ -257,6 +376,13 @@ func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, 
 		// subscription (§6).
 		if wc := e.widenCandidate(in, target); wc != nil && (best == nil || wc.cost < best.cost) {
 			best = wc
+			ct := obs.CandidateTrace{
+				Stream: wc.widen.d.ID, FoundAt: string(wc.widen.d.Tap),
+				Match: true, Reason: "widenable", Widened: true,
+			}
+			e.traceCandidate(&ct, wc)
+			it.Candidates = append(it.Candidates, ct)
+			chosen[wc] = len(it.Candidates) - 1
 		}
 	}
 	if best == nil {
@@ -266,6 +392,9 @@ func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, 
 	if e.Cfg.Admission && best.usage.Overloaded() {
 		return nil, ErrRejected
 	}
+	if i, ok := chosen[best]; ok {
+		it.Candidates[i].Selected = true
+	}
 	return best, nil
 }
 
@@ -273,9 +402,9 @@ func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, 
 // peer v — for the subscription input in, routing the residual result to the
 // target. The duplication point is the peer on d's route closest to the
 // target (earliest on the route on ties), which is how the paper's example
-// duplicates Query 1's result at SP5 rather than at its endpoint SP1. nil is
-// returned (without error) when admission control is on and the plan
-// overloads.
+// duplicates Query 1's result at SP5 rather than at its endpoint SP1.
+// Overload handling is the caller's: the candidate is returned with its
+// usage filled either way, so rejected plans still show up in traces.
 func (e *Engine) shareCandidate(d *Deployed, v network.PeerID, in *properties.Input, target network.PeerID) (*candidate, error) {
 	var route []network.PeerID
 	for _, tap := range d.Route {
@@ -296,9 +425,6 @@ func (e *Engine) shareCandidate(d *Deployed, v network.PeerID, in *properties.In
 	c := &candidate{source: d, tap: v, route: route, size: size, freq: freq,
 		residualOps: opNames(res.Ops)}
 	e.costCandidate(c, in, []string{cost.OpRestructure}, target)
-	if e.Cfg.Admission && c.usage.Overloaded() {
-		return nil, nil
-	}
 	return c, nil
 }
 
@@ -462,6 +588,8 @@ func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *propert
 		}
 		si.Local = exec.NewPipeline(rs)
 	}
+	si.Feed.Residual = exec.Instrument(si.Feed.Residual, e.obs.Metrics, "exec.op")
+	si.Local = exec.Instrument(si.Local, e.obs.Metrics, "exec.op")
 
 	// Query-shipping results are restructured and private; data-shipping raw
 	// copies are per-subscription by definition. Only stream sharing

@@ -26,6 +26,8 @@ func (e *Engine) Unsubscribe(id string) error {
 	for _, si := range sub.Inputs {
 		e.release(si.Feed)
 	}
+	e.obs.Metrics.Counter("core.unsubscribe.total").Inc()
+	e.publishUse()
 	return nil
 }
 
@@ -38,6 +40,7 @@ func (e *Engine) release(d *Deployed) {
 	for i, x := range e.deployed {
 		if x == d {
 			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
+			e.obs.Metrics.Counter("core.streams.released").Inc()
 			break
 		}
 	}

@@ -184,6 +184,8 @@ func (e *Engine) buildWidenCandidate(d *Deployed, wIn, in *properties.Input, tar
 // stream).
 func (e *Engine) installWidening(wd *widening) {
 	d, w := wd.d, wd.w
+	e.obs.Metrics.Counter("core.widen.installed").Inc()
+	w.Residual = exec.Instrument(w.Residual, e.obs.Metrics, "exec.op")
 	// Insert w directly before d so simulation flush order stays
 	// parent-before-child.
 	for i, x := range e.deployed {
@@ -202,7 +204,7 @@ func (e *Engine) installWidening(wd *widening) {
 			continue // unreachable: child matched d, and w ⊇ d
 		}
 		child.Parent = w
-		child.Residual = res
+		child.Residual = exec.Instrument(res, e.obs.Metrics, "exec.op")
 	}
 	// d becomes a local derivation of w at its target.
 	tgt := d.Target()
@@ -211,7 +213,7 @@ func (e *Engine) installWidening(wd *widening) {
 		d.Parent = w
 		d.Tap = tgt
 		d.Route = []network.PeerID{tgt}
-		d.Residual = dRes
+		d.Residual = exec.Instrument(dRes, e.obs.Metrics, "exec.op")
 	}
 	// Usage bookkeeping: release d's old footprint, apply the new ones.
 	for l, b := range d.linkAdd {

@@ -114,6 +114,34 @@ func (m Model) Cost(u Usage) float64 {
 	return m.Gamma*lb + (1-m.Gamma)*lv
 }
 
+// Breakdown splits the cost function C(P) into its weighted terms: the
+// traffic term γ·Σ u_b(e), the load term (1−γ)·Σ u_l(v), and the weighted
+// exponential overload penalties. Total differs from Cost only by
+// floating-point association; the decision tracer records breakdowns so
+// EXPLAIN/TRACE can show why a plan won.
+type Breakdown struct {
+	Traffic, Load, Penalty, Total float64
+}
+
+// Breakdown evaluates C(P) term by term.
+func (m Model) Breakdown(u Usage) Breakdown {
+	var b Breakdown
+	var penB, penL float64
+	for _, e := range u.Links {
+		b.Traffic += e.Ub
+		penB += penalty(e.Ub, e.Ab)
+	}
+	for _, p := range u.Peers {
+		b.Load += p.Ul
+		penL += penalty(p.Ul, p.Al)
+	}
+	b.Traffic *= m.Gamma
+	b.Load *= 1 - m.Gamma
+	b.Penalty = m.Gamma*penB + (1-m.Gamma)*penL
+	b.Total = b.Traffic + b.Load + b.Penalty
+	return b
+}
+
 // Overloaded reports whether any link or peer would exceed its available
 // capacity; the rejection experiment of §4 refuses plans for which every
 // alternative is overloaded.

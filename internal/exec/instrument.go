@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"streamshare/internal/obs"
+	"streamshare/internal/xmlstream"
+)
+
+// counted decorates an operator with items-in/items-out/bytes-out counters.
+// Name is forwarded so load accounting (bload lookup by operator name) and
+// plan rendering are unaffected.
+type counted struct {
+	op       Operator
+	in, out  *obs.Counter
+	outBytes *obs.Counter
+}
+
+func (c counted) Name() string { return c.op.Name() }
+
+func (c counted) Process(item *xmlstream.Element) []*xmlstream.Element {
+	c.in.Inc()
+	outs := c.op.Process(item)
+	c.count(outs)
+	return outs
+}
+
+func (c counted) Flush() []*xmlstream.Element {
+	outs := c.op.Flush()
+	c.count(outs)
+	return outs
+}
+
+func (c counted) count(outs []*xmlstream.Element) {
+	if len(outs) == 0 {
+		return
+	}
+	c.out.Add(float64(len(outs)))
+	var bytes int
+	for _, o := range outs {
+		bytes += o.ByteSize()
+	}
+	c.outBytes.Add(float64(bytes))
+}
+
+// Instrument returns a pipeline whose operators additionally count processed
+// items into reg under <prefix>.<op-name>.{in,out,out_bytes}. Counters are
+// shared between operators of the same kind, bounding series cardinality to
+// the operator vocabulary. A nil registry or pipeline returns p unchanged;
+// instrumenting twice is idempotent per wrapper (already counted operators
+// are not re-wrapped).
+func Instrument(p *Pipeline, reg *obs.Registry, prefix string) *Pipeline {
+	if p == nil || reg == nil || len(p.Ops) == 0 {
+		return p
+	}
+	ops := make([]Operator, len(p.Ops))
+	for i, op := range p.Ops {
+		if c, ok := op.(counted); ok {
+			ops[i] = c
+			continue
+		}
+		name := prefix + "." + op.Name()
+		ops[i] = counted{
+			op:       op,
+			in:       reg.Counter(name + ".in"),
+			out:      reg.Counter(name + ".out"),
+			outBytes: reg.Counter(name + ".out_bytes"),
+		}
+	}
+	return &Pipeline{Ops: ops}
+}

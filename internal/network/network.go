@@ -13,6 +13,8 @@ package network
 import (
 	"fmt"
 	"sort"
+
+	"streamshare/internal/obs"
 )
 
 // PeerID names a peer, e.g. "SP4" or "P1".
@@ -247,6 +249,28 @@ func (m *Metrics) TotalWork() float64 {
 		t += w
 	}
 	return t
+}
+
+// Publish feeds the accumulated counters into a metrics registry under the
+// given prefix: one counter per link (<prefix>.link.bytes.<A-B>) and per
+// peer (<prefix>.peer.work.<id>), plus <prefix>.traffic.bytes and
+// <prefix>.work.units totals. Both execution backends publish through this
+// after a run, so their snapshots are directly comparable.
+func (m *Metrics) Publish(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	var tb, tw float64
+	for l, b := range m.LinkBytes {
+		reg.Counter(prefix + ".link.bytes." + l.String()).Add(b)
+		tb += b
+	}
+	for p, w := range m.PeerWork {
+		reg.Counter(prefix + ".peer.work." + string(p)).Add(w)
+		tw += w
+	}
+	reg.Counter(prefix + ".traffic.bytes").Add(tb)
+	reg.Counter(prefix + ".work.units").Add(tw)
 }
 
 // PeerBytes returns incoming plus outgoing traffic per peer (used for the

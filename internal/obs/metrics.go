@@ -1,0 +1,336 @@
+// Package obs is the observability layer of the stream-sharing system: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// histograms with snapshot and delta views) and a structured event tracer
+// that records, per Subscribe call, the full sharing decision — candidate
+// streams discovered during Algorithm 1's search, per-candidate property
+// match outcomes with rejection reasons, cost breakdowns of the generated
+// plans, and the winning plan.
+//
+// The package depends only on the standard library so every other package
+// (core, network, runtime, exec, server, commands) can feed it. Metric names
+// are flat dotted strings; per-peer and per-link series append the entity id
+// as the last segment (e.g. "core.peer_use.SP4", "sim.link.bytes.SP0-SP1").
+// Conventions used across the system:
+//
+//	core.subscribe.*        subscription registration outcomes
+//	core.discovery.*        Algorithm 1 search effort (visited, candidates)
+//	core.link_use.* / core.peer_use.*   analytic reserved usage gauges
+//	sim.*                   in-process simulator deliveries
+//	runtime.*               concurrent runtime deliveries and mailboxes
+//	exec.op.<name>.*        per-operator items in/out and bytes out
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+// The zero value is ready; Counters are cheap enough for hot paths (one
+// compare-and-swap per Add).
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter by v (v must be non-negative).
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a concurrently settable float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark update used for mailbox depths.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Add shifts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates a value distribution in fixed buckets plus count,
+// sum, min and max.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // inclusive upper bounds; one overflow bucket beyond
+	counts []uint64  // len(bounds)+1
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// ExpBuckets returns n exponential bucket bounds start, start·factor, … —
+// the usual shape for durations and sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count         uint64
+	Sum, Min, Max float64
+	Bounds        []float64
+	Counts        []uint64
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Bounds: h.bounds, // bounds are immutable after creation
+		Counts: append([]uint64(nil), h.counts...),
+	}
+}
+
+// Registry is a concurrent name→metric table. Lookups take a read lock only;
+// the metrics themselves are lock-free (counters, gauges) or finely locked
+// (histograms). Callers on hot paths should resolve their metric once and
+// hold the pointer.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent-enough point-in-time copy of every metric
+// (individual metrics are read atomically; the set is not globally frozen).
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies all current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]float64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters and histogram counts are
+// subtracted (metrics absent from prev count from zero), gauges keep their
+// current value.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]float64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		d.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		d.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		p, ok := prev.Histograms[n]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			d.Histograms[n] = h
+			continue
+		}
+		dh := HistogramSnapshot{
+			Count: h.Count - p.Count, Sum: h.Sum - p.Sum,
+			Min: h.Min, Max: h.Max, Bounds: h.Bounds,
+			Counts: make([]uint64, len(h.Counts)),
+		}
+		for i := range h.Counts {
+			dh.Counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		d.Histograms[n] = dh
+	}
+	return d
+}
+
+// fmtFloat renders metric values compactly ("3", "0.125", "1.5e+06").
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText renders the snapshot as sorted "kind name value" lines, the
+// format served by the daemon's METRICS command and /metricz endpoint.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "counter %s %s\n", n, fmtFloat(s.Counters[n]))
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "gauge %s %s\n", n, fmtFloat(s.Gauges[n]))
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "histogram %s count=%d sum=%s min=%s max=%s mean=%s\n",
+			n, h.Count, fmtFloat(h.Sum), fmtFloat(h.Min), fmtFloat(h.Max), fmtFloat(h.Mean()))
+	}
+}
+
+// Observer bundles the two halves of the observability layer. Engines always
+// carry one; sharing a single Observer across engines aggregates their
+// series.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewObserver returns an observer with an empty registry and a tracer
+// retaining the most recent 256 decision traces.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(256)}
+}

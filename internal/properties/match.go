@@ -214,31 +214,45 @@ func ExplainMismatch(p, sub *Properties) string {
 		if sin == nil {
 			return fmt.Sprintf("subscription does not read stream %q", in.Stream)
 		}
-		if !in.ItemPath.Equal(sin.ItemPath) {
-			return fmt.Sprintf("item paths differ on %q: %s vs %s", in.Stream, in.ItemPath, sin.ItemPath)
-		}
-		for i := range in.Ops {
-			o := &in.Ops[i]
-			if matchOp(o, in, sin) {
-				continue
-			}
-			switch o.Kind {
-			case OpSelect:
-				return fmt.Sprintf("subscription predicates do not imply the stream's selection [%s]", o.Sel)
-			case OpProject:
-				return fmt.Sprintf("stream projection %v lacks elements the subscription references", pathStrings(o.Out))
-			case OpAggregate:
-				return fmt.Sprintf("aggregate %s over %s is not reusable (operator, window, or result filter incompatible)",
-					o.Agg.Label(), o.Agg.Window.String())
-			case OpWindow:
-				return fmt.Sprintf("window-content stream %s requires an identical window", o.Agg.Window.String())
-			case OpUDF:
-				return fmt.Sprintf("user-defined operator %s(%s) requires an identical input vector",
-					o.UDF.Name, strings.Join(o.UDF.Params, ", "))
-			}
+		if r := ExplainInputMismatch(in, sin); r != "match" {
+			return r
 		}
 	}
 	return "no match"
+}
+
+// ExplainInputMismatch reports why the candidate stream input p cannot serve
+// the subscription input sub — or "match" when it can. It names the first
+// operator whose Algorithm 2 conditions fail; the decision tracer records
+// this as the per-candidate rejection reason.
+func ExplainInputMismatch(p, sub *Input) string {
+	if p.Stream != sub.Stream {
+		return fmt.Sprintf("different input streams: %q vs %q", p.Stream, sub.Stream)
+	}
+	if !p.ItemPath.Equal(sub.ItemPath) {
+		return fmt.Sprintf("item paths differ on %q: %s vs %s", p.Stream, p.ItemPath, sub.ItemPath)
+	}
+	for i := range p.Ops {
+		o := &p.Ops[i]
+		if matchOp(o, p, sub) {
+			continue
+		}
+		switch o.Kind {
+		case OpSelect:
+			return fmt.Sprintf("subscription predicates do not imply the stream's selection [%s]", o.Sel)
+		case OpProject:
+			return fmt.Sprintf("stream projection %v lacks elements the subscription references", pathStrings(o.Out))
+		case OpAggregate:
+			return fmt.Sprintf("aggregate %s over %s is not reusable (operator, window, or result filter incompatible)",
+				o.Agg.Label(), o.Agg.Window.String())
+		case OpWindow:
+			return fmt.Sprintf("window-content stream %s requires an identical window", o.Agg.Window.String())
+		case OpUDF:
+			return fmt.Sprintf("user-defined operator %s(%s) requires an identical input vector",
+				o.UDF.Name, strings.Join(o.UDF.Params, ", "))
+		}
+	}
+	return "match"
 }
 
 func pathStrings(ps []xmlstream.Path) []string {

@@ -39,6 +39,10 @@ type mailbox struct {
 	cond   *sync.Cond
 	q      []message
 	closed bool
+	// hwm is the high-water mark: the maximum queue depth ever observed.
+	// Unbounded mailboxes can't drop messages, so this is the one depth
+	// statistic that matters — how far a peer fell behind its producers.
+	hwm int
 }
 
 func newMailbox() *mailbox {
@@ -50,8 +54,17 @@ func newMailbox() *mailbox {
 func (m *mailbox) push(msg message) {
 	m.mu.Lock()
 	m.q = append(m.q, msg)
+	if len(m.q) > m.hwm {
+		m.hwm = len(m.q)
+	}
 	m.mu.Unlock()
 	m.cond.Signal()
+}
+
+func (m *mailbox) highWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hwm
 }
 
 // pop blocks until a message is available or the mailbox is closed.
@@ -104,6 +117,11 @@ type Runtime struct {
 	counts  map[string]int
 	items   map[string][]*xmlstream.Element
 	errs    []error
+	// msgs counts mailbox deliveries; serBytes sums serialized item bytes
+	// sent (every hop re-transmits the marshalled form). Both publish into
+	// the engine's metrics registry after the run.
+	msgs     int
+	serBytes int
 }
 
 // node is one peer actor.
@@ -199,6 +217,7 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		n.inbox.close()
 	}
 	wg.Wait()
+	r.publish()
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -206,6 +225,37 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		return nil, r.errs[0]
 	}
 	return &Result{Metrics: r.metrics, Results: r.counts, Collected: r.items}, nil
+}
+
+// MailboxHWM returns each peer's mailbox high-water mark: the deepest its
+// queue ever got during the run. Peers that never queued more than one
+// message at a time report 1 (or 0 if never addressed).
+func (r *Runtime) MailboxHWM() map[network.PeerID]int {
+	out := map[network.PeerID]int{}
+	for id, n := range r.nodes {
+		out[id] = n.inbox.highWater()
+	}
+	return out
+}
+
+// publish feeds the run's measurements into the engine's metrics registry:
+// the shared link/peer counters under the "runtime" prefix (comparable
+// one-to-one with the simulator's "sim" counters), message/serialization
+// totals, and per-peer mailbox high-water gauges.
+func (r *Runtime) publish() {
+	reg := r.eng.Obs().Metrics
+	r.mu.Lock()
+	r.metrics.Publish(reg, "runtime")
+	r.mu.Unlock()
+	r.qmu.Lock()
+	msgs, bytes := r.msgs, r.serBytes
+	r.qmu.Unlock()
+	reg.Counter("runtime.runs").Inc()
+	reg.Counter("runtime.messages").Add(float64(msgs))
+	reg.Counter("runtime.serialized.bytes").Add(float64(bytes))
+	for id, hwm := range r.MailboxHWM() {
+		reg.Gauge("runtime.mailbox.hwm." + string(id)).SetMax(float64(hwm))
+	}
 }
 
 // send enqueues a message for the peer at the given hop of the stream's
@@ -220,6 +270,10 @@ func (r *Runtime) send(m message) {
 	}
 	r.qmu.Lock()
 	r.inflight++
+	r.msgs++
+	if m.data != nil {
+		r.serBytes += len(m.data)
+	}
 	r.qmu.Unlock()
 	r.nodes[peer].inbox.push(m)
 }

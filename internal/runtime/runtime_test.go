@@ -7,6 +7,7 @@ import (
 
 	"streamshare/internal/core"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/photons"
 	"streamshare/internal/xmlstream"
 )
@@ -205,5 +206,112 @@ func TestDistributedDeterministicPerSubscription(t *testing.T) {
 				t.Fatalf("%s item %d differs across runs", id, i)
 			}
 		}
+	}
+}
+
+// TestMailboxHighWaterMark drives a mailbox through a known push/pop
+// schedule and checks the reported depth at every step: the high-water mark
+// rises with queued backlog and never falls when the queue drains.
+func TestMailboxHighWaterMark(t *testing.T) {
+	m := newMailbox()
+	if got := m.highWater(); got != 0 {
+		t.Fatalf("fresh mailbox hwm = %d, want 0", got)
+	}
+	// Push 5 without a consumer: depth peaks at 5.
+	for i := 0; i < 5; i++ {
+		m.push(message{})
+	}
+	if got := m.highWater(); got != 5 {
+		t.Fatalf("after 5 pushes hwm = %d, want 5", got)
+	}
+	// Drain 4, push 2: depth reaches only 3, hwm must hold at 5.
+	for i := 0; i < 4; i++ {
+		if _, ok := m.pop(); !ok {
+			t.Fatal("pop failed on non-empty mailbox")
+		}
+	}
+	m.push(message{})
+	m.push(message{})
+	if got := m.highWater(); got != 5 {
+		t.Fatalf("hwm after partial drain = %d, want 5 (high-water must not fall)", got)
+	}
+	// Push past the old peak: hwm follows.
+	for i := 0; i < 4; i++ {
+		m.push(message{})
+	}
+	if got := m.highWater(); got != 7 {
+		t.Fatalf("hwm after backlog of 7 = %d, want 7", got)
+	}
+}
+
+// TestRuntimePublishesMailboxHWM checks that after a run every peer has a
+// high-water gauge in the engine's metrics registry matching MailboxHWM, and
+// that the source peer (which receives every injected item) saw at least one
+// queued message.
+func TestRuntimePublishesMailboxHWM(t *testing.T) {
+	eng, items := setup(t, core.StreamSharing)
+	rt := New(eng, false)
+	if _, err := rt.Run(map[string][]*xmlstream.Element{"photons": items}); err != nil {
+		t.Fatal(err)
+	}
+	hwm := rt.MailboxHWM()
+	if len(hwm) != len(eng.Net.Peers()) {
+		t.Fatalf("MailboxHWM has %d peers, want %d", len(hwm), len(eng.Net.Peers()))
+	}
+	if hwm["SP0"] < 1 {
+		t.Errorf("source peer SP0 hwm = %d, want >= 1", hwm["SP0"])
+	}
+	snap := eng.Obs().Metrics.Snapshot()
+	for id, depth := range hwm {
+		g, ok := snap.Gauges["runtime.mailbox.hwm."+string(id)]
+		if !ok {
+			t.Errorf("no gauge for peer %s", id)
+			continue
+		}
+		if int(g) != depth {
+			t.Errorf("gauge for %s = %v, want %d", id, g, depth)
+		}
+	}
+}
+
+// TestMetricsSnapshotsAgree feeds the same plans through the simulator and
+// the distributed runtime with a shared observer and checks the two
+// backends' published counters agree on total traffic bytes and work units.
+func TestMetricsSnapshotsAgree(t *testing.T) {
+	shared := obs.NewObserver()
+	build := func() (*core.Engine, []*xmlstream.Element) {
+		eng := core.NewEngine(testNet(), core.Config{Obs: shared})
+		items, st := photons.Stream("photons", photons.DefaultConfig(), 13, 1000)
+		if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []struct {
+			src string
+			at  network.PeerID
+		}{{velaQ, "SP3"}, {rxjQ, "SP2"}} {
+			if _, err := eng.Subscribe(q.src, q.at, core.StreamSharing); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng, items
+	}
+	eng1, items1 := build()
+	if _, err := eng1.Simulate(map[string][]*xmlstream.Element{"photons": items1}, false); err != nil {
+		t.Fatal(err)
+	}
+	eng2, items2 := build()
+	if _, err := New(eng2, false).Run(map[string][]*xmlstream.Element{"photons": items2}); err != nil {
+		t.Fatal(err)
+	}
+	snap := shared.Metrics.Snapshot()
+	simBytes, rtBytes := snap.Counters["sim.traffic.bytes"], snap.Counters["runtime.traffic.bytes"]
+	if simBytes == 0 {
+		t.Fatal("sim.traffic.bytes is zero")
+	}
+	if math.Abs(simBytes-rtBytes) > 1e-6 {
+		t.Errorf("traffic bytes: sim %.0f vs runtime %.0f", simBytes, rtBytes)
+	}
+	if sw, rw := snap.Counters["sim.work.units"], snap.Counters["runtime.work.units"]; math.Abs(sw-rw) > 1e-6 {
+		t.Errorf("work units: sim %.1f vs runtime %.1f", sw, rw)
 	}
 }

@@ -15,6 +15,12 @@
 //	                     elements (§2)
 //	STATS              → streams, subscriptions, total traffic of last run
 //	PEERS              → the super-peer topology
+//	METRICS            → snapshot of the engine's metrics registry, one
+//	                     "counter|gauge|histogram <name> …" line per series
+//	TRACE [id]         → replay the planning decision of a subscription:
+//	                     every candidate stream with match outcome, rejection
+//	                     reason and cost breakdown; without an id, one summary
+//	                     line per retained trace
 //	QUIT               → close the connection
 //
 // Every reply is a single "OK …"/"ERR …" line, optionally followed by
@@ -46,6 +52,8 @@ type Server struct {
 	seed    int64
 	lastSim *core.SimResult
 	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
 	wg      sync.WaitGroup
 }
 
@@ -53,33 +61,66 @@ type Server struct {
 // generator on RUN. Every registered original stream is fed the same item
 // count with stream-specific seeds.
 func New(eng *core.Engine, cfg photons.Config) *Server {
-	return &Server{eng: eng, cfg: cfg, seed: 1}
+	return &Server{eng: eng, cfg: cfg, seed: 1, conns: map[net.Conn]struct{}{}}
 }
 
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return
+	}
 	s.ln = ln
+	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.wg.Wait()
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			// Close won the race between Accept returning and our bookkeeping;
+			// the listener is already closed, so the next Accept errors out.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.session(conn)
 		}()
 	}
 }
 
-// Close stops accepting and waits for running sessions.
+// Close stops accepting, terminates in-flight sessions by closing their
+// connections (unblocking any pending reads), and waits for every session
+// goroutine to exit. It is safe to call concurrently with Serve and at most
+// the first call closes the listener.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var err error
 	if s.ln != nil {
-		return s.ln.Close()
+		err = s.ln.Close()
 	}
-	return nil
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 func (s *Server) session(conn io.ReadWriter) {
@@ -126,6 +167,10 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, cmd string, args []strin
 		s.stats(w)
 	case "PEERS":
 		s.peers(w)
+	case "METRICS":
+		s.metrics(w)
+	case "TRACE":
+		s.trace(w, args)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %s\n", cmd)
 	}
@@ -199,10 +244,54 @@ func (s *Server) explain(w io.Writer, args []string) {
 			for _, line := range strings.Split(strings.TrimSpace(sub.Explain()), "\n") {
 				fmt.Fprintf(w, "  %s\n", strings.TrimSpace(line))
 			}
+			// The full planning decision: every candidate the search saw,
+			// match outcomes, rejection reasons and cost breakdowns.
+			if sub.Trace != nil {
+				for _, line := range sub.Trace.Lines() {
+					fmt.Fprintf(w, "  %s\n", line)
+				}
+			}
 			return
 		}
 	}
 	fmt.Fprintf(w, "ERR unknown subscription %s\n", args[0])
+}
+
+// metrics dumps a snapshot of the engine's metrics registry.
+func (s *Server) metrics(w io.Writer) {
+	snap := s.eng.Obs().Metrics.Snapshot()
+	var b strings.Builder
+	snap.WriteText(&b)
+	n := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+	fmt.Fprintf(w, "OK %d series\n", n)
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if line != "" {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+}
+
+// trace replays a subscription's planning decision, or lists the retained
+// traces when no id is given.
+func (s *Server) trace(w io.Writer, args []string) {
+	tr := s.eng.Obs().Tracer
+	if len(args) == 0 {
+		ds := tr.Recent(0)
+		fmt.Fprintf(w, "OK %d traces\n", len(ds))
+		for _, d := range ds {
+			fmt.Fprintf(w, "  %s\n", d.Lines()[0])
+		}
+		return
+	}
+	d := tr.Get(args[0])
+	if d == nil {
+		fmt.Fprintf(w, "ERR no trace for %s\n", args[0])
+		return
+	}
+	fmt.Fprintf(w, "OK %s\n", args[0])
+	for _, line := range d.Lines() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
 }
 
 func (s *Server) unsubscribe(w io.Writer, args []string) {

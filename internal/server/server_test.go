@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"regexp"
+	goruntime "runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"streamshare/internal/core"
 	"streamshare/internal/network"
@@ -220,5 +223,217 @@ func TestServerConcurrentClients(t *testing.T) {
 			t.Fatalf("duplicate subscription id %q", s)
 		}
 		ids[s] = true
+	}
+}
+
+// explainGolden is the expected shape of an enriched EXPLAIN reply, one
+// pattern per continuation line: the installed plan first, then the full
+// planning decision with every candidate, match outcome and cost breakdown.
+// Volatile fields (timings, cost values) are matched structurally.
+var explainGolden = []string{
+	`^q2 at SP2$`,
+	`^input photons: shared stream s1\(q1 via orig:photons@SP0\), operators \[.*\] at SP\d, routed \[SP2\](, post-processing \[.*\] at SP2)?$`,
+	`^decision q2 strategy="Stream Sharing" target=SP2 ok \(.* compute, \d+ messages, \d+ peers visited\)$`,
+	`^input photons visited=\[SP0 SP2\] candidates=2$`,
+	`^candidate orig:photons found=SP0 outcome=match tap=SP0 route=\[SP0 SP1 SP2\] residual=\[.*\] traffic=[0-9.e+-]+ load=[0-9.e+-]+ penalty=[0-9.e+-]+ total=[0-9.e+-]+$`,
+	`^candidate s1\(q1 via orig:photons@SP0\) found=SP0 outcome=match tap=SP2 route=\[SP2\] residual=\[\] traffic=[0-9.e+-]+ load=[0-9.e+-]+ penalty=[0-9.e+-]+ total=[0-9.e+-]+ selected$`,
+}
+
+func matchLines(t *testing.T, what string, got []string, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lines, want %d:\n%s", what, len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, pat := range want {
+		if !regexp.MustCompile(pat).MatchString(got[i]) {
+			t.Errorf("%s line %d = %q, want match for %s", what, i, got[i], pat)
+		}
+	}
+}
+
+// TestServerExplainGolden registers two identical sharing subscriptions so
+// the second reuses the first's stream, and checks EXPLAIN's full candidate
+// table: the original stream (priced but not chosen) and the shared stream
+// (selected).
+func TestServerExplainGolden(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	for i, want := range []string{"OK q1", "OK q2"} {
+		if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != want {
+			t.Fatalf("subscribe %d = %q", i+1, s)
+		}
+	}
+	status, cont := c.cmd(t, "EXPLAIN q2", "")
+	if status != "OK q2" {
+		t.Fatalf("explain = %q", status)
+	}
+	matchLines(t, "EXPLAIN q2", cont, explainGolden)
+}
+
+// TestServerExplainRejectionReason checks that a candidate whose properties
+// do not match shows up in EXPLAIN with its Algorithm 2 rejection reason.
+func TestServerExplainRejectionReason(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != "OK q1" {
+		t.Fatalf("subscribe = %q", s)
+	}
+	// Different predicate: q1's selection stream cannot serve it.
+	enQ := `<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  return <hit> { $p/en } </hit> }
+</photons>`
+	if s, _ := c.cmd(t, "SUBSCRIBE SP1 sharing", enQ); s != "OK q2" {
+		t.Fatalf("subscribe 2 = %q", s)
+	}
+	_, cont := c.cmd(t, "EXPLAIN q2", "")
+	joined := strings.Join(cont, "\n")
+	if !strings.Contains(joined, `outcome=no-match reason="subscription predicates do not imply the stream's selection`) {
+		t.Errorf("EXPLAIN q2 lacks the rejection reason:\n%s", joined)
+	}
+	if !strings.Contains(joined, "candidate orig:photons found=SP0 outcome=match") {
+		t.Errorf("EXPLAIN q2 lacks the original-stream candidate:\n%s", joined)
+	}
+}
+
+// TestServerMetricsGolden checks the METRICS snapshot: deterministic counter
+// and gauge series produced by two registrations and one run.
+func TestServerMetricsGolden(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	for _, want := range []string{"OK q1", "OK q2"} {
+		if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != want {
+			t.Fatalf("subscribe = %q", s)
+		}
+	}
+	if s, _ := c.cmd(t, "RUN 100", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("run = %q", s)
+	}
+	status, cont := c.cmd(t, "METRICS", "")
+	if !regexp.MustCompile(`^OK \d+ series$`).MatchString(status) {
+		t.Fatalf("metrics status = %q", status)
+	}
+	got := map[string]bool{}
+	for _, l := range cont {
+		got[l] = true
+	}
+	for _, want := range []string{
+		"counter core.streams.registered 1",
+		"counter core.subscribe.total 2",
+		"counter core.subscribe.installed 2",
+		"counter sim.runs 1",
+		"gauge core.subscriptions.active 2",
+	} {
+		if !got[want] {
+			t.Errorf("METRICS lacks %q in:\n%s", want, strings.Join(cont, "\n"))
+		}
+	}
+	// The simulator's published traffic counter exists and is positive.
+	found := false
+	for _, l := range cont {
+		if m := regexp.MustCompile(`^counter sim\.traffic\.bytes ([0-9.e+]+)$`).FindStringSubmatch(l); m != nil && m[1] != "0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("METRICS lacks a positive sim.traffic.bytes:\n%s", strings.Join(cont, "\n"))
+	}
+}
+
+// TestServerTrace checks TRACE replay: listing, by-id lookup with the full
+// candidate table, and the unknown-id error.
+func TestServerTrace(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	for _, want := range []string{"OK q1", "OK q2"} {
+		if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != want {
+			t.Fatalf("subscribe = %q", s)
+		}
+	}
+	status, cont := c.cmd(t, "TRACE", "")
+	if status != "OK 2 traces" || len(cont) != 2 {
+		t.Fatalf("trace list = %q %v", status, cont)
+	}
+	if !strings.HasPrefix(cont[0], "decision q1 ") || !strings.HasPrefix(cont[1], "decision q2 ") {
+		t.Errorf("trace list lines = %v", cont)
+	}
+	status, cont = c.cmd(t, "TRACE q2", "")
+	if status != "OK q2" {
+		t.Fatalf("trace q2 = %q", status)
+	}
+	matchLines(t, "TRACE q2", cont, explainGolden[2:])
+	if s, _ := c.cmd(t, "TRACE nope", ""); !strings.HasPrefix(s, "ERR no trace") {
+		t.Errorf("trace nope = %q", s)
+	}
+}
+
+// TestServerCloseTerminatesSessions is the shutdown regression test: Close
+// must terminate in-flight sessions (idle readers included), return without
+// hanging, and leave no session goroutines behind.
+func TestServerCloseTerminatesSessions(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	addr, stop := startServer(t)
+	clients := make([]*client, 3)
+	for i := range clients {
+		clients[i] = dial(t, addr)
+		if s, _ := clients[i].cmd(t, "PEERS", ""); !strings.HasPrefix(s, "OK") {
+			t.Fatalf("peers = %q", s)
+		}
+	}
+	// All three sessions are now idle, blocked in ReadString.
+	done := make(chan struct{})
+	go func() {
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return while sessions were open")
+	}
+	// Every client connection was terminated.
+	for i, c := range clients {
+		c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.r.ReadString('\n'); err == nil {
+			t.Errorf("client %d: connection still open after Close", i)
+		}
+	}
+	// No leaked goroutines: accept loop and all sessions have exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && goruntime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := goruntime.NumGoroutine(); after > before {
+		t.Errorf("goroutines: %d before, %d after Close", before, after)
+	}
+}
+
+// TestServerCloseBeforeServe checks the races around a Close racing Serve:
+// closing first must make Serve return immediately.
+func TestServerCloseBeforeServe(t *testing.T) {
+	n := network.New()
+	n.AddPeer(network.Peer{ID: "SP0", Super: true, Capacity: 1000, PerfIndex: 1})
+	srv := New(core.NewEngine(n, core.Config{}), photons.DefaultConfig())
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return on a closed server")
 	}
 }

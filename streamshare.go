@@ -29,6 +29,7 @@ package streamshare
 import (
 	"streamshare/internal/core"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/photons"
 	"streamshare/internal/properties"
 	"streamshare/internal/runtime"
@@ -68,6 +69,23 @@ type (
 	SimResult = core.SimResult
 	// StreamStats are collected statistics of an original stream.
 	StreamStats = stats.Stream
+	// Observer bundles the instrumentation layer: a metrics registry fed by
+	// every subsystem and a tracer retaining recent planning decisions. Pass
+	// one in Config.Obs to share it between systems (e.g. a simulator and a
+	// distributed runtime whose snapshots should be comparable).
+	Observer = obs.Observer
+	// MetricsRegistry is a concurrent-safe registry of named counters,
+	// gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, with Delta and
+	// WriteText for diffing and rendering.
+	MetricsSnapshot = obs.Snapshot
+	// DecisionTrace records one Subscribe call: every candidate stream the
+	// search considered, match outcomes with rejection reasons, cost
+	// breakdowns, and the winning plan (Subscription.Trace holds it).
+	DecisionTrace = obs.DecisionTrace
+	// CandidateTrace is one considered stream within a DecisionTrace.
+	CandidateTrace = obs.CandidateTrace
 )
 
 // Planning strategies (§4).
@@ -82,6 +100,9 @@ var ErrRejected = core.ErrRejected
 
 // NewNetwork returns an empty topology.
 func NewNetwork() *Network { return network.New() }
+
+// NewObserver returns a fresh instrumentation layer for Config.Obs.
+func NewObserver() *Observer { return obs.NewObserver() }
 
 // ParsePath parses a child-axis element path such as "coord/cel/ra".
 func ParsePath(s string) Path { return xmlstream.ParsePath(s) }
@@ -132,6 +153,12 @@ func NewSystem(net *Network, cfg Config) *System {
 // Engine exposes the underlying engine for advanced use (load inspection,
 // ablation experiments).
 func (s *System) Engine() *core.Engine { return s.eng }
+
+// Obs returns the system's instrumentation layer: the metrics registry every
+// subsystem feeds (subscribe counters, simulator and runtime traffic/work,
+// per-operator item counts) and the tracer holding recent planning
+// decisions.
+func (s *System) Obs() *Observer { return s.eng.Obs() }
 
 // RegisterStream registers an original data stream at a super-peer with
 // precomputed statistics.
