@@ -5,7 +5,12 @@
 //	experiments -fig 7      Figure 7: scenario 2 CPU load and peer traffic
 //	experiments -table 1    Table 1: query registration times
 //	experiments -rejection  the constrained-capacity rejection experiment
+//	experiments -churn      the churn/adaptation experiment: scenario 2 under
+//	                        the scripted failure schedule, with repair and
+//	                        rejection counts and the repair-latency series
 //	experiments -all        everything (default)
+//	experiments -seed 7     derive every workload and photon stream from the
+//	                        given base seed (0 = the classic constants)
 //	experiments -json       additionally write BENCH_<rev>.json with the
 //	                        measured series (rev = current git commit, "dev"
 //	                        outside a checkout)
@@ -29,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"streamshare/internal/adapt"
 	"streamshare/internal/core"
 	"streamshare/internal/scenario"
 )
@@ -38,6 +44,7 @@ var strategies = []core.Strategy{core.DataShipping, core.QueryShipping, core.Str
 var (
 	showMetrics = flag.Bool("metrics", false, "dump each run's metrics registry snapshot")
 	showTrace   = flag.Bool("trace", false, "print each registration's planning decision trace")
+	seed        = flag.Int64("seed", 0, "base seed for workloads and photon streams (0 = classic)")
 )
 
 // figData holds one figure's measured series: per-label values for the three
@@ -69,30 +76,47 @@ type rejRow struct {
 	Paper    int    `json:"paper"`
 }
 
+// churnRow is one strategy's outcome under the scripted failure schedule:
+// repair/rejection/migration tallies, the repair-latency series, and traffic
+// before and after the churn.
+type churnRow struct {
+	Strategy          string    `json:"strategy"`
+	Repaired          int       `json:"repaired"`
+	Rejected          int       `json:"rejected"`
+	Migrated          int       `json:"migrated"`
+	RepairLatenciesMs []float64 `json:"repairLatenciesMs"`
+	TrafficBeforeMbit float64   `json:"trafficBeforeMbit"`
+	TrafficAfterMbit  float64   `json:"trafficAfterMbit"`
+}
+
 // benchReport is the -json output: everything the run measured, keyed the
 // way EXPERIMENTS.md discusses it.
 type benchReport struct {
 	Rev       string      `json:"rev"`
 	Items     int         `json:"items"`
+	Seed      int64       `json:"seed"`
 	Fig6      *figData    `json:"fig6,omitempty"`
 	Fig7      *figData    `json:"fig7,omitempty"`
 	Table1    []table1Row `json:"table1,omitempty"`
 	Rejection []rejRow    `json:"rejection,omitempty"`
+	Churn     []churnRow  `json:"churn,omitempty"`
 }
 
 func main() {
 	fig := flag.Int("fig", 0, "reproduce figure 6 or 7")
 	table := flag.Int("table", 0, "reproduce table 1")
 	rejection := flag.Bool("rejection", false, "run the rejection experiment")
+	churn := flag.Bool("churn", false, "run the churn/adaptation experiment")
 	all := flag.Bool("all", false, "run everything")
 	items := flag.Int("items", 3000, "photons per stream to simulate")
 	jsonOut := flag.Bool("json", false, "write BENCH_<rev>.json with the measured series")
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*rejection {
+	if !*all && *fig == 0 && *table == 0 && !*rejection && !*churn {
 		*all = true
 	}
-	report := &benchReport{Rev: gitRev(), Items: *items}
+	report := &benchReport{Rev: gitRev(), Items: *items, Seed: *seed}
+	fmt.Printf("experiments: rev %s, %d items per stream, seed %d\n", report.Rev, *items, *seed)
 	if *all || *fig == 6 {
 		report.Fig6 = figure6(*items)
 	}
@@ -104,6 +128,9 @@ func main() {
 	}
 	if *all || *rejection {
 		report.Rejection = rejectionExperiment(*items)
+	}
+	if *all || *churn {
+		report.Churn = churnExperiment(*items)
 	}
 	if *jsonOut {
 		name := fmt.Sprintf("BENCH_%s.json", report.Rev)
@@ -194,7 +221,7 @@ func bars(labels []string, series map[string][3]float64, unit string) {
 }
 
 func figure6(items int) *figData {
-	s := scenario.Scenario1(items)
+	s := scenario.Scenario1Seed(items, *seed)
 	res := runAll(s)
 	d := &figData{CPU: map[string][3]float64{}, Traffic: map[string][3]float64{}, TrafficUnit: "kbps"}
 
@@ -223,7 +250,7 @@ func figure6(items int) *figData {
 }
 
 func figure7(items int) *figData {
-	s := scenario.Scenario2(items)
+	s := scenario.Scenario2Seed(items, *seed)
 	res := runAll(s)
 	d := &figData{CPU: map[string][3]float64{}, Traffic: map[string][3]float64{}, TrafficUnit: "MBit"}
 
@@ -253,8 +280,8 @@ func table1(items int) []table1Row {
 	header("Table 1: query registration times (ms)")
 	fmt.Printf("%-16s %10s %10s %10s %10s %10s %10s\n", "Scenario",
 		"Avg 1", "Avg 2", "Min 1", "Min 2", "Max 1", "Max 2")
-	s1 := scenario.Scenario1(items / 4)
-	s2 := scenario.Scenario2(items / 4)
+	s1 := scenario.Scenario1Seed(items/4, *seed)
+	s2 := scenario.Scenario2Seed(items/4, *seed)
 	var rows []table1Row
 	for _, strat := range strategies {
 		r1, err := s1.Run(strat, core.Config{})
@@ -288,7 +315,7 @@ func ms(d time.Duration) float64 {
 
 func rejectionExperiment(items int) []rejRow {
 	header("Rejection experiment: peers at 10% capacity, links at 1 Mbit/s")
-	s := scenario.Scenario2(items/4).Constrained(0.10, 125_000)
+	s := scenario.Scenario2Seed(items/4, *seed).Constrained(0.10, 125_000)
 	fmt.Printf("%-16s %s\n", "Strategy", "Rejected of 100 queries (paper)")
 	paper := map[core.Strategy]int{core.DataShipping: 47, core.QueryShipping: 35, core.StreamSharing: 2}
 	var rows []rejRow
@@ -302,5 +329,48 @@ func rejectionExperiment(items int) []rejRow {
 		rows = append(rows, rejRow{Strategy: strat.String(), Rejected: r.Rejected, Paper: paper[strat]})
 		fmt.Printf("%-16s %d (%d)\n", strat, r.Rejected, paper[strat])
 	}
+	return rows
+}
+
+// churnExperiment runs scenario 2 under the scripted failure schedule for
+// every strategy: each subscription severed by the churn is repaired or
+// explicitly rejected, and the repair-latency series is reported per run.
+func churnExperiment(items int) []churnRow {
+	header(fmt.Sprintf("Churn experiment: scenario 2 under %q", scenario.DefaultChurnSchedule))
+	events, err := adapt.ParseSchedule(scenario.DefaultChurnSchedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %9s %9s %9s %12s %12s\n",
+		"Strategy", "Repaired", "Rejected", "Migrated", "Before MBit", "After MBit")
+	var rows []churnRow
+	for _, strat := range strategies {
+		s := scenario.Scenario2Seed(items/4, *seed)
+		res, err := s.RunChurn(strat, core.Config{}, events)
+		if err != nil {
+			log.Fatalf("%s: %v", strat, err)
+		}
+		dumpObs(strat, res.Engine)
+		row := churnRow{
+			Strategy: strat.String(),
+			Repaired: res.Repaired, Rejected: res.Rejected, Migrated: res.Migrated,
+			TrafficBeforeMbit: res.Before.Metrics.TotalBytes() * 8 / 1e6,
+			TrafficAfterMbit:  res.After.Metrics.TotalBytes() * 8 / 1e6,
+		}
+		for _, d := range res.RepairLatencies() {
+			row.RepairLatenciesMs = append(row.RepairLatenciesMs, ms(d))
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-16s %9d %9d %9d %12.1f %12.1f\n", strat,
+			row.Repaired, row.Rejected, row.Migrated,
+			row.TrafficBeforeMbit, row.TrafficAfterMbit)
+		fmt.Printf("  repair latencies (ms):")
+		for _, l := range row.RepairLatenciesMs {
+			fmt.Printf(" %.3f", l)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(every severed subscription is re-planned over the surviving topology")
+	fmt.Println(" or explicitly rejected; the schedule is applied mid-stream)")
 	return rows
 }

@@ -4,11 +4,14 @@
 //
 //	sgsim -grid 4 -queries 100 -strategy sharing -items 2000 -seed 7
 //	sgsim -config scenario.json -strategy sharing -items 2000
+//	sgsim -grid 4 -queries 50 -churn "fail:SP1-SP2; restore:SP1-SP2; reopt"
 //
 // With -config, the topology, streams and queries come from a JSON file
 // (see internal/scenario.Config). It reports per-peer CPU load, total
 // traffic, reuse statistics, and — with -admission — how many queries were
-// rejected.
+// rejected. With -churn, the failure schedule (adapt.ParseSchedule syntax)
+// is applied halfway through the stream and the run reports repairs,
+// rejections, migrations and the repair-latency series.
 package main
 
 import (
@@ -16,12 +19,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"streamshare/internal/adapt"
 	"streamshare/internal/core"
 	"streamshare/internal/cost"
 	"streamshare/internal/network"
 	"streamshare/internal/photons"
 	"streamshare/internal/scenario"
+	"streamshare/internal/stats"
 	"streamshare/internal/workload"
 	"streamshare/internal/xmlstream"
 )
@@ -37,6 +43,7 @@ func main() {
 	bandwidth := flag.Float64("bandwidth", 12_500_000, "link bandwidth (bytes/s)")
 	gamma := flag.Float64("gamma", 0.5, "cost weighting γ (traffic vs load)")
 	configPath := flag.String("config", "", "JSON scenario description (overrides -grid/-queries)")
+	churnSched := flag.String("churn", "", "failure schedule applied mid-stream (adapt syntax, e.g. \"fail:SP1; restore:SP1; reopt\")")
 	showMetrics := flag.Bool("metrics", false, "dump the metrics registry snapshot after the run")
 	showTrace := flag.Bool("trace", false, "print the planning decision trace of every registration")
 	flag.Parse()
@@ -79,17 +86,25 @@ func main() {
 
 	cfg := core.Config{Admission: *admission, Model: cost.DefaultModel()}
 	cfg.Model.Gamma = *gamma
-	eng := core.NewEngine(n, cfg)
 	its, st := photons.Stream("photons", photons.DefaultConfig(), *seed, *items)
+	gen := workload.NewGenerator("photons", workload.DefaultSets(), *seed)
+	var qs []scenario.Query
+	for i, q := range gen.Generate(*queries) {
+		qs = append(qs, scenario.Query{Src: q, Target: network.PeerID(fmt.Sprintf("SP%d", (i*7)%(*grid**grid)))})
+	}
+
+	if *churnSched != "" {
+		runChurnGrid(n, qs, its, st, strat, cfg, *churnSched, *seed, *showMetrics, *showTrace)
+		return
+	}
+
+	eng := core.NewEngine(n, cfg)
 	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
 		log.Fatal(err)
 	}
-
-	gen := workload.NewGenerator("photons", workload.DefaultSets(), *seed)
 	rejected := 0
-	for i, q := range gen.Generate(*queries) {
-		target := network.PeerID(fmt.Sprintf("SP%d", (i*7)%(*grid**grid)))
-		if _, err := eng.Subscribe(q, target, strat); err != nil {
+	for _, q := range qs {
+		if _, err := eng.Subscribe(q.Src, q.Target, strat); err != nil {
 			if *admission {
 				rejected++
 				continue
@@ -103,8 +118,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("strategy %s, %d queries (%d rejected), %d streams deployed\n",
-		strat, *queries, rejected, len(eng.Streams()))
+	fmt.Printf("strategy %s, seed %d, %d queries (%d rejected), %d streams deployed\n",
+		strat, *seed, *queries, rejected, len(eng.Streams()))
 	reuse := 0
 	for _, d := range eng.Streams() {
 		if d.Parent != nil && !d.Parent.Original {
@@ -119,6 +134,39 @@ func main() {
 		fmt.Printf("  %-6s %6.2f\n", p, res.AvgCPUPercent(n, p))
 	}
 	dumpObs(eng, *showMetrics, *showTrace)
+}
+
+// runChurnGrid wraps the grid into a scenario and runs it under the failure
+// schedule: first half of the stream, the schedule, second half over the
+// adapted plans.
+func runChurnGrid(n *network.Network, qs []scenario.Query, its []*xmlstream.Element,
+	st *stats.Stream, strat core.Strategy, cfg core.Config, sched string, seed int64,
+	showMetrics, showTrace bool) {
+	events, err := adapt.ParseSchedule(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &scenario.Scenario{
+		Name:    "grid",
+		Net:     n,
+		Sources: []*scenario.Source{{Name: "photons", At: "SP0", Seed: seed, Items: its, Stats: st}},
+		Queries: qs,
+	}
+	res, err := s.RunChurn(strat, cfg, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy %s, seed %d, %d queries (%d rejected at registration)\n",
+		strat, seed, len(qs), res.RegRejected)
+	fmt.Printf("schedule %q: %d repaired, %d rejected, %d migrated\n",
+		sched, res.Repaired, res.Rejected, res.Migrated)
+	for i, d := range res.RepairLatencies() {
+		fmt.Printf("  repair %d: %v\n", i+1, d.Round(time.Microsecond))
+	}
+	fmt.Printf("traffic before %.1f MBit, after %.1f MBit; work before %.0f, after %.0f units\n",
+		res.Before.Metrics.TotalBytes()*8/1e6, res.After.Metrics.TotalBytes()*8/1e6,
+		res.Before.Metrics.TotalWork(), res.After.Metrics.TotalWork())
+	dumpObs(res.Engine, showMetrics, showTrace)
 }
 
 // dumpObs prints the requested observability output: the recorded decision

@@ -1,0 +1,229 @@
+package adapt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"streamshare/internal/network"
+)
+
+// Kind enumerates adaptation events.
+type Kind int
+
+// Event kinds.
+const (
+	// FailPeer takes a super-peer down (its links go down with it).
+	FailPeer Kind = iota
+	// RestorePeer brings a failed peer back.
+	RestorePeer
+	// FailLink severs one link.
+	FailLink
+	// RestoreLink brings a failed link back.
+	RestoreLink
+	// AddPeer joins a new super-peer with the given capacity.
+	AddPeer
+	// AddLink connects two peers with the given bandwidth.
+	AddLink
+	// SetCapacity changes a peer's computational capacity.
+	SetCapacity
+	// SetBandwidth changes a link's bandwidth.
+	SetBandwidth
+	// Unsubscribe removes a subscription and triggers re-optimization over
+	// the freed capacity.
+	Unsubscribe
+	// Reoptimize runs the migration pass without any topology change.
+	Reoptimize
+)
+
+// slug is the metrics/key form of the kind.
+func (k Kind) slug() string {
+	switch k {
+	case FailPeer:
+		return "fail_peer"
+	case RestorePeer:
+		return "restore_peer"
+	case FailLink:
+		return "fail_link"
+	case RestoreLink:
+		return "restore_link"
+	case AddPeer:
+		return "add_peer"
+	case AddLink:
+		return "add_link"
+	case SetCapacity:
+		return "set_capacity"
+	case SetBandwidth:
+		return "set_bandwidth"
+	case Unsubscribe:
+		return "unsubscribe"
+	case Reoptimize:
+		return "reoptimize"
+	}
+	return fmt.Sprintf("kind_%d", int(k))
+}
+
+// Event is one step of an adaptation schedule.
+type Event struct {
+	Kind Kind
+	// Peer names the subject of peer events (fail/restore/add/cap).
+	Peer network.PeerID
+	// A and B name the endpoints of link events.
+	A, B network.PeerID
+	// Value carries the capacity (add-peer, cap) or bandwidth (add-link,
+	// bw) in the peer/link units.
+	Value float64
+	// Sub names the subscription of unsubscribe events.
+	Sub string
+}
+
+// String renders the event in schedule syntax; ParseEvent inverts it.
+func (e Event) String() string {
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	switch e.Kind {
+	case FailPeer:
+		return "fail:" + string(e.Peer)
+	case RestorePeer:
+		return "restore:" + string(e.Peer)
+	case FailLink:
+		return fmt.Sprintf("fail:%s-%s", e.A, e.B)
+	case RestoreLink:
+		return fmt.Sprintf("restore:%s-%s", e.A, e.B)
+	case AddPeer:
+		return fmt.Sprintf("addpeer:%s=%s", e.Peer, num(e.Value))
+	case AddLink:
+		return fmt.Sprintf("addlink:%s-%s=%s", e.A, e.B, num(e.Value))
+	case SetCapacity:
+		return fmt.Sprintf("cap:%s=%s", e.Peer, num(e.Value))
+	case SetBandwidth:
+		return fmt.Sprintf("bw:%s-%s=%s", e.A, e.B, num(e.Value))
+	case Unsubscribe:
+		return "unsub:" + e.Sub
+	case Reoptimize:
+		return "reopt"
+	}
+	return fmt.Sprintf("event(%d)", int(e.Kind))
+}
+
+// ParseEvent parses one schedule step. The grammar, one event per step:
+//
+//	fail:SP5            fail a peer
+//	fail:SP0-SP1        fail a link
+//	restore:SP5         restore a peer
+//	restore:SP0-SP1     restore a link
+//	addpeer:SP9=50000   join a peer with the given capacity
+//	addlink:SP8-SP9=1e6 connect two peers with the given bandwidth
+//	cap:SP5=1000        change a peer's capacity
+//	bw:SP0-SP1=125000   change a link's bandwidth
+//	unsub:q3            unsubscribe (and re-optimize)
+//	reopt               re-optimization pass only
+//
+// Names must not contain '-', '=', ':' or whitespace; values must be
+// positive finite numbers.
+func ParseEvent(s string) (Event, error) {
+	s = strings.TrimSpace(s)
+	if s == "reopt" {
+		return Event{Kind: Reoptimize}, nil
+	}
+	op, rest, ok := strings.Cut(s, ":")
+	if !ok || rest == "" {
+		return Event{}, fmt.Errorf("adapt: malformed event %q", s)
+	}
+	name, value, hasValue := strings.Cut(rest, "=")
+	if err := checkNames(s, name); err != nil {
+		return Event{}, err
+	}
+	a, b, isLink := strings.Cut(name, "-")
+	if isLink && (a == "" || b == "") {
+		return Event{}, fmt.Errorf("adapt: malformed link in %q", s)
+	}
+	var v float64
+	if hasValue {
+		var err error
+		v, err = strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 || v > 1e300 {
+			return Event{}, fmt.Errorf("adapt: bad value in %q", s)
+		}
+	}
+	want := func(link, val bool) error {
+		if isLink != link {
+			kind := "a peer"
+			if link {
+				kind = "a link (A-B)"
+			}
+			return fmt.Errorf("adapt: %q needs %s", s, kind)
+		}
+		if hasValue != val {
+			if val {
+				return fmt.Errorf("adapt: %q needs a =value", s)
+			}
+			return fmt.Errorf("adapt: %q takes no value", s)
+		}
+		return nil
+	}
+	var ev Event
+	if isLink {
+		ev.A, ev.B = network.PeerID(a), network.PeerID(b)
+	} else {
+		ev.Peer = network.PeerID(name)
+	}
+	switch op {
+	case "fail":
+		ev.Kind = FailPeer
+		if isLink {
+			ev.Kind = FailLink
+		}
+		return ev, want(isLink, false)
+	case "restore":
+		ev.Kind = RestorePeer
+		if isLink {
+			ev.Kind = RestoreLink
+		}
+		return ev, want(isLink, false)
+	case "addpeer":
+		ev.Kind, ev.Value = AddPeer, v
+		return ev, want(false, true)
+	case "addlink":
+		ev.Kind, ev.Value = AddLink, v
+		return ev, want(true, true)
+	case "cap":
+		ev.Kind, ev.Value = SetCapacity, v
+		return ev, want(false, true)
+	case "bw":
+		ev.Kind, ev.Value = SetBandwidth, v
+		return ev, want(true, true)
+	case "unsub":
+		if isLink || hasValue {
+			return Event{}, fmt.Errorf("adapt: malformed event %q", s)
+		}
+		return Event{Kind: Unsubscribe, Sub: name}, nil
+	}
+	return Event{}, fmt.Errorf("adapt: unknown event %q", op)
+}
+
+func checkNames(ev, name string) error {
+	if name == "" {
+		return fmt.Errorf("adapt: missing name in %q", ev)
+	}
+	if strings.ContainsAny(name, ":= \t\n\r") {
+		return fmt.Errorf("adapt: bad name in %q", ev)
+	}
+	return nil
+}
+
+// ParseSchedule parses a comma- or semicolon-separated list of events,
+// ignoring empty steps ("fail:SP6; unsub:q7, reopt").
+func ParseSchedule(s string) ([]Event, error) {
+	var out []Event
+	for _, step := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ';' }) {
+		if strings.TrimSpace(step) == "" {
+			continue
+		}
+		ev, err := ParseEvent(step)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

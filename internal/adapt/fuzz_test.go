@@ -1,0 +1,32 @@
+package adapt
+
+import "testing"
+
+// FuzzParseSchedule asserts the adaptation-schedule parser never panics and
+// every accepted event round-trips through its canonical rendering.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"fail:SP5", "fail:SP0-SP1; restore:SP0-SP1",
+		"addpeer:SP9=50000, addlink:SP8-SP9=1.25e7",
+		"cap:SP5=1000; bw:SP0-SP1=125000", "unsub:q3, reopt",
+		"", ";;,", "fail", "fail:", "fail:SP1-", "cap:SP5=-1", "unsub:=",
+		"reopt;reopt", "addlink:-=1", "bw:a-b=1e400",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		evs, err := ParseSchedule(src)
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			back, err := ParseEvent(ev.String())
+			if err != nil {
+				t.Fatalf("canonical form %q of event in %q does not re-parse: %v", ev, src, err)
+			}
+			if back != ev {
+				t.Fatalf("round trip changed event: %q → %v → %v", src, ev, back)
+			}
+		}
+	})
+}

@@ -84,6 +84,15 @@ type Deployed struct {
 	// NotShareable marks streams whose items are restructured query results;
 	// per §2 post-processing output is never considered for reuse.
 	NotShareable bool
+	// Broken marks streams severed by a topology failure: their tap, a route
+	// peer or a route link is down (or an ancestor is broken). Broken streams
+	// are never reused for sharing; their reserved usage has been released
+	// (see ReleaseBroken) and non-originals are swept once repaired.
+	Broken bool
+
+	// hidden transiently excludes the stream from discovery while a
+	// migration re-plans its subscription (TryMigrate).
+	hidden bool
 
 	// linkAdd and peerAdd record the analytic usage the stream's
 	// installation added, so Unsubscribe can release it.
@@ -121,7 +130,10 @@ type Subscription struct {
 	Query  *wxquery.Query
 	Props  *properties.Properties
 	Target network.PeerID
-	Inputs []*SubInput
+	// Strategy is the planning strategy the subscription was registered
+	// with; repairs and migrations re-plan with the same strategy.
+	Strategy Strategy
+	Inputs   []*SubInput
 	// Reg reports how the registration went.
 	Reg RegStats
 	// Trace records the planning decision: every candidate stream the search
@@ -211,6 +223,10 @@ type Config struct {
 	// on — it is cheap enough to leave enabled (atomic counters, bounded
 	// trace ring).
 	Obs *obs.Observer
+	// TraceRing sizes the decision-trace retention ring of the auto-created
+	// observer (<= 0 keeps the default of 256). Ignored when Obs is injected
+	// — the injected tracer's capacity wins.
+	TraceRing int
 }
 
 // Engine is a StreamGlobe-style data stream management system instance over
@@ -238,7 +254,11 @@ func NewEngine(net *network.Network, cfg Config) *Engine {
 		cfg.Model = cost.DefaultModel()
 	}
 	if cfg.Obs == nil {
-		cfg.Obs = obs.NewObserver()
+		if cfg.TraceRing > 0 {
+			cfg.Obs = obs.NewObserverRing(cfg.TraceRing)
+		} else {
+			cfg.Obs = obs.NewObserver()
+		}
 	}
 	return &Engine{
 		Net:       net,
@@ -332,7 +352,7 @@ func (e *Engine) PeerLoad(p network.PeerID) float64 { return e.peerUse[p] }
 func (e *Engine) availableAt(v network.PeerID, stream string) []*Deployed {
 	var out []*Deployed
 	for _, d := range e.deployed {
-		if d.Input.Stream == stream && !d.NotShareable && d.OnRoute(v) {
+		if d.Input.Stream == stream && !d.NotShareable && !d.Broken && !d.hidden && d.OnRoute(v) {
 			out = append(out, d)
 		}
 	}

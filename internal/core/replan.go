@@ -1,0 +1,449 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"streamshare/internal/cost"
+	"streamshare/internal/network"
+	"streamshare/internal/obs"
+	"streamshare/internal/properties"
+)
+
+// This file is the engine half of the dynamic-adaptation subsystem
+// (internal/adapt drives it): detecting streams severed by topology
+// failures, releasing the resources their plans reserved, re-planning the
+// affected subscriptions against the surviving topology, and migrating
+// subscriptions to cheaper plans once capacity frees up. The paper computes
+// plans once at registration (§4) and only hints at post-hoc change (§6,
+// stream widening); everything here is the natural extension of Algorithm 1
+// to a network whose peers and links fail, recover and grow.
+
+// routeDown reports whether any peer or link on the stream's route is
+// currently failed.
+func (e *Engine) routeDown(d *Deployed) bool {
+	for _, p := range d.Route {
+		if !e.Net.PeerUp(p) {
+			return true
+		}
+	}
+	for _, l := range network.PathLinks(d.Route) {
+		if !e.Net.LinkUp(l.A, l.B) {
+			return true
+		}
+	}
+	return false
+}
+
+// streamBroken reports whether the stream or any ancestor it derives from is
+// severed — already marked broken, or with a failed peer/link on its route.
+func (e *Engine) streamBroken(d *Deployed) bool {
+	for x := d; x != nil; x = x.Parent {
+		if x.Broken || e.routeDown(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseBroken scans all deployed streams against the current topology,
+// marks every severed one broken, and releases the analytic bandwidth and
+// load its plan reserved (a failed peer no longer does work; a failed link
+// no longer carries traffic). It returns the streams newly marked broken.
+// Broken streams are excluded from sharing discovery; Replan replaces or
+// rejects the subscriptions feeding from them.
+func (e *Engine) ReleaseBroken() []*Deployed {
+	var broken []*Deployed
+	for _, d := range e.deployed {
+		if d.Broken || !e.streamBroken(d) {
+			continue
+		}
+		d.Broken = true
+		for l, b := range d.linkAdd {
+			e.linkUse[l] -= b
+			if e.linkUse[l] < 1e-9 {
+				e.linkUse[l] = 0
+			}
+		}
+		for p, w := range d.peerAdd {
+			e.peerUse[p] -= w
+			if e.peerUse[p] < 1e-9 {
+				e.peerUse[p] = 0
+			}
+		}
+		// The usage is gone for good: a later release() of this stream must
+		// not subtract it again.
+		d.linkAdd, d.peerAdd = nil, nil
+		e.obs.Metrics.Counter("core.streams.broken").Inc()
+		broken = append(broken, d)
+	}
+	if len(broken) > 0 {
+		e.publishUse()
+	}
+	return broken
+}
+
+// ReviveRestored clears the broken mark on original streams whose route came
+// back up (originals reserve no plan resources, so reviving them is free).
+// Derived streams stay broken — their resources were released, and Replan
+// rebuilds them from scratch. It returns the number of streams revived.
+func (e *Engine) ReviveRestored() int {
+	n := 0
+	for _, d := range e.deployed {
+		if d.Broken && d.Original && !e.routeDown(d) {
+			d.Broken = false
+			e.obs.Metrics.Counter("core.streams.revived").Inc()
+			n++
+		}
+	}
+	return n
+}
+
+// Affected returns the subscriptions with at least one broken feed, in
+// registration order. Call after ReleaseBroken; after a full repair cycle
+// (Replan over every affected subscription) it returns nil again — no
+// subscription is left silently stranded.
+func (e *Engine) Affected() []*Subscription {
+	var out []*Subscription
+	for _, s := range e.subs {
+		for _, si := range s.Inputs {
+			if si.Feed.Broken || e.streamBroken(si.Feed) {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Replan repairs a subscription whose feeds were severed by a topology
+// change: it re-runs discovery and plan generation for every broken input
+// against the surviving topology — reusing still-flowing shared streams
+// first, exactly like a fresh registration — and installs the replacement
+// plans make-before-break (the new feed is installed before the broken one
+// is swept, so an observer never sees the subscription feedless). When any
+// broken input has no feasible plan the whole subscription is torn down and
+// the error — ErrRejected when admission control refused every plan — is
+// returned so the caller can report the explicit rejection.
+//
+// The event string labels the re-planning decision trace ("repair
+// peer-failed SP6"); pass "" for none.
+func (e *Engine) Replan(sub *Subscription, event string) error {
+	started := time.Now()
+	reg := e.obs.Metrics
+	reg.Counter("core.replan.total").Inc()
+	dt := &obs.DecisionTrace{
+		SubID:    sub.ID,
+		Strategy: sub.Strategy.String(),
+		Target:   string(sub.Target),
+		Query:    sub.Trace.Query,
+		Event:    event,
+	}
+	fail := func(err error) error {
+		dt.Err = err.Error()
+		dt.Duration = time.Since(started)
+		e.obs.Tracer.Record(dt)
+		e.dropSubscription(sub)
+		if errors.Is(err, ErrRejected) {
+			reg.Counter("core.replan.rejected").Inc()
+		} else {
+			reg.Counter("core.replan.errors").Inc()
+		}
+		return err
+	}
+
+	var rs RegStats
+	result := sub.Props.Result()
+	type planned struct {
+		si    *SubInput
+		in    *properties.Input
+		resIn *properties.Input
+		cand  *candidate
+	}
+	var plans []planned
+	for _, si := range sub.Inputs {
+		if !si.Feed.Broken && !e.streamBroken(si.Feed) {
+			continue // still flowing; keep it
+		}
+		si.Feed.Broken = true
+		in := si.In
+		it := dt.Input(in.Stream)
+		var c *candidate
+		var err error
+		switch sub.Strategy {
+		case DataShipping:
+			c, err = e.planDataShipping(sub.Query, in, sub.Target, &rs, it)
+		case QueryShipping:
+			c, err = e.planQueryShipping(sub.Query, in, sub.Target, &rs, it)
+		default:
+			c, err = e.planStreamSharing(in, sub.Target, &rs, it)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		plans = append(plans, planned{si: si, in: in, resIn: result.Input(in.Stream), cand: c})
+	}
+	if len(plans) == 0 {
+		return nil // nothing broken
+	}
+
+	for _, p := range plans {
+		si, err := e.install(sub, sub.Query, p.in, p.resIn, p.cand, sub.Strategy)
+		if err != nil {
+			return fail(err)
+		}
+		old := p.si.Feed
+		p.si.Feed, p.si.Local = si.Feed, si.Local
+		e.sweepBroken(old)
+	}
+	dt.Duration = time.Since(started)
+	dt.Messages = rs.Messages
+	dt.VisitedPeers = rs.Visited
+	e.obs.Tracer.Record(dt)
+	sub.Trace = dt
+	reg.Counter("core.replan.repaired").Inc()
+	e.publishUse()
+	return nil
+}
+
+// dropSubscription removes a subscription whose repair failed, tearing down
+// its remaining feeds: broken ones are swept (resources already released),
+// live ones released normally.
+func (e *Engine) dropSubscription(sub *Subscription) {
+	for i, s := range e.subs {
+		if s == sub {
+			e.subs = append(e.subs[:i], e.subs[i+1:]...)
+			break
+		}
+	}
+	for _, si := range sub.Inputs {
+		if si.Feed.Broken {
+			e.sweepBroken(si.Feed)
+		} else {
+			e.release(si.Feed)
+		}
+	}
+	e.publishUse()
+}
+
+// sweepBroken removes a broken non-original stream from the registry (its
+// resources were already released by ReleaseBroken) and gives its parent the
+// usual no-consumers-left release check.
+func (e *Engine) sweepBroken(d *Deployed) {
+	if d == nil || d.Original {
+		return
+	}
+	for i, x := range e.deployed {
+		if x == d {
+			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
+			e.obs.Metrics.Counter("core.streams.swept").Inc()
+			break
+		}
+	}
+	e.release(d.Parent)
+}
+
+// hasChildren reports whether any deployed stream derives from d.
+func (e *Engine) hasChildren(d *Deployed) bool {
+	for _, x := range e.deployed {
+		if x.Parent == d {
+			return true
+		}
+	}
+	return false
+}
+
+// priceFootprint prices an installed plan's absolute usage additions against
+// the engine's *current* remaining capacities, mirroring costCandidate — so
+// an old plan and a candidate replacement are comparable. The caller must
+// have withdrawn the plan's own usage from the running totals first.
+func (e *Engine) priceFootprint(linkAdd map[network.LinkID]float64, peerAdd map[network.PeerID]float64) cost.Usage {
+	var u cost.Usage
+	for l, b := range linkAdd {
+		ln := e.Net.Link(l.A, l.B)
+		if ln == nil {
+			continue
+		}
+		u.Links = append(u.Links, cost.LinkUsage{
+			ID: l, Ub: b / ln.Bandwidth, Ab: 1 - e.linkUse[l]/ln.Bandwidth,
+		})
+	}
+	for p, w := range peerAdd {
+		pr := e.Net.Peer(p)
+		if pr == nil {
+			continue
+		}
+		u.Peers = append(u.Peers, cost.PeerUsage{
+			ID: p, Ul: w / pr.Capacity, Al: 1 - e.peerUse[p]/pr.Capacity,
+		})
+	}
+	return u
+}
+
+// TryMigrate re-plans a healthy subscription from scratch and migrates it
+// when the fresh plan is cheaper than re-pricing the current one by more
+// than the hysteresis fraction (newCost < oldCost·(1−hysteresis)) — the
+// bound that keeps triggered re-optimization from thrashing. The current
+// feeds are hidden from discovery and their usage withdrawn while planning,
+// so the comparison is fair; if the candidate loses, everything is restored
+// exactly. Subscriptions with broken feeds (repair territory) or feeds other
+// streams derive from (migration would strand the children) are skipped.
+//
+// It returns whether the subscription migrated. The event string labels the
+// decision trace of a successful migration.
+func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string) (bool, error) {
+	for _, si := range sub.Inputs {
+		if si.Feed.Broken || e.streamBroken(si.Feed) {
+			return false, nil
+		}
+		if e.hasChildren(si.Feed) {
+			return false, nil
+		}
+	}
+
+	// Withdraw the current plan: hide the feeds from discovery and release
+	// their usage so candidate plans price against the capacity that would
+	// actually be free after the migration.
+	for _, si := range sub.Inputs {
+		si.Feed.hidden = true
+		for l, b := range si.Feed.linkAdd {
+			e.linkUse[l] -= b
+			if e.linkUse[l] < 1e-9 {
+				e.linkUse[l] = 0
+			}
+		}
+		for p, w := range si.Feed.peerAdd {
+			e.peerUse[p] -= w
+			if e.peerUse[p] < 1e-9 {
+				e.peerUse[p] = 0
+			}
+		}
+	}
+	restore := func() {
+		for _, si := range sub.Inputs {
+			si.Feed.hidden = false
+			for l, b := range si.Feed.linkAdd {
+				e.linkUse[l] += b
+			}
+			for p, w := range si.Feed.peerAdd {
+				e.peerUse[p] += w
+			}
+		}
+	}
+
+	oldCost := 0.0
+	for _, si := range sub.Inputs {
+		oldCost += e.Cfg.Model.Cost(e.priceFootprint(si.Feed.linkAdd, si.Feed.peerAdd))
+	}
+
+	started := time.Now()
+	dt := &obs.DecisionTrace{
+		SubID:    sub.ID,
+		Strategy: sub.Strategy.String(),
+		Target:   string(sub.Target),
+		Query:    sub.Trace.Query,
+		Event:    event,
+	}
+	var rs RegStats
+	result := sub.Props.Result()
+	type planned struct {
+		in    *properties.Input
+		resIn *properties.Input
+		cand  *candidate
+	}
+	var plans []planned
+	newCost := 0.0
+	for _, si := range sub.Inputs {
+		in := si.In
+		it := dt.Input(in.Stream)
+		var c *candidate
+		var err error
+		switch sub.Strategy {
+		case DataShipping:
+			c, err = e.planDataShipping(sub.Query, in, sub.Target, &rs, it)
+		case QueryShipping:
+			c, err = e.planQueryShipping(sub.Query, in, sub.Target, &rs, it)
+		default:
+			c, err = e.planStreamSharing(in, sub.Target, &rs, it)
+		}
+		if err != nil {
+			restore()
+			return false, nil // no feasible alternative; keep the current plan
+		}
+		newCost += c.cost
+		plans = append(plans, planned{in: in, resIn: result.Input(in.Stream), cand: c})
+	}
+
+	if newCost >= oldCost*(1-hysteresis) {
+		restore()
+		return false, nil
+	}
+
+	// Migrate make-before-break: install the new feeds, then discard the old
+	// ones (their usage is already withdrawn).
+	var installed []*SubInput
+	for _, p := range plans {
+		si, err := e.install(sub, sub.Query, p.in, p.resIn, p.cand, sub.Strategy)
+		if err != nil {
+			for _, done := range installed {
+				e.uninstallFeed(done.Feed)
+			}
+			restore()
+			return false, err
+		}
+		installed = append(installed, si)
+	}
+	for i, si := range sub.Inputs {
+		old := si.Feed
+		si.Feed, si.Local = installed[i].Feed, installed[i].Local
+		for j, x := range e.deployed {
+			if x == old {
+				e.deployed = append(e.deployed[:j], e.deployed[j+1:]...)
+				break
+			}
+		}
+		e.release(old.Parent)
+	}
+	dt.Duration = time.Since(started)
+	dt.Messages = rs.Messages
+	dt.VisitedPeers = rs.Visited
+	e.obs.Tracer.Record(dt)
+	sub.Trace = dt
+	e.obs.Metrics.Counter("core.migrate.total").Inc()
+	e.publishUse()
+	return true, nil
+}
+
+// uninstallFeed reverses a just-completed install: removes the feed and
+// subtracts the usage it applied.
+func (e *Engine) uninstallFeed(d *Deployed) {
+	for i, x := range e.deployed {
+		if x == d {
+			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
+			break
+		}
+	}
+	for l, b := range d.linkAdd {
+		e.linkUse[l] -= b
+		if e.linkUse[l] < 1e-9 {
+			e.linkUse[l] = 0
+		}
+	}
+	for p, w := range d.peerAdd {
+		e.peerUse[p] -= w
+		if e.peerUse[p] < 1e-9 {
+			e.peerUse[p] = 0
+		}
+	}
+	e.release(d.Parent)
+}
+
+// Subscription returns the installed subscription with the given id, or nil.
+func (e *Engine) Subscription(id string) *Subscription {
+	for _, s := range e.subs {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}

@@ -78,11 +78,12 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 		return fail(err)
 	}
 	sub := &Subscription{
-		ID:     dt.SubID,
-		Query:  q,
-		Props:  props,
-		Target: target,
-		Trace:  dt,
+		ID:       dt.SubID,
+		Query:    q,
+		Props:    props,
+		Target:   target,
+		Strategy: strat,
+		Trace:    dt,
 	}
 	result := props.Result()
 

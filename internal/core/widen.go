@@ -46,7 +46,7 @@ type widening struct {
 func (e *Engine) widenCandidate(in *properties.Input, target network.PeerID) *candidate {
 	var best *candidate
 	for _, d := range e.deployed {
-		if d.Original || d.NotShareable || d.Input.Stream != in.Stream {
+		if d.Original || d.NotShareable || d.Broken || d.hidden || d.Input.Stream != in.Stream {
 			continue
 		}
 		if d.Parent == nil || !d.Parent.Original {

@@ -8,6 +8,13 @@
 // load, link traffic) are ratios of the modeled capacities, which preserves
 // the relative comparison between data shipping, query shipping and stream
 // sharing.
+//
+// The topology is mutable after construction: peers and links can fail and
+// be restored, new peers and links can join, and capacities/bandwidths can
+// change (the §6 dynamic-network concern; see internal/adapt for the repair
+// layer that reacts to these events). Routing — Neighbors, ShortestPath —
+// only ever uses the live part of the topology. Change observers registered
+// with OnChange are notified synchronously of every mutation.
 package network
 
 import (
@@ -55,24 +62,88 @@ type Link struct {
 	Bandwidth float64
 }
 
-// Network is a static topology of peers and links.
+// ChangeKind enumerates topology mutations.
+type ChangeKind int
+
+// Topology change kinds, emitted to OnChange observers.
+const (
+	PeerAdded ChangeKind = iota
+	PeerFailed
+	PeerRestored
+	LinkAdded
+	LinkFailed
+	LinkRestored
+	CapacityChanged
+	BandwidthChanged
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case PeerAdded:
+		return "peer-added"
+	case PeerFailed:
+		return "peer-failed"
+	case PeerRestored:
+		return "peer-restored"
+	case LinkAdded:
+		return "link-added"
+	case LinkFailed:
+		return "link-failed"
+	case LinkRestored:
+		return "link-restored"
+	case CapacityChanged:
+		return "capacity-changed"
+	case BandwidthChanged:
+		return "bandwidth-changed"
+	}
+	return fmt.Sprintf("ChangeKind(%d)", int(k))
+}
+
+// Change describes one topology mutation. Peer is set for peer events and
+// capacity changes; Link for link events and bandwidth changes; Value carries
+// the new capacity or bandwidth.
+type Change struct {
+	Kind  ChangeKind
+	Peer  PeerID
+	Link  LinkID
+	Value float64
+}
+
+// Network is a topology of peers and links, mutable after construction.
 type Network struct {
 	peers map[PeerID]*Peer
 	links map[LinkID]*Link
 	adj   map[PeerID][]PeerID
+
+	downPeers map[PeerID]bool
+	downLinks map[LinkID]bool
+	watchers  []func(Change)
 }
 
 // New returns an empty network.
 func New() *Network {
 	return &Network{
-		peers: map[PeerID]*Peer{},
-		links: map[LinkID]*Link{},
-		adj:   map[PeerID][]PeerID{},
+		peers:     map[PeerID]*Peer{},
+		links:     map[LinkID]*Link{},
+		adj:       map[PeerID][]PeerID{},
+		downPeers: map[PeerID]bool{},
+		downLinks: map[LinkID]bool{},
+	}
+}
+
+// OnChange registers an observer notified synchronously of every topology
+// mutation, in registration order.
+func (n *Network) OnChange(fn func(Change)) { n.watchers = append(n.watchers, fn) }
+
+func (n *Network) notify(c Change) {
+	for _, fn := range n.watchers {
+		fn(c)
 	}
 }
 
 // AddPeer registers a peer; it panics on duplicates (topologies are built
-// programmatically).
+// programmatically — use Peer() to probe before dynamic joins).
 func (n *Network) AddPeer(p Peer) {
 	if _, dup := n.peers[p.ID]; dup {
 		panic(fmt.Sprintf("network: duplicate peer %s", p.ID))
@@ -85,6 +156,7 @@ func (n *Network) AddPeer(p Peer) {
 	}
 	cp := p
 	n.peers[p.ID] = &cp
+	n.notify(Change{Kind: PeerAdded, Peer: p.ID, Value: cp.Capacity})
 }
 
 // Connect links two existing peers with the given bandwidth (bytes/second).
@@ -99,6 +171,102 @@ func (n *Network) Connect(a, b PeerID, bandwidth float64) {
 	n.links[id] = &Link{ID: id, Bandwidth: bandwidth}
 	n.adj[a] = append(n.adj[a], b)
 	n.adj[b] = append(n.adj[b], a)
+	n.notify(Change{Kind: LinkAdded, Link: id, Value: bandwidth})
+}
+
+// FailPeer marks a peer as down. Routing excludes it (and implicitly every
+// link incident to it) until RestorePeer. Failing an already-down peer is a
+// no-op.
+func (n *Network) FailPeer(id PeerID) error {
+	if n.peers[id] == nil {
+		return fmt.Errorf("network: fail unknown peer %s", id)
+	}
+	if n.downPeers[id] {
+		return nil
+	}
+	n.downPeers[id] = true
+	n.notify(Change{Kind: PeerFailed, Peer: id})
+	return nil
+}
+
+// RestorePeer brings a failed peer back. Restoring an up peer is a no-op.
+func (n *Network) RestorePeer(id PeerID) error {
+	if n.peers[id] == nil {
+		return fmt.Errorf("network: restore unknown peer %s", id)
+	}
+	if !n.downPeers[id] {
+		return nil
+	}
+	delete(n.downPeers, id)
+	n.notify(Change{Kind: PeerRestored, Peer: id})
+	return nil
+}
+
+// FailLink marks the link between two peers as down until RestoreLink.
+func (n *Network) FailLink(a, b PeerID) error {
+	id := MakeLinkID(a, b)
+	if n.links[id] == nil {
+		return fmt.Errorf("network: fail unknown link %s", id)
+	}
+	if n.downLinks[id] {
+		return nil
+	}
+	n.downLinks[id] = true
+	n.notify(Change{Kind: LinkFailed, Link: id})
+	return nil
+}
+
+// RestoreLink brings a failed link back.
+func (n *Network) RestoreLink(a, b PeerID) error {
+	id := MakeLinkID(a, b)
+	if n.links[id] == nil {
+		return fmt.Errorf("network: restore unknown link %s", id)
+	}
+	if !n.downLinks[id] {
+		return nil
+	}
+	delete(n.downLinks, id)
+	n.notify(Change{Kind: LinkRestored, Link: id})
+	return nil
+}
+
+// PeerUp reports whether the peer exists and is not failed.
+func (n *Network) PeerUp(id PeerID) bool { return n.peers[id] != nil && !n.downPeers[id] }
+
+// LinkUp reports whether the link exists, is not failed, and both its
+// endpoints are up.
+func (n *Network) LinkUp(a, b PeerID) bool {
+	id := MakeLinkID(a, b)
+	return n.links[id] != nil && !n.downLinks[id] && n.PeerUp(a) && n.PeerUp(b)
+}
+
+// SetCapacity changes a peer's computational capacity (work units/second).
+func (n *Network) SetCapacity(id PeerID, capacity float64) error {
+	p := n.peers[id]
+	if p == nil {
+		return fmt.Errorf("network: set capacity of unknown peer %s", id)
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("network: capacity of %s must be positive", id)
+	}
+	p.Capacity = capacity
+	n.notify(Change{Kind: CapacityChanged, Peer: id, Value: capacity})
+	return nil
+}
+
+// SetBandwidth changes a link's bandwidth (bytes/second).
+func (n *Network) SetBandwidth(a, b PeerID, bandwidth float64) error {
+	id := MakeLinkID(a, b)
+	l := n.links[id]
+	if l == nil {
+		return fmt.Errorf("network: set bandwidth of unknown link %s", id)
+	}
+	if bandwidth <= 0 {
+		return fmt.Errorf("network: bandwidth of %s must be positive", id)
+	}
+	l.Bandwidth = bandwidth
+	n.notify(Change{Kind: BandwidthChanged, Link: id, Value: bandwidth})
+	return nil
 }
 
 // Peer returns a peer by id, or nil.
@@ -144,16 +312,26 @@ func (n *Network) Links() []LinkID {
 	return out
 }
 
-// Neighbors returns the peers adjacent to id, sorted.
+// Neighbors returns the peers reachable from id over live links, sorted.
+// Failed peers and failed links are excluded.
 func (n *Network) Neighbors(id PeerID) []PeerID {
-	out := append([]PeerID(nil), n.adj[id]...)
+	var out []PeerID
+	for _, w := range n.adj[id] {
+		if n.LinkUp(id, w) {
+			out = append(out, w)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// ShortestPath returns a minimum-hop path from a to b including both
-// endpoints, or nil if unreachable. Ties break deterministically by peer id.
+// ShortestPath returns a minimum-hop path from a to b over the live topology
+// including both endpoints, or nil if unreachable (including when either
+// endpoint is down). Ties break deterministically by peer id.
 func (n *Network) ShortestPath(a, b PeerID) []PeerID {
+	if !n.PeerUp(a) || !n.PeerUp(b) {
+		return nil
+	}
 	if a == b {
 		return []PeerID{a}
 	}

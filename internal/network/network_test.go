@@ -131,3 +131,153 @@ func expectPanic(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+func TestFailRestorePeerRouting(t *testing.T) {
+	n := paperTopology()
+	// SP0→SP4 normally goes through SP2.
+	if p := n.ShortestPath("SP0", "SP4"); len(p) != 3 || p[1] != "SP2" {
+		t.Fatalf("baseline path = %v", p)
+	}
+	if err := n.FailPeer("SP2"); err != nil {
+		t.Fatal(err)
+	}
+	if n.PeerUp("SP2") {
+		t.Error("SP2 still up after FailPeer")
+	}
+	p := n.ShortestPath("SP0", "SP4")
+	if p == nil {
+		t.Fatal("no path around failed SP2")
+	}
+	for _, v := range p {
+		if v == "SP2" {
+			t.Fatalf("path %v crosses failed peer", p)
+		}
+	}
+	// Paths from or to a down peer do not exist.
+	if n.ShortestPath("SP2", "SP0") != nil || n.ShortestPath("SP0", "SP2") != nil {
+		t.Error("path to/from failed peer should be nil")
+	}
+	if got := n.Neighbors("SP2"); len(got) != 0 {
+		t.Errorf("failed peer has neighbors %v", got)
+	}
+	if err := n.RestorePeer("SP2"); err != nil {
+		t.Fatal(err)
+	}
+	if p := n.ShortestPath("SP0", "SP4"); len(p) != 3 || p[1] != "SP2" {
+		t.Errorf("path after restore = %v", p)
+	}
+}
+
+func TestFailRestoreLinkRouting(t *testing.T) {
+	n := paperTopology()
+	if err := n.FailLink("SP0", "SP2"); err != nil {
+		t.Fatal(err)
+	}
+	if n.LinkUp("SP2", "SP0") {
+		t.Error("link still up after FailLink")
+	}
+	p := n.ShortestPath("SP0", "SP4")
+	if p == nil {
+		t.Fatal("no path around failed link")
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if MakeLinkID(p[i], p[i+1]) == MakeLinkID("SP0", "SP2") {
+			t.Fatalf("path %v crosses failed link", p)
+		}
+	}
+	if err := n.RestoreLink("SP2", "SP0"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.LinkUp("SP0", "SP2") {
+		t.Error("link down after restore")
+	}
+}
+
+func TestDynamicErrorsAndIdempotence(t *testing.T) {
+	n := paperTopology()
+	if err := n.FailPeer("nope"); err == nil {
+		t.Error("failing unknown peer should error")
+	}
+	if err := n.FailLink("SP0", "SP7"); err == nil {
+		t.Error("failing unknown link should error")
+	}
+	if err := n.SetCapacity("nope", 1); err == nil {
+		t.Error("capacity of unknown peer should error")
+	}
+	if err := n.SetCapacity("SP0", -5); err == nil {
+		t.Error("non-positive capacity should error")
+	}
+	if err := n.SetBandwidth("SP0", "SP2", 0); err == nil {
+		t.Error("non-positive bandwidth should error")
+	}
+	// Fail/restore twice are no-ops, not errors.
+	for i := 0; i < 2; i++ {
+		if err := n.FailPeer("SP3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := n.RestorePeer("SP3"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.SetCapacity("SP0", 250); err != nil {
+		t.Fatal(err)
+	}
+	if n.Peer("SP0").Capacity != 250 {
+		t.Error("capacity not applied")
+	}
+	if err := n.SetBandwidth("SP0", "SP2", 99); err != nil {
+		t.Fatal(err)
+	}
+	if n.Link("SP0", "SP2").Bandwidth != 99 {
+		t.Error("bandwidth not applied")
+	}
+}
+
+func TestOnChangeNotifications(t *testing.T) {
+	n := paperTopology()
+	var got []Change
+	n.OnChange(func(c Change) { got = append(got, c) })
+	n.AddPeer(Peer{ID: "SP8", Super: true, Capacity: 10, PerfIndex: 1})
+	n.Connect("SP7", "SP8", 1000)
+	if err := n.FailPeer("SP8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RestorePeer("SP8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailLink("SP7", "SP8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RestoreLink("SP7", "SP8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetCapacity("SP8", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetBandwidth("SP7", "SP8", 2000); err != nil {
+		t.Fatal(err)
+	}
+	want := []ChangeKind{PeerAdded, LinkAdded, PeerFailed, PeerRestored,
+		LinkFailed, LinkRestored, CapacityChanged, BandwidthChanged}
+	if len(got) != len(want) {
+		t.Fatalf("got %d changes, want %d: %v", len(got), len(want), got)
+	}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Errorf("change %d = %v, want %v", i, got[i].Kind, k)
+		}
+	}
+	// Idempotent no-ops emit nothing.
+	before := len(got)
+	if err := n.FailLink("SP7", "SP8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailLink("SP7", "SP8"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != before+1 {
+		t.Errorf("repeated failure emitted %d extra changes, want 1", len(got)-before)
+	}
+}

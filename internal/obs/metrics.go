@@ -334,3 +334,9 @@ type Observer struct {
 func NewObserver() *Observer {
 	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(256)}
 }
+
+// NewObserverRing is NewObserver with an explicit decision-trace ring
+// capacity (core.Config.TraceRing threads through here).
+func NewObserverRing(capacity int) *Observer {
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(capacity)}
+}

@@ -85,6 +85,10 @@ type DecisionTrace struct {
 	Target string `json:"target"`
 	// Query is the subscription's WXQuery source text.
 	Query string `json:"query"`
+	// Event labels re-planning traces with the adaptation event that caused
+	// them ("repair peer-failed SP6", "migrate after unsub q7"). Empty for
+	// ordinary registrations.
+	Event string `json:"event,omitempty"`
 	// Inputs holds one trace per input stream, in plan order.
 	Inputs []*InputTrace `json:"inputs"`
 	// Err is set when the registration failed (parse error, rejection, …).
@@ -119,8 +123,12 @@ func (d *DecisionTrace) Lines() []string {
 	if d.Err != "" {
 		status = "failed: " + d.Err
 	}
-	out = append(out, fmt.Sprintf("decision %s strategy=%q target=%s %s (%v compute, %d messages, %d peers visited)",
-		d.SubID, d.Strategy, d.Target, status, d.Duration.Round(time.Microsecond), d.Messages, d.VisitedPeers))
+	event := ""
+	if d.Event != "" {
+		event = fmt.Sprintf(" event=%q", d.Event)
+	}
+	out = append(out, fmt.Sprintf("decision %s strategy=%q target=%s%s %s (%v compute, %d messages, %d peers visited)",
+		d.SubID, d.Strategy, d.Target, event, status, d.Duration.Round(time.Microsecond), d.Messages, d.VisitedPeers))
 	for _, in := range d.Inputs {
 		out = append(out, fmt.Sprintf("input %s visited=[%s] candidates=%d",
 			in.Stream, strings.Join(in.Visited, " "), len(in.Candidates)))

@@ -13,7 +13,9 @@ package runtime
 
 import (
 	"fmt"
+	"log"
 	"sync"
+	"sync/atomic"
 
 	"streamshare/internal/core"
 	"streamshare/internal/exec"
@@ -43,6 +45,14 @@ type mailbox struct {
 	// Unbounded mailboxes can't drop messages, so this is the one depth
 	// statistic that matters — how far a peer fell behind its producers.
 	hwm int
+	// softCap, when positive, flags (but never drops) pushes that grow the
+	// queue beyond it: overflow counts them and the first one logs a
+	// warning, making churn-induced backlog visible without giving up the
+	// no-deadlock guarantee.
+	softCap  int
+	overflow int
+	warned   bool
+	owner    network.PeerID
 }
 
 func newMailbox() *mailbox {
@@ -57,8 +67,21 @@ func (m *mailbox) push(msg message) {
 	if len(m.q) > m.hwm {
 		m.hwm = len(m.q)
 	}
+	if m.softCap > 0 && len(m.q) > m.softCap {
+		m.overflow++
+		if !m.warned {
+			m.warned = true
+			log.Printf("runtime: peer %s mailbox exceeded soft cap %d", m.owner, m.softCap)
+		}
+	}
 	m.mu.Unlock()
 	m.cond.Signal()
+}
+
+func (m *mailbox) overflowCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.overflow
 }
 
 func (m *mailbox) highWater() int {
@@ -122,12 +145,22 @@ type Runtime struct {
 	// the engine's metrics registry after the run.
 	msgs     int
 	serBytes int
+
+	// Fault injection (chaos testing): severed links drop messages at the
+	// sender, killed peers discard at the receiver; dropped counts both.
+	sevMu   sync.RWMutex
+	severed map[network.LinkID]bool
+	dropped int
 }
 
 // node is one peer actor.
 type node struct {
 	id    network.PeerID
 	inbox *mailbox
+	// dead marks a killed peer: its goroutine keeps draining the mailbox so
+	// quiescence stays exact, but every message is discarded (fault
+	// injection; see KillPeer).
+	dead atomic.Bool
 	// taps lists derived streams whose residual runs here, keyed by parent.
 	taps map[*core.Deployed][]*core.Deployed
 	// readers lists subscription inputs consuming a stream at this target.
@@ -150,13 +183,16 @@ func New(eng *core.Engine, collect bool) *Runtime {
 		counts:  map[string]int{},
 	}
 	r.qcond = sync.NewCond(&r.qmu)
+	r.severed = map[network.LinkID]bool{}
 	if collect {
 		r.items = map[string][]*xmlstream.Element{}
 	}
 	for _, id := range eng.Net.Peers() {
+		mb := newMailbox()
+		mb.owner = id
 		r.nodes[id] = &node{
 			id:      id,
-			inbox:   newMailbox(),
+			inbox:   mb,
 			taps:    map[*core.Deployed][]*core.Deployed{},
 			readers: map[*core.Deployed][]readerEntry{},
 		}
@@ -238,6 +274,54 @@ func (r *Runtime) MailboxHWM() map[network.PeerID]int {
 	return out
 }
 
+// SetMailboxSoftCap sets a soft queue-depth cap on every peer mailbox:
+// pushes beyond it are counted (runtime.mailbox.overflow) and the first one
+// per mailbox logs a warning, but nothing is dropped or blocked — the
+// unbounded no-deadlock design is unchanged. Zero (the default) disables
+// the check. Call before Run.
+func (r *Runtime) SetMailboxSoftCap(n int) {
+	for _, nd := range r.nodes {
+		nd.inbox.mu.Lock()
+		nd.inbox.softCap = n
+		nd.inbox.mu.Unlock()
+	}
+}
+
+// KillPeer kills a peer's actor mid-run: from now on the peer discards
+// every message — queued or future — without processing or forwarding, as
+// a crashed super-peer would. Safe to call while Run is in flight;
+// quiescence and termination are unaffected. The runtime's wiring is fixed
+// at New, so repair means re-planning on the engine and building a fresh
+// runtime.
+func (r *Runtime) KillPeer(id network.PeerID) error {
+	n := r.nodes[id]
+	if n == nil {
+		return fmt.Errorf("runtime: kill unknown peer %s", id)
+	}
+	n.dead.Store(true)
+	return nil
+}
+
+// SeverLink severs the link between two peers mid-run: messages routed
+// across it are dropped at the sender (and counted) instead of delivered.
+// Safe to call while Run is in flight.
+func (r *Runtime) SeverLink(a, b network.PeerID) error {
+	if r.nodes[a] == nil || r.nodes[b] == nil {
+		return fmt.Errorf("runtime: sever unknown link %s-%s", a, b)
+	}
+	r.sevMu.Lock()
+	r.severed[network.MakeLinkID(a, b)] = true
+	r.sevMu.Unlock()
+	return nil
+}
+
+// Dropped reports how many messages fault injection discarded so far.
+func (r *Runtime) Dropped() int {
+	r.sevMu.RLock()
+	defer r.sevMu.RUnlock()
+	return r.dropped
+}
+
 // publish feeds the run's measurements into the engine's metrics registry:
 // the shared link/peer counters under the "runtime" prefix (comparable
 // one-to-one with the simulator's "sim" counters), message/serialization
@@ -253,20 +337,44 @@ func (r *Runtime) publish() {
 	reg.Counter("runtime.runs").Inc()
 	reg.Counter("runtime.messages").Add(float64(msgs))
 	reg.Counter("runtime.serialized.bytes").Add(float64(bytes))
-	for id, hwm := range r.MailboxHWM() {
-		reg.Gauge("runtime.mailbox.hwm." + string(id)).SetMax(float64(hwm))
+	if d := r.Dropped(); d > 0 {
+		reg.Counter("runtime.dropped.messages").Add(float64(d))
+	}
+	overflow := 0
+	for id, n := range r.nodes {
+		reg.Gauge("runtime.mailbox.hwm." + string(id)).SetMax(float64(n.inbox.highWater()))
+		overflow += n.inbox.overflowCount()
+	}
+	if overflow > 0 {
+		reg.Counter("runtime.mailbox.overflow").Add(float64(overflow))
 	}
 }
 
 // send enqueues a message for the peer at the given hop of the stream's
-// route, accounting link traffic for hops past the producer.
+// route, accounting link traffic for hops past the producer. Messages bound
+// for a killed peer or across a severed link are dropped (and counted)
+// before any accounting — a dead wire carries nothing.
 func (r *Runtime) send(m message) {
 	peer := m.stream.Route[m.hop]
-	if m.hop > 0 && m.data != nil {
+	dst := r.nodes[peer]
+	if dst.dead.Load() {
+		r.drop()
+		return
+	}
+	if m.hop > 0 {
 		l := network.MakeLinkID(m.stream.Route[m.hop-1], peer)
-		r.mu.Lock()
-		r.metrics.AddTraffic(l, float64(len(m.data)))
-		r.mu.Unlock()
+		r.sevMu.RLock()
+		cut := r.severed[l]
+		r.sevMu.RUnlock()
+		if cut {
+			r.drop()
+			return
+		}
+		if m.data != nil {
+			r.mu.Lock()
+			r.metrics.AddTraffic(l, float64(len(m.data)))
+			r.mu.Unlock()
+		}
 	}
 	r.qmu.Lock()
 	r.inflight++
@@ -275,7 +383,13 @@ func (r *Runtime) send(m message) {
 		r.serBytes += len(m.data)
 	}
 	r.qmu.Unlock()
-	r.nodes[peer].inbox.push(m)
+	dst.inbox.push(m)
+}
+
+func (r *Runtime) drop() {
+	r.sevMu.Lock()
+	r.dropped++
+	r.sevMu.Unlock()
 }
 
 func (r *Runtime) finish() {
@@ -288,14 +402,20 @@ func (r *Runtime) finish() {
 }
 
 // nodeLoop processes a peer's mailbox sequentially (operator state is
-// single-threaded per peer, like one blade's engine).
+// single-threaded per peer, like one blade's engine). A killed peer keeps
+// draining — discarding messages that were queued before the kill — so the
+// in-flight count still returns to zero and Run terminates.
 func (r *Runtime) nodeLoop(n *node) {
 	for {
 		m, ok := n.inbox.pop()
 		if !ok {
 			return
 		}
-		r.handle(n, m)
+		if n.dead.Load() {
+			r.drop()
+		} else {
+			r.handle(n, m)
+		}
 		r.finish()
 	}
 }

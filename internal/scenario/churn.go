@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"streamshare/internal/adapt"
+	"streamshare/internal/core"
+	"streamshare/internal/xmlstream"
+)
+
+// DefaultChurnSchedule is the scripted failure schedule of the churn
+// experiment: scenario 2 loses a grid link and a subscriber super-peer
+// mid-stream (repairs plus explicit rejections), both come back, one query
+// unsubscribes, and a re-optimization pass migrates whatever the churn left
+// on detours. Parse with adapt.ParseSchedule.
+const DefaultChurnSchedule = "fail:SP1-SP2; fail:SP15; restore:SP15; restore:SP1-SP2; unsub:q1; reopt"
+
+// ChurnResult is the outcome of a scenario run under a failure schedule:
+// stream delivery before the churn, the adaptation reports, and delivery
+// after every subscription was repaired, migrated or explicitly rejected.
+type ChurnResult struct {
+	Strategy core.Strategy
+	// Before and After are the simulated deliveries of the first and second
+	// half of the streams, around the schedule.
+	Before, After *core.SimResult
+	// Reports holds one entry per subscription-level adaptation outcome.
+	Reports []adapt.Report
+	// Repaired, Rejected and Migrated tally the report outcomes.
+	Repaired, Rejected, Migrated int
+	// RegRejected counts queries refused at registration (admission).
+	RegRejected int
+	Engine      *core.Engine
+}
+
+// RepairLatencies returns the repair latency series in event order (the
+// churn experiment's latency histogram input).
+func (c *ChurnResult) RepairLatencies() []time.Duration {
+	var out []time.Duration
+	for _, r := range c.Reports {
+		if r.Outcome == adapt.Repaired || r.Outcome == adapt.Rejected {
+			out = append(out, r.Latency)
+		}
+	}
+	return out
+}
+
+// RunChurn registers every query under the given strategy, streams the
+// first half of each source, applies the adaptation schedule, and streams
+// the second half over the adapted plans. Event application errors (unknown
+// peer, bad schedule) abort the run; repair rejections are reports, not
+// errors.
+func (s *Scenario) RunChurn(strat core.Strategy, cfg core.Config, events []adapt.Event) (*ChurnResult, error) {
+	eng := core.NewEngine(s.Net, cfg)
+	for _, src := range s.Sources {
+		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+			return nil, err
+		}
+	}
+	res := &ChurnResult{Strategy: strat, Engine: eng}
+	for _, q := range s.Queries {
+		if _, err := eng.Subscribe(q.Src, q.Target, strat); err != nil {
+			if cfg.Admission {
+				res.RegRejected++
+				continue
+			}
+			return nil, fmt.Errorf("%s at %s: %w", strat, q.Target, err)
+		}
+	}
+
+	feedA := map[string][]*xmlstream.Element{}
+	feedB := map[string][]*xmlstream.Element{}
+	for _, src := range s.Sources {
+		half := len(src.Items) / 2
+		feedA[src.Name] = src.Items[:half]
+		feedB[src.Name] = src.Items[half:]
+	}
+
+	before, err := eng.Simulate(feedA, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Before = before
+
+	mgr := adapt.NewManager(eng)
+	reports, err := mgr.ApplyAll(events)
+	res.Reports = reports
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reports {
+		switch r.Outcome {
+		case adapt.Repaired:
+			res.Repaired++
+		case adapt.Rejected:
+			res.Rejected++
+		case adapt.Migrated:
+			res.Migrated++
+		}
+	}
+	if n := len(eng.Affected()); n != 0 {
+		return nil, fmt.Errorf("scenario: %d subscriptions still stranded after the schedule", n)
+	}
+
+	after, err := eng.Simulate(feedB, false)
+	if err != nil {
+		return nil, err
+	}
+	res.After = after
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"testing"
+
+	"streamshare/internal/adapt"
+	"streamshare/internal/core"
+)
+
+func TestRunChurnScenario2(t *testing.T) {
+	events, err := adapt.ParseSchedule(DefaultChurnSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scenario2(400)
+	res, err := s.RunChurn(core.StreamSharing, core.Config{}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before == nil || res.After == nil {
+		t.Fatal("both stream halves should have been simulated")
+	}
+	if res.Repaired == 0 {
+		t.Error("the grid link failure should repair at least one subscription")
+	}
+	if res.Rejected == 0 {
+		t.Error("failing subscriber peer SP15 should reject its subscriptions")
+	}
+	if len(res.RepairLatencies()) != res.Repaired+res.Rejected {
+		t.Errorf("latency series has %d entries for %d repairs + %d rejections",
+			len(res.RepairLatencies()), res.Repaired, res.Rejected)
+	}
+	if len(res.Engine.Affected()) != 0 {
+		t.Error("no subscription may remain stranded")
+	}
+	// Every registered subscription is accounted for: still installed, or
+	// reported rejected, or unsubscribed by the schedule (q1).
+	installed := len(res.Engine.Subscriptions())
+	if installed+res.Rejected+1 != len(s.Queries) {
+		t.Errorf("%d installed + %d rejected + 1 unsubscribed ≠ %d queries",
+			installed, res.Rejected, len(s.Queries))
+	}
+	snap := res.Engine.Obs().Metrics.Snapshot()
+	if snap.Counters["adapt.events.total"] != float64(len(events)) {
+		t.Errorf("adapt.events.total = %v, want %d", snap.Counters["adapt.events.total"], len(events))
+	}
+}
+
+func TestScenarioSeedsReproduce(t *testing.T) {
+	a := Scenario2Seed(50, 7)
+	b := Scenario2Seed(50, 7)
+	c := Scenario2Seed(50, 8)
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("same seed, different query counts")
+	}
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Errorf("query %d differs under the same seed", i)
+		}
+		if i < len(c.Queries) && a.Queries[i] != c.Queries[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should change the workload")
+	}
+	// Seed 0 is the classic workload.
+	d, e := Scenario1(50), Scenario1Seed(50, 0)
+	for i := range d.Queries {
+		if d.Queries[i] != e.Queries[i] {
+			t.Fatal("Scenario1Seed(…, 0) must equal Scenario1")
+		}
+	}
+}

@@ -62,8 +62,18 @@ const (
 )
 
 // Scenario1 builds the extended example scenario: 8 super-peers, 1 data
-// stream, 25 queries (Fig. 6).
-func Scenario1(items int) *Scenario {
+// stream, 25 queries (Fig. 6), with the classic seeds used throughout the
+// experiments.
+func Scenario1(items int) *Scenario { return Scenario1Seed(items, 0) }
+
+// Scenario1Seed is Scenario1 with every random source derived from the
+// given base seed, so runs reproduce byte-for-byte per seed. Seed 0 selects
+// the classic constants (identical to Scenario1).
+func Scenario1Seed(items int, seed int64) *Scenario {
+	srcSeed, genSeed := int64(42), int64(1)
+	if seed != 0 {
+		srcSeed, genSeed = seed, seed+1
+	}
 	n := network.New()
 	for i := 0; i < 8; i++ {
 		n.AddPeer(network.Peer{ID: sp(i), Super: true, Capacity: scenario1Capacity, PerfIndex: 1})
@@ -73,8 +83,8 @@ func Scenario1(items int) *Scenario {
 	} {
 		n.Connect(sp(e[0]), sp(e[1]), linkBandwidth)
 	}
-	src := makeSource("photons", sp(4), photons.DefaultConfig(), 42, items)
-	gen := workload.NewGenerator("photons", workload.DefaultSets(), 1)
+	src := makeSource("photons", sp(4), photons.DefaultConfig(), srcSeed, items)
+	gen := workload.NewGenerator("photons", workload.DefaultSets(), genSeed)
 	// Subscribers cluster at a few institute super-peers, as in the paper's
 	// motivating scenario (P1–P4 at SP1, SP3, SP5, SP7): 25 queries over
 	// five target peers.
@@ -93,8 +103,18 @@ func Scenario1(items int) *Scenario {
 }
 
 // Scenario2 builds the 4×4 grid scenario: 16 super-peers, 2 data streams,
-// 100 queries (Fig. 7, Table 1, rejection experiment).
-func Scenario2(items int) *Scenario {
+// 100 queries (Fig. 7, Table 1, rejection experiment), with the classic
+// seeds.
+func Scenario2(items int) *Scenario { return Scenario2Seed(items, 0) }
+
+// Scenario2Seed is Scenario2 with every random source derived from the
+// given base seed. Seed 0 selects the classic constants (identical to
+// Scenario2).
+func Scenario2Seed(items int, seed int64) *Scenario {
+	srcSeedA, srcSeedB, genSeedA, genSeedB := int64(42), int64(43), int64(2), int64(3)
+	if seed != 0 {
+		srcSeedA, srcSeedB, genSeedA, genSeedB = seed, seed+1, seed+2, seed+3
+	}
 	n := network.New()
 	for i := 0; i < 16; i++ {
 		n.AddPeer(network.Peer{ID: sp(i), Super: true, Capacity: scenario2Capacity, PerfIndex: 1})
@@ -113,11 +133,11 @@ func Scenario2(items int) *Scenario {
 	cfg2 := photons.DefaultConfig()
 	cfg2.RAMin, cfg2.RAMax = 90, 150 // overlapping but distinct sky band
 	sources := []*Source{
-		makeSource("photons", sp(5), photons.DefaultConfig(), 42, items),
-		makeSource("photons2", sp(10), cfg2, 43, items),
+		makeSource("photons", sp(5), photons.DefaultConfig(), srcSeedA, items),
+		makeSource("photons2", sp(10), cfg2, srcSeedB, items),
 	}
-	genA := workload.NewGenerator("photons", workload.DefaultSets(), 2)
-	genB := workload.NewGenerator("photons2", workload.DefaultSets(), 3)
+	genA := workload.NewGenerator("photons", workload.DefaultSets(), genSeedA)
+	genB := workload.NewGenerator("photons2", workload.DefaultSets(), genSeedB)
 	var queries []Query
 	for i := 0; i < 100; i++ {
 		var q string

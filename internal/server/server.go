@@ -21,6 +21,14 @@
 //	                     every candidate stream with match outcome, rejection
 //	                     reason and cost breakdown; without an id, one summary
 //	                     line per retained trace
+//	FAIL <peer>        → fail a super-peer (or a link: FAIL <a>-<b>); severed
+//	                     subscriptions are re-planned over the surviving
+//	                     topology or explicitly rejected; one report line each
+//	RESTORE <peer>     → bring a peer (or link: RESTORE <a>-<b>) back and
+//	                     repair around the restored topology
+//	ADAPT <schedule>   → apply a whole adaptation schedule (adapt.ParseSchedule
+//	                     syntax, e.g. "fail:SP1-SP2; restore:SP1-SP2; reopt");
+//	                     reports follow, one line per affected subscription
 //	QUIT               → close the connection
 //
 // Every reply is a single "OK …"/"ERR …" line, optionally followed by
@@ -37,6 +45,7 @@ import (
 	"strings"
 	"sync"
 
+	"streamshare/internal/adapt"
 	"streamshare/internal/core"
 	"streamshare/internal/network"
 	"streamshare/internal/photons"
@@ -46,6 +55,7 @@ import (
 // Server hosts one engine behind a listener.
 type Server struct {
 	eng *core.Engine
+	adm *adapt.Manager
 	cfg photons.Config
 
 	mu      sync.Mutex
@@ -61,7 +71,7 @@ type Server struct {
 // generator on RUN. Every registered original stream is fed the same item
 // count with stream-specific seeds.
 func New(eng *core.Engine, cfg photons.Config) *Server {
-	return &Server{eng: eng, cfg: cfg, seed: 1, conns: map[net.Conn]struct{}{}}
+	return &Server{eng: eng, adm: adapt.NewManager(eng), cfg: cfg, seed: 1, conns: map[net.Conn]struct{}{}}
 }
 
 // Serve accepts connections until the listener closes.
@@ -171,6 +181,12 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, cmd string, args []strin
 		s.metrics(w)
 	case "TRACE":
 		s.trace(w, args)
+	case "FAIL":
+		s.failRestore(w, "fail", args)
+	case "RESTORE":
+		s.failRestore(w, "restore", args)
+	case "ADAPT":
+		s.adaptCmd(w, args)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %s\n", cmd)
 	}
@@ -380,6 +396,71 @@ func (s *Server) feed(w io.Writer, r *bufio.Reader, args []string) {
 	fmt.Fprintf(w, "OK fed %d items into %s\n", len(items), args[0])
 	for _, sub := range s.eng.Subscriptions() {
 		fmt.Fprintf(w, "  %s %d\n", sub.ID, res.Results[sub.ID])
+	}
+}
+
+// failRestore handles FAIL and RESTORE: one topology event, then the repair
+// cycle.
+func (s *Server) failRestore(w io.Writer, op string, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintf(w, "ERR usage: %s <peer> | %s <peerA>-<peerB>\n",
+			strings.ToUpper(op), strings.ToUpper(op))
+		return
+	}
+	ev, err := adapt.ParseEvent(op + ":" + args[0])
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	s.applyEvents(w, []adapt.Event{ev})
+}
+
+// adaptCmd applies a full adaptation schedule from the command line.
+func (s *Server) adaptCmd(w io.Writer, args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(w, "ERR usage: ADAPT <schedule>")
+		return
+	}
+	events, err := adapt.ParseSchedule(strings.Join(args, " "))
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(w, "ERR empty schedule")
+		return
+	}
+	s.applyEvents(w, events)
+}
+
+// applyEvents runs events through the adaptation manager and prints one
+// report line per affected subscription.
+func (s *Server) applyEvents(w io.Writer, events []adapt.Event) {
+	s.mu.Lock()
+	reports, err := s.adm.ApplyAll(events)
+	s.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		for _, r := range reports {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return
+	}
+	var repaired, rejected, migrated int
+	for _, r := range reports {
+		switch r.Outcome {
+		case adapt.Repaired:
+			repaired++
+		case adapt.Rejected:
+			rejected++
+		case adapt.Migrated:
+			migrated++
+		}
+	}
+	fmt.Fprintf(w, "OK %d events: %d repaired, %d rejected, %d migrated\n",
+		len(events), repaired, rejected, migrated)
+	for _, r := range reports {
+		fmt.Fprintf(w, "  %s\n", r)
 	}
 }
 

@@ -437,3 +437,134 @@ func TestServerCloseBeforeServe(t *testing.T) {
 		t.Fatal("Serve did not return on a closed server")
 	}
 }
+
+// startDetourServer builds a topology with a short route SP0-SP1-SP2 and a
+// longer backup route SP0-SP3-SP4-SP2, so failing SP1 leaves a repair path.
+func startDetourServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	n := network.New()
+	for _, id := range []network.PeerID{"SP0", "SP1", "SP2", "SP3", "SP4"} {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	n.Connect("SP0", "SP1", 12_500_000)
+	n.Connect("SP1", "SP2", 12_500_000)
+	n.Connect("SP0", "SP3", 12_500_000)
+	n.Connect("SP3", "SP4", 12_500_000)
+	n.Connect("SP4", "SP2", 12_500_000)
+	eng := core.NewEngine(n, core.Config{})
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, photons.DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }
+}
+
+// TestServerFailRepairs drives the adaptation commands end to end: FAIL a
+// relay, observe the repair report, check the plan moved to the backup route
+// and still delivers, then RESTORE and apply a schedule via ADAPT.
+func TestServerFailRepairs(t *testing.T) {
+	addr, stop := startDetourServer(t)
+	defer stop()
+	c := dial(t, addr)
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != "OK q1" {
+		t.Fatalf("subscribe = %q", s)
+	}
+
+	status, cont := c.cmd(t, "FAIL SP1", "")
+	if status != "OK 1 events: 1 repaired, 0 rejected, 0 migrated" {
+		t.Fatalf("fail = %q", status)
+	}
+	if len(cont) != 1 || !strings.Contains(cont[0], "q1 repaired") {
+		t.Errorf("fail reports = %v", cont)
+	}
+
+	_, cont = c.cmd(t, "EXPLAIN q1", "")
+	if joined := strings.Join(cont, "\n"); !strings.Contains(joined, "SP3") {
+		t.Errorf("repaired plan does not use the backup route:\n%s", joined)
+	}
+
+	status, cont = c.cmd(t, "RUN 200", "")
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("run after repair = %q", status)
+	}
+	delivered := false
+	for _, l := range cont {
+		if strings.HasPrefix(l, "q1 ") && !strings.HasSuffix(l, " 0") {
+			delivered = true
+		}
+	}
+	if !delivered {
+		t.Errorf("repaired plan delivered nothing: %v", cont)
+	}
+
+	if s, _ := c.cmd(t, "RESTORE SP1", ""); !strings.HasPrefix(s, "OK 1 events:") {
+		t.Fatalf("restore = %q", s)
+	}
+	// A full schedule through ADAPT; the repaired plan does not use SP0-SP1,
+	// so the events apply cleanly with nothing to repair.
+	if s, _ := c.cmd(t, "ADAPT fail:SP0-SP1; restore:SP0-SP1, reopt", ""); !strings.HasPrefix(s, "OK 3 events:") {
+		t.Fatalf("adapt = %q", s)
+	}
+}
+
+// TestServerFailRejects covers the no-repair-path case on the chain
+// topology: the subscription is explicitly rejected and torn down, and
+// resubscription after RESTORE succeeds.
+func TestServerFailRejects(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != "OK q1" {
+		t.Fatalf("subscribe = %q", s)
+	}
+
+	status, cont := c.cmd(t, "FAIL SP1", "")
+	if status != "OK 1 events: 0 repaired, 1 rejected, 0 migrated" {
+		t.Fatalf("fail = %q", status)
+	}
+	if len(cont) != 1 || !strings.Contains(cont[0], "q1 rejected") {
+		t.Errorf("fail reports = %v", cont)
+	}
+	if s, _ := c.cmd(t, "STATS", ""); !strings.HasPrefix(s, "OK 1 streams, 0 subscriptions") {
+		t.Errorf("stats after rejection = %q", s)
+	}
+
+	if s, _ := c.cmd(t, "RESTORE SP1", ""); !strings.HasPrefix(s, "OK 1 events: 0 repaired") {
+		t.Fatalf("restore = %q", s)
+	}
+	// The freed id is reused: the engine numbers by live-subscription count.
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); !strings.HasPrefix(s, "OK q") {
+		t.Fatalf("resubscribe after restore = %q", s)
+	}
+}
+
+// TestServerAdaptErrors checks the error paths of the adaptation commands;
+// the session must stay usable after each.
+func TestServerAdaptErrors(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c := dial(t, addr)
+	for _, bad := range []string{
+		"FAIL",
+		"FAIL nope",
+		"FAIL SP0-nope",
+		"RESTORE",
+		"RESTORE nope",
+		"ADAPT",
+		"ADAPT frobnicate:SP0",
+		"ADAPT fail:",
+	} {
+		if s, _ := c.cmd(t, bad, ""); !strings.HasPrefix(s, "ERR") {
+			t.Errorf("%q = %q, want ERR", bad, s)
+		}
+	}
+	if s, _ := c.cmd(t, "PEERS", ""); !strings.HasPrefix(s, "OK") {
+		t.Errorf("session after errors = %q", s)
+	}
+}
