@@ -1,0 +1,172 @@
+// Command doclint enforces the documentation contract of the hot-path
+// packages: every exported identifier — package, type, function, method,
+// const/var, struct field, and interface method — must carry a doc comment.
+// The batched runtime leans on documented ownership and concurrency rules
+// (who may touch a buffer, which goroutine drives an operator), so an
+// undocumented export is treated as a defect, not a style nit.
+//
+// Usage:
+//
+//	doclint ./internal/runtime ./internal/exec ./internal/xmlstream
+//
+// Each argument is a package directory (test files are skipped). A group
+// declaration's doc covers all its specs; a spec- or field-level line
+// comment also counts. Exit status 1 reports at least one finding, with
+// file:line locations on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doclint <package dir>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range flag.Args() {
+		findings += lintDir(dir)
+	}
+	if findings > 0 {
+		fmt.Printf("doclint: %d undocumented exported identifier(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and reports undocumented exports.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := 0
+	report := func(pos token.Pos, what, name string) {
+		fmt.Printf("%s: undocumented exported %s %s\n", fset.Position(pos), what, name)
+		findings++
+	}
+	for name, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package comment\n", dir, name)
+			findings++
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+	return findings
+}
+
+// lintDecl checks one top-level declaration, descending into struct fields
+// and interface methods of exported types.
+func lintDecl(decl ast.Decl, report func(token.Pos, string, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return
+		}
+		if d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if !groupDoc && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+				lintTypeBody(s, report)
+			case *ast.ValueSpec:
+				if !groupDoc && s.Doc == nil && s.Comment == nil {
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a function's receiver (if any) is an
+// exported type; methods on unexported types are not package API.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintTypeBody checks exported struct fields and interface methods of an
+// exported type.
+func lintTypeBody(s *ast.TypeSpec, report func(token.Pos, string, string)) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc != nil || f.Comment != nil {
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					report(n.Pos(), "field", s.Name.Name+"."+n.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc != nil || m.Comment != nil {
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					report(n.Pos(), "interface method", s.Name.Name+"."+n.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/runtime"
+	"streamshare/internal/scenario"
+	"streamshare/internal/xmlstream"
+)
+
+// benchRow is one scale-grid configuration measured end-to-end through the
+// distributed runtime, before (BaselineOptions: serial, item-at-a-time,
+// std parser, no pooling) and after (DefaultOptions: batched, pooled,
+// parallel). Throughput counts source items fully processed per wall
+// second; Speedup is after/before.
+type benchRow struct {
+	Config           string  `json:"config"`
+	Peers            int     `json:"peers"`
+	Queries          int     `json:"queries"`
+	Items            int     `json:"items"`
+	BaselineMs       float64 `json:"baselineMs"`
+	BatchedMs        float64 `json:"batchedMs"`
+	BaselineItemsSec float64 `json:"baselineItemsPerSec"`
+	BatchedItemsSec  float64 `json:"batchedItemsPerSec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// benchGridConfig is one point of the scale grid sweep.
+type benchGridConfig struct {
+	n, queries, items int
+}
+
+// buildGridEngine registers a ScaleGrid scenario on a fresh engine and
+// returns it with the source feeds. Twin builds are byte-identical, so the
+// baseline and batched measurements execute identical plans (operator state
+// is consumed by execution, hence one engine per run).
+func buildGridEngine(cfg benchGridConfig) (*core.Engine, map[string][]*xmlstream.Element) {
+	s := scenario.ScaleGrid(cfg.n, cfg.queries, cfg.items)
+	eng := core.NewEngine(s.Net, core.Config{})
+	for _, src := range s.Sources {
+		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, q := range s.Queries {
+		if _, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing); err != nil {
+			log.Fatal(err)
+		}
+	}
+	feed := map[string][]*xmlstream.Element{}
+	total := 0
+	for _, src := range s.Sources {
+		feed[src.Name] = src.Items
+		total += len(src.Items)
+	}
+	return eng, feed
+}
+
+// timeRun measures one distributed run under the given options, returning
+// the best (fastest) of reps wall times and the per-run source item count.
+func timeRun(cfg benchGridConfig, opts runtime.Options, reps int) (time.Duration, int) {
+	best := time.Duration(0)
+	items := 0
+	for i := 0; i < reps; i++ {
+		eng, feed := buildGridEngine(cfg)
+		items = 0
+		for _, f := range feed {
+			items += len(f)
+		}
+		start := time.Now()
+		if _, err := runtime.NewWith(eng, false, opts).Run(feed); err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best, items
+}
+
+// benchDataPath sweeps the scale grid through the distributed runtime with
+// the baseline and the batched data path and reports the throughput
+// trajectory. short shrinks the sweep to one small configuration for CI
+// smoke runs; reps>1 reports the best of reps to damp scheduler noise.
+func benchDataPath(items int, short bool) []benchRow {
+	header("Data-path benchmark: scale grid, baseline vs batched runtime")
+	configs := []benchGridConfig{
+		{2, 8, items},
+		{3, 16, items},
+		{4, 32, items},
+	}
+	reps := 3
+	if short {
+		if items > 500 {
+			items = 500
+		}
+		configs = []benchGridConfig{{2, 8, items}}
+		reps = 1
+	}
+	fmt.Printf("%-14s %7s %8s %8s %12s %12s %14s %14s %8s\n", "Config", "Peers", "Queries",
+		"Items", "Base ms", "Batch ms", "Base items/s", "Batch items/s", "Speedup")
+	var rows []benchRow
+	for _, cfg := range configs {
+		baseD, n := timeRun(cfg, runtime.BaselineOptions(), reps)
+		batchD, _ := timeRun(cfg, runtime.DefaultOptions(), reps)
+		row := benchRow{
+			Config:           fmt.Sprintf("grid%dx%d-q%d", cfg.n, cfg.n, cfg.queries),
+			Peers:            cfg.n * cfg.n,
+			Queries:          cfg.queries,
+			Items:            n,
+			BaselineMs:       ms(baseD),
+			BatchedMs:        ms(batchD),
+			BaselineItemsSec: float64(n) / baseD.Seconds(),
+			BatchedItemsSec:  float64(n) / batchD.Seconds(),
+		}
+		row.Speedup = row.BatchedItemsSec / row.BaselineItemsSec
+		rows = append(rows, row)
+		fmt.Printf("%-14s %7d %8d %8d %12.1f %12.1f %14.0f %14.0f %7.2fx\n",
+			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs,
+			row.BaselineItemsSec, row.BatchedItemsSec, row.Speedup)
+	}
+	fmt.Println("(source items fully processed per wall second through the distributed")
+	fmt.Println(" runtime; baseline = pre-batching data path inside the same binary)")
+	return rows
+}

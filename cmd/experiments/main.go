@@ -8,7 +8,11 @@
 //	experiments -churn      the churn/adaptation experiment: scenario 2 under
 //	                        the scripted failure schedule, with repair and
 //	                        rejection counts and the repair-latency series
-//	experiments -all        everything (default)
+//	experiments -bench      the data-path benchmark: the scale grid through
+//	                        the distributed runtime, baseline vs batched
+//	                        options, always writing BENCH_<rev>.json
+//	                        (-short shrinks it to one CI-sized configuration)
+//	experiments -all        everything except -bench (default)
 //	experiments -seed 7     derive every workload and photon stream from the
 //	                        given base seed (0 = the classic constants)
 //	experiments -json       additionally write BENCH_<rev>.json with the
@@ -100,6 +104,7 @@ type benchReport struct {
 	Table1    []table1Row `json:"table1,omitempty"`
 	Rejection []rejRow    `json:"rejection,omitempty"`
 	Churn     []churnRow  `json:"churn,omitempty"`
+	DataPath  []benchRow  `json:"dataPath,omitempty"`
 }
 
 func main() {
@@ -107,12 +112,14 @@ func main() {
 	table := flag.Int("table", 0, "reproduce table 1")
 	rejection := flag.Bool("rejection", false, "run the rejection experiment")
 	churn := flag.Bool("churn", false, "run the churn/adaptation experiment")
-	all := flag.Bool("all", false, "run everything")
+	bench := flag.Bool("bench", false, "run the data-path benchmark (scale grid, baseline vs batched runtime)")
+	short := flag.Bool("short", false, "with -bench: one small configuration (CI smoke)")
+	all := flag.Bool("all", false, "run everything except -bench")
 	items := flag.Int("items", 3000, "photons per stream to simulate")
 	jsonOut := flag.Bool("json", false, "write BENCH_<rev>.json with the measured series")
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*rejection && !*churn {
+	if !*all && *fig == 0 && *table == 0 && !*rejection && !*churn && !*bench {
 		*all = true
 	}
 	report := &benchReport{Rev: gitRev(), Items: *items, Seed: *seed}
@@ -131,6 +138,12 @@ func main() {
 	}
 	if *all || *churn {
 		report.Churn = churnExperiment(*items)
+	}
+	if *bench {
+		report.DataPath = benchDataPath(*items, *short)
+		// The benchmark exists to document the throughput trajectory, so
+		// it always persists its measurements.
+		*jsonOut = true
 	}
 	if *jsonOut {
 		name := fmt.Sprintf("BENCH_%s.json", report.Rev)

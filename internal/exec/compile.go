@@ -246,9 +246,12 @@ func identityLayout(reused, sub []AggSpec, fineGroup []int) bool {
 // subscription's layout (identical windows, e.g. an avg stream serving a
 // sum subscription).
 type Remap struct {
-	Aggs      []AggSpec
+	// Aggs lists the subscription's aggregations, in output group order.
+	Aggs []AggSpec
+	// FineGroup[i] is the reused stream's group index serving Aggs[i].
 	FineGroup []int
-	FineOp    []wxquery.AggOp
+	// FineOp[i] is the reused stream's operator for that group.
+	FineOp []wxquery.AggOp
 }
 
 // NewRemap returns a layout-remapping operator.

@@ -9,6 +9,24 @@
 // Operators are push-based: Process consumes one input item and returns the
 // output items it produces; Flush drains operator state at stream end.
 // Pipelines compose operators and are installed on simulated network peers.
+//
+// Ownership and concurrency contracts (load-bearing for the batched
+// runtime):
+//
+//   - Operator and Pipeline instances are single-threaded. They hold
+//     mutable evaluation state and must be driven by at most one goroutine
+//     at a time; the distributed runtime guarantees this by executing each
+//     pipeline on exactly one per-stream lane.
+//   - Process may retain the input item (window operators buffer items
+//     across calls), so a caller must not mutate an item after passing it
+//     in. Sharing one immutable item between several pipelines is safe.
+//   - Output items may alias the input (identity operators pass the item
+//     through) or be freshly allocated; either way the receiver owns them
+//     and may retain them indefinitely. Operators never touch an item again
+//     after emitting it.
+//   - The slice returned by Pipeline.Process is a scratch buffer owned by
+//     the pipeline, valid only until the next Process or Flush call; copy
+//     the elements (not the slice header) to retain results.
 package exec
 
 import (
@@ -27,30 +45,68 @@ type Operator interface {
 	Name() string
 }
 
-// Pipeline is a sequential composition of operators.
+// Pipeline is a sequential composition of operators. Like its operators, a
+// Pipeline is single-threaded: one goroutine drives it at a time.
 type Pipeline struct {
+	// Ops are the stages, applied in order to every input item.
 	Ops []Operator
+
+	// bufA/bufB are ping-pong scratch buffers reused across Process calls;
+	// they hold only slice headers, the elements themselves are owned by
+	// whoever receives them.
+	bufA, bufB []*xmlstream.Element
 }
 
 // NewPipeline composes ops; a nil or empty pipeline is the identity.
 func NewPipeline(ops ...Operator) *Pipeline { return &Pipeline{Ops: ops} }
 
-// Process pushes one item through all stages.
+// Process pushes one item through all stages. The returned slice is a
+// scratch buffer owned by the pipeline and is only valid until the next
+// Process or Flush call; copy its elements out to retain them.
 func (p *Pipeline) Process(item *xmlstream.Element) []*xmlstream.Element {
-	items := []*xmlstream.Element{item}
-	if p == nil {
-		return items
+	if p == nil || len(p.Ops) == 0 {
+		return []*xmlstream.Element{item}
 	}
+	items := append(p.bufA[:0], item)
+	next := p.bufB[:0]
 	for _, op := range p.Ops {
-		var next []*xmlstream.Element
+		next = next[:0]
 		for _, it := range items {
 			next = append(next, op.Process(it)...)
 		}
-		items = next
+		items, next = next, items
 		if len(items) == 0 {
+			p.bufA, p.bufB = items, next
 			return nil
 		}
 	}
+	p.bufA, p.bufB = items, next
+	return items
+}
+
+// ProcessWith is Process with per-stage accounting: before a stage runs,
+// charge is called with the operator and the number of items entering it
+// (the load model bills bload(op) per processed item). The returned slice
+// follows the same scratch-buffer contract as Process.
+func (p *Pipeline) ProcessWith(item *xmlstream.Element, charge func(op Operator, items int)) []*xmlstream.Element {
+	if p == nil || len(p.Ops) == 0 {
+		return []*xmlstream.Element{item}
+	}
+	items := append(p.bufA[:0], item)
+	next := p.bufB[:0]
+	for _, op := range p.Ops {
+		charge(op, len(items))
+		next = next[:0]
+		for _, it := range items {
+			next = append(next, op.Process(it)...)
+		}
+		items, next = next, items
+		if len(items) == 0 {
+			p.bufA, p.bufB = items, next
+			return nil
+		}
+	}
+	p.bufA, p.bufB = items, next
 	return items
 }
 
@@ -91,6 +147,7 @@ func (p *Pipeline) Run(items []*xmlstream.Element) []*xmlstream.Element {
 // are item-relative element paths. Items missing a referenced element fail
 // the predicate.
 type Select struct {
+	// Graph is the compiled conjunctive predicate (see package predicate).
 	Graph *predicate.Graph
 
 	checks []selCheck
@@ -170,6 +227,7 @@ func (s *Select) Flush() []*xmlstream.Element { return nil }
 
 // Project prunes items to the subtrees addressed by Keep.
 type Project struct {
+	// Keep lists the item-relative paths of the subtrees to retain.
 	Keep []xmlstream.Path
 }
 

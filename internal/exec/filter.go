@@ -11,6 +11,7 @@ import (
 // filter of subscriptions like Query 4's  where $a >= 1.3). Comparisons are
 // exact: an average sum/n θ c is evaluated as sum θ c·n without division.
 type AggFilter struct {
+	// Graph is the compiled predicate over aggregate-value labels.
 	Graph *predicate.Graph
 	// Groups maps predicate node labels ("avg(en)") to the group index and
 	// operator layout of the aggregate items.
@@ -21,9 +22,12 @@ type AggFilter struct {
 
 // FilterGroup locates one aggregate value within an aggregate item.
 type FilterGroup struct {
+	// Index is the group's position in the aggregate item.
 	Index int
-	Op    wxquery.AggOp
-	UDF   bool
+	// Op is the aggregation operator that produced the group.
+	Op wxquery.AggOp
+	// UDF marks groups computed by a user-defined function.
+	UDF bool
 }
 
 type aggCheck struct {
@@ -115,6 +119,7 @@ func (f *AggFilter) side(item *xmlstream.Element, g FilterGroup, zero bool) (dec
 // <window> element per completed window containing copies of its items
 // (queries that return window contents rather than aggregates, §3.2).
 type WindowContents struct {
+	// Window is the data-window definition items are grouped by.
 	Window wxquery.Window
 
 	itemIndex int64

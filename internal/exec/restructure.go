@@ -29,18 +29,31 @@ const (
 // LetBinding associates a let variable with its group position in the
 // canonical aggregate items.
 type LetBinding struct {
-	Var  string
+	// Var is the let variable's name (without the $).
+	Var string
+	// Spec is the aggregation whose group carries the variable's value.
 	Spec AggSpec
 }
 
 // Restructure materializes the return clause of a subscription. Per §2,
 // restructuring runs as a post-processing step at the super-peer connected
 // to the subscribing peer, and its output is never considered for reuse.
+//
+// A Restructure instance is single-threaded (one goroutine at a time). Its
+// outputs are freshly built trees owned by the receiver, except that
+// variable references without a path may pass through clones of input
+// subtrees; inputs themselves are never retained past the Process call.
 type Restructure struct {
-	Mode   RestructureMode
+	// Mode selects how incoming items bind to variables.
+	Mode RestructureMode
+	// ForVar is the for variable's name (ModeItems and ModeWindows).
 	ForVar string
-	Lets   []LetBinding
+	// Lets binds let variables to aggregate groups (ModeAggregates).
+	Lets []LetBinding
+	// Return is the return-clause expression to materialize per item.
 	Return wxquery.Expr
+
+	bind binding // reused per item to avoid one allocation per Process
 }
 
 // NewRestructure returns the post-processing operator for one FLWR.
@@ -53,8 +66,8 @@ func (r *Restructure) Name() string { return "restructure" }
 
 // Process implements Operator.
 func (r *Restructure) Process(item *xmlstream.Element) []*xmlstream.Element {
-	b := &binding{r: r, item: item}
-	out := evalExpr(r.Return, b)
+	r.bind = binding{r: r, item: item}
+	out := evalExpr(r.Return, &r.bind)
 	res := make([]*xmlstream.Element, 0, len(out))
 	for _, e := range out {
 		if e.Name == "" {

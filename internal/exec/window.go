@@ -42,10 +42,13 @@ type UDFRegistry map[string]UDFunc
 
 // AggSpec describes one aggregation computed over a window.
 type AggSpec struct {
-	Op   wxquery.AggOp
+	// Op is the built-in aggregation operator (sum, count, avg, min, max).
+	Op wxquery.AggOp
+	// Elem is the item-relative path of the aggregated element.
 	Elem xmlstream.Path
 	// UDF names a user-defined function; when non-empty, Op is ignored.
-	UDF     string
+	UDF string
+	// UDFArgs are the constant arguments passed to the UDF per window.
 	UDFArgs []decimal.D
 }
 
@@ -138,13 +141,22 @@ func (g *groupAcc) render(i int, spec *AggSpec, reg UDFRegistry) *xmlstream.Elem
 // subscription's aggregations per window, emitting one aggregate item per
 // completed window. Selection runs upstream of this operator, which is why
 // aggregate reuse requires equal pre-aggregation selections (§3.3).
+//
+// A WindowAgg instance is single-threaded: it must be driven by one
+// goroutine at a time (the runtime guarantees this by executing each
+// pipeline on one lane). Emitted aggregate items are freshly allocated and
+// owned by the caller; input items are only read, never retained.
 type WindowAgg struct {
-	Window   wxquery.Window
-	Aggs     []AggSpec
+	// Window is the data-window definition (§3.2: count- or diff-based).
+	Window wxquery.Window
+	// Aggs lists the aggregations computed per window, in group order.
+	Aggs []AggSpec
+	// Registry resolves the UDF names referenced by Aggs.
 	Registry UDFRegistry
 
 	itemIndex int64 // count windows: index of the next item
 	open      map[int64]*partialWindow
+	ks        []int64 // closeBefore scratch, reused across calls
 }
 
 type partialWindow struct {
@@ -192,7 +204,7 @@ func (w *WindowAgg) Process(item *xmlstream.Element) []*xmlstream.Element {
 	for k := kmin; k <= kmax; k++ {
 		p := w.open[k]
 		if p == nil {
-			p = &partialWindow{groups: make([]groupAcc, len(w.Aggs))}
+			p = getPartial(len(w.Aggs))
 			w.open[k] = p
 		}
 		for i := range w.Aggs {
@@ -210,7 +222,7 @@ func (w *WindowAgg) Process(item *xmlstream.Element) []*xmlstream.Element {
 // closeBefore emits (in window order) every open window with kµ+∆ ≤ limit,
 // stamping wm as the watermark.
 func (w *WindowAgg) closeBefore(limit, wm decimal.D) []*xmlstream.Element {
-	var ks []int64
+	ks := w.ks[:0]
 	for k := range w.open {
 		endStart := mulScalar(w.Window.Step, k)
 		end, err := endStart.Add(w.Window.Size)
@@ -224,9 +236,12 @@ func (w *WindowAgg) closeBefore(limit, wm decimal.D) []*xmlstream.Element {
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 	var out []*xmlstream.Element
 	for _, k := range ks {
-		out = append(out, w.emit(k, w.open[k], wm))
+		p := w.open[k]
+		out = append(out, w.emit(k, p, wm))
 		delete(w.open, k)
+		putPartial(p)
 	}
+	w.ks = ks[:0]
 	return out
 }
 
@@ -245,7 +260,10 @@ func (w *WindowAgg) emit(k int64, p *partialWindow, wm decimal.D) *xmlstream.Ele
 // Flush implements Operator. Incomplete trailing windows are not emitted:
 // a window only produces a value once its step boundary has passed.
 func (w *WindowAgg) Flush() []*xmlstream.Element {
-	w.open = map[int64]*partialWindow{}
+	for k, p := range w.open {
+		delete(w.open, k)
+		putPartial(p)
+	}
 	return nil
 }
 
@@ -302,9 +320,10 @@ type WindowMerge struct {
 	// Fine is the window of the reused aggregate stream, Coarse the window
 	// of the new subscription.
 	Fine, Coarse wxquery.Window
-	// Aggs lists the new subscription's aggregations; FineGroup[i] is the
-	// index of the group in the fine stream that serves Aggs[i].
-	Aggs      []AggSpec
+	// Aggs lists the new subscription's aggregations.
+	Aggs []AggSpec
+	// FineGroup[i] is the index of the group in the fine stream that
+	// serves Aggs[i].
 	FineGroup []int
 	// FineOp[i] is the fine stream's aggregation operator for that group
 	// (relevant when an avg stream serves a sum/count subscription).

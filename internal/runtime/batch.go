@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/xmlstream"
+)
+
+// batcher accumulates serialized items bound for hop 0 of one stream and
+// flushes them as batched messages. Sources use one per original stream;
+// taps use one per derived stream per incoming message (output batches
+// never straddle input messages, so quiescence accounting stays exact: all
+// sends triggered by a message happen before its in-flight slot is
+// released).
+//
+// Buffer ownership: the batcher writes into a pooled buffer (unless the
+// runtime runs NoPool); flush attaches the buffer to the outgoing message,
+// which owns it from then on. AppendMarshal may outgrow the original
+// array — earlier item slices keep their old backing alive and the grown
+// array travels in the buffer, so recycling stays safe either way.
+type batcher struct {
+	r      *Runtime
+	stream *core.Deployed
+	buf    *xmlstream.Buffer
+	data   []byte
+	items  [][]byte
+	// first is when the oldest buffered item was added; used by the
+	// flush-interval check.
+	first time.Time
+}
+
+// add serializes one item into the current batch, flushing it when it
+// reaches the configured size or age.
+func (b *batcher) add(e *xmlstream.Element) {
+	if len(b.items) == 0 {
+		if b.r.opts.FlushInterval > 0 {
+			b.first = time.Now()
+		}
+		if b.buf == nil && !b.r.opts.NoPool {
+			b.buf = xmlstream.GetBuffer()
+			b.data = b.buf.B[:0]
+		}
+		if b.items == nil {
+			b.items = make([][]byte, 0, b.r.opts.BatchSize)
+		}
+	}
+	start := len(b.data)
+	b.data = xmlstream.AppendMarshal(b.data, e)
+	b.items = append(b.items, b.data[start:len(b.data):len(b.data)])
+	if len(b.items) >= b.r.opts.BatchSize ||
+		(b.r.opts.FlushInterval > 0 && time.Since(b.first) >= b.r.opts.FlushInterval) {
+		b.flush(false)
+	}
+}
+
+// flush sends the pending batch, if any; with eos it sends even when empty,
+// carrying the end-of-stream marker. After flush the batcher is empty and
+// ready for the next batch.
+func (b *batcher) flush(eos bool) {
+	if len(b.items) == 0 && !eos {
+		return
+	}
+	m := message{stream: b.stream, hop: 0, items: b.items, eos: eos}
+	if b.buf != nil {
+		b.buf.B = b.data
+		m.buf = b.buf
+	}
+	b.buf, b.data, b.items = nil, nil, nil
+	b.r.send(m)
+}

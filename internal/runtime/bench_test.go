@@ -1,0 +1,46 @@
+package runtime
+
+import (
+	"testing"
+
+	"streamshare/internal/core"
+	"streamshare/internal/scenario"
+	"streamshare/internal/xmlstream"
+)
+
+// benchGrid builds a fresh ScaleGrid engine per iteration (operator state
+// is consumed by execution) and runs it under opts, timing only the run.
+func benchGrid(b *testing.B, opts Options) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := scenario.ScaleGrid(3, 16, 400)
+		eng := core.NewEngine(s.Net, core.Config{})
+		for _, src := range s.Sources {
+			if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, q := range s.Queries {
+			if _, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing); err != nil {
+				b.Fatal(err)
+			}
+		}
+		feed := map[string][]*xmlstream.Element{}
+		for _, src := range s.Sources {
+			feed[src.Name] = src.Items
+		}
+		rt := NewWith(eng, false, opts)
+		b.StartTimer()
+		if _, err := rt.Run(feed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleGridBaseline is the pre-batching data path: serial peers,
+// one message per item, standard-library parsing, no pooling.
+func BenchmarkScaleGridBaseline(b *testing.B) { benchGrid(b, BaselineOptions()) }
+
+// BenchmarkScaleGridBatched is the tuned data path (DefaultOptions).
+func BenchmarkScaleGridBatched(b *testing.B) { benchGrid(b, DefaultOptions()) }

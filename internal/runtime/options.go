@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	stdrt "runtime"
+	"time"
+)
+
+// Options tunes the runtime's data path. The zero value means "default
+// everything"; use DefaultOptions for the tuned configuration or
+// BaselineOptions for the pre-batching behavior (the reference point of the
+// benchmark trajectory in PERFORMANCE.md).
+type Options struct {
+	// BatchSize is the maximum number of items carried by one mailbox
+	// message. Sources and taps accumulate serialized items up to this
+	// count before sending; 1 restores item-at-a-time messaging. Values
+	// below 1 mean the default.
+	BatchSize int
+
+	// FlushInterval bounds how long a source may hold a partial batch: a
+	// batch older than this is sent even if short. It only matters for
+	// producers that pause mid-stream (live feeds); finite replays fill
+	// batches immediately. Zero means the default; negative disables the
+	// timer entirely.
+	FlushInterval time.Duration
+
+	// Workers is the number of goroutines draining each peer's inbox.
+	// Lanes (streams) are the unit of parallelism, so extra workers beyond
+	// the peer's lane count stay idle. 1 restores fully serial peers.
+	// Values below 1 mean the default.
+	Workers int
+
+	// NoPool disables buffer pooling on the wire path: batch buffers are
+	// plain allocations and are never recycled.
+	NoPool bool
+
+	// StdParser decodes items with the encoding/xml-based parser, once per
+	// consumer — the pre-batching code path. The default is the canonical
+	// fast parser, decoding each batch once per peer and sharing the
+	// read-only items across that peer's consumers.
+	StdParser bool
+}
+
+// DefaultOptions is the tuned data path: batched transfers, pooled buffers,
+// the fast canonical parser, and a worker pool per peer.
+func DefaultOptions() Options {
+	return Options{
+		BatchSize:     64,
+		FlushInterval: 2 * time.Millisecond,
+		Workers:       min(stdrt.GOMAXPROCS(0), 4),
+	}
+}
+
+// BaselineOptions reproduces the serial, item-at-a-time runtime that
+// predates the batching data path: one message per item, one worker per
+// peer, no pooling, standard-library parsing per consumer. It exists so
+// benchmarks can measure the data path's effect inside one binary; results
+// and accounting are identical to DefaultOptions by construction.
+func BaselineOptions() Options {
+	return Options{
+		BatchSize:     1,
+		FlushInterval: -1,
+		Workers:       1,
+		NoPool:        true,
+		StdParser:     true,
+	}
+}
+
+// normalized fills unset fields with their defaults.
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.BatchSize < 1 {
+		o.BatchSize = d.BatchSize
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = d.FlushInterval
+	} else if o.FlushInterval < 0 {
+		o.FlushInterval = 0
+	}
+	if o.Workers < 1 {
+		o.Workers = d.Workers
+	}
+	return o
+}

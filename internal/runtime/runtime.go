@@ -1,10 +1,29 @@
 // Package runtime executes installed stream-sharing plans on a concurrent
-// super-peer runtime: every peer is a goroutine with a mailbox, streams
-// travel as serialized XML messages over metered links, and operator
-// pipelines run where the plan installed them. It is the distributed
-// counterpart of core's in-process simulator — the paper's system ran one
-// super-peer per blade — and doubles as an end-to-end exercise of the wire
-// format (every item is marshalled and parsed again on each stream hop).
+// super-peer runtime: every peer owns a multi-lane mailbox drained by a
+// small worker pool, streams travel as batches of serialized XML items over
+// metered links, and operator pipelines run where the plan installed them.
+// It is the distributed counterpart of core's in-process simulator — the
+// paper's system ran one super-peer per blade — and doubles as an
+// end-to-end exercise of the wire format (every item is marshalled and
+// parsed again on each stream hop).
+//
+// The data path is built for throughput without giving up the simulator
+// equivalence the tests assert:
+//
+//   - Batching: mailbox messages carry up to Options.BatchSize serialized
+//     items of one stream. Accounting stays per item — depth, high-water
+//     marks, soft-cap overflow and fault-injection drops all count items,
+//     not batches — so observable metrics are comparable across batch
+//     sizes.
+//   - Pooling: batch buffers come from a sync.Pool (see xmlstream.Buffer)
+//     and are recycled exactly once, when a message's life ends: after
+//     processing at the last hop, on a fault-injection drop, or in a dead
+//     peer's drain. Forwarded messages keep their buffer.
+//   - Parallelism: each peer runs Options.Workers goroutines over its
+//     inbox. The unit of scheduling is the lane (one per stream), and a
+//     lane is owned by at most one worker at a time, so per-stream order
+//     and the single-threaded operator contract hold while independent
+//     subscription pipelines on the same peer execute concurrently.
 //
 // Run wiring is derived from a core.Engine's installed subscriptions, so
 // plans are planned once and can be executed by either backend; tests
@@ -13,107 +32,58 @@ package runtime
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"sync/atomic"
 
 	"streamshare/internal/core"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/xmlstream"
 )
 
-// message is one unit on a peer's mailbox: a data item of a stream, or its
-// end-of-stream marker.
+// message is one mailbox delivery: a batch of serialized items of one
+// stream bound for one hop of its route, optionally followed by the
+// stream's end-of-stream marker.
 type message struct {
 	stream *core.Deployed
-	// data is the serialized item; nil marks end of stream.
-	data []byte
 	// hop is the index of the receiving peer within stream's route.
 	hop int
+	// items holds the serialized items in stream order. The slices alias
+	// the batch buffer's array (or earlier arrays it grew out of) and are
+	// valid until the message is recycled.
+	items [][]byte
+	// buf, when non-nil, is the pooled buffer backing items; its ownership
+	// travels with the message and ends at recycle.
+	buf *xmlstream.Buffer
+	// eos marks end of stream, logically ordered after items.
+	eos bool
 }
 
-// mailbox is an unbounded FIFO queue. Unboundedness rules out deadlock
-// between mutually forwarding peers; per-stream order is preserved because
-// each (stream, hop) has exactly one sender.
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []message
-	closed bool
-	// hwm is the high-water mark: the maximum queue depth ever observed.
-	// Unbounded mailboxes can't drop messages, so this is the one depth
-	// statistic that matters — how far a peer fell behind its producers.
-	hwm int
-	// softCap, when positive, flags (but never drops) pushes that grow the
-	// queue beyond it: overflow counts them and the first one logs a
-	// warning, making churn-induced backlog visible without giving up the
-	// no-deadlock guarantee.
-	softCap  int
-	overflow int
-	warned   bool
-	owner    network.PeerID
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) push(msg message) {
-	m.mu.Lock()
-	m.q = append(m.q, msg)
-	if len(m.q) > m.hwm {
-		m.hwm = len(m.q)
+// units is the item-granular size of the message, the unit of depth,
+// overflow and drop accounting: one per data item plus one for an EOS
+// marker.
+func (m *message) units() int {
+	u := len(m.items)
+	if m.eos {
+		u++
 	}
-	if m.softCap > 0 && len(m.q) > m.softCap {
-		m.overflow++
-		if !m.warned {
-			m.warned = true
-			log.Printf("runtime: peer %s mailbox exceeded soft cap %d", m.owner, m.softCap)
-		}
+	return u
+}
+
+// bytes sums the serialized sizes of the carried items.
+func (m *message) bytes() int {
+	n := 0
+	for _, b := range m.items {
+		n += len(b)
 	}
-	m.mu.Unlock()
-	m.cond.Signal()
-}
-
-func (m *mailbox) overflowCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.overflow
-}
-
-func (m *mailbox) highWater() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hwm
-}
-
-// pop blocks until a message is available or the mailbox is closed.
-func (m *mailbox) pop() (message, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.q) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if len(m.q) == 0 {
-		return message{}, false
-	}
-	msg := m.q[0]
-	m.q = m.q[1:]
-	return msg, true
-}
-
-func (m *mailbox) close() {
-	m.mu.Lock()
-	m.closed = true
-	m.mu.Unlock()
-	m.cond.Broadcast()
+	return n
 }
 
 // Result holds the outcome of a distributed run.
 type Result struct {
+	// Metrics carries the run's per-link traffic and per-peer work, in the
+	// same units the simulator reports.
 	Metrics *network.Metrics
 	// Results counts delivered result items per subscription id.
 	Results map[string]int
@@ -122,10 +92,11 @@ type Result struct {
 	Collected map[string][]*xmlstream.Element
 }
 
-// Runtime hosts one peer goroutine per network node.
+// Runtime hosts a worker pool per network node and executes one run.
 type Runtime struct {
 	eng     *core.Engine
 	collect bool
+	opts    Options
 
 	nodes map[network.PeerID]*node
 
@@ -140,14 +111,23 @@ type Runtime struct {
 	counts  map[string]int
 	items   map[string][]*xmlstream.Element
 	errs    []error
-	// msgs counts mailbox deliveries; serBytes sums serialized item bytes
-	// sent (every hop re-transmits the marshalled form). Both publish into
-	// the engine's metrics registry after the run.
+	// msgs counts mailbox deliveries (batches, not items); serBytes sums
+	// serialized item bytes sent (every hop re-transmits the marshalled
+	// form). Both publish into the engine's metrics registry after the run.
 	msgs     int
 	serBytes int
 
+	// batchHist observes the item count of every sent data batch
+	// (runtime.batch.size).
+	batchHist *obs.Histogram
+	// pool-statistics baselines, captured at Run start so publish can emit
+	// this run's hit/miss deltas (the pools are process-global).
+	bufHits0, bufMiss0   uint64
+	execHits0, execMiss0 uint64
+
 	// Fault injection (chaos testing): severed links drop messages at the
-	// sender, killed peers discard at the receiver; dropped counts both.
+	// sender, killed peers discard at the receiver; dropped counts both,
+	// per item.
 	sevMu   sync.RWMutex
 	severed map[network.LinkID]bool
 	dropped int
@@ -156,8 +136,8 @@ type Runtime struct {
 // node is one peer actor.
 type node struct {
 	id    network.PeerID
-	inbox *mailbox
-	// dead marks a killed peer: its goroutine keeps draining the mailbox so
+	inbox *inbox
+	// dead marks a killed peer: its workers keep draining the inbox so
 	// quiescence stays exact, but every message is discarded (fault
 	// injection; see KillPeer).
 	dead atomic.Bool
@@ -172,27 +152,43 @@ type readerEntry struct {
 	si  *core.SubInput
 }
 
-// New builds a runtime over the engine's installed plans. The engine must
-// not be modified while the runtime runs, and a Runtime is single-use.
+// worker holds per-goroutine scratch for message processing. Only slice
+// headers are reused; the elements themselves are owned by the operators
+// they were fed to.
+type worker struct {
+	elems []*xmlstream.Element
+}
+
+// New builds a runtime over the engine's installed plans with
+// DefaultOptions. The engine must not be modified while the runtime runs,
+// and a Runtime is single-use.
 func New(eng *core.Engine, collect bool) *Runtime {
+	return NewWith(eng, collect, DefaultOptions())
+}
+
+// NewWith is New with explicit data-path options (see Options); zero fields
+// take their defaults.
+func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 	r := &Runtime{
 		eng:     eng,
 		collect: collect,
+		opts:    opts.normalized(),
 		nodes:   map[network.PeerID]*node{},
 		metrics: network.NewMetrics(),
 		counts:  map[string]int{},
 	}
 	r.qcond = sync.NewCond(&r.qmu)
 	r.severed = map[network.LinkID]bool{}
+	r.batchHist = eng.Obs().Metrics.Histogram("runtime.batch.size", obs.ExpBuckets(1, 2, 9))
 	if collect {
 		r.items = map[string][]*xmlstream.Element{}
 	}
 	for _, id := range eng.Net.Peers() {
-		mb := newMailbox()
-		mb.owner = id
+		ib := newInbox()
+		ib.owner = id
 		r.nodes[id] = &node{
 			id:      id,
-			inbox:   mb,
+			inbox:   ib,
 			taps:    map[*core.Deployed][]*core.Deployed{},
 			readers: map[*core.Deployed][]readerEntry{},
 		}
@@ -214,17 +210,22 @@ func New(eng *core.Engine, collect bool) *Runtime {
 // Run feeds the given original stream items through the distributed plan
 // and blocks until every message has been processed.
 func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
+	r.bufHits0, r.bufMiss0 = xmlstream.PoolStats()
+	r.execHits0, r.execMiss0 = exec.PoolStats()
+
 	var wg sync.WaitGroup
 	for _, n := range r.nodes {
-		wg.Add(1)
-		go func(n *node) {
-			defer wg.Done()
-			r.nodeLoop(n)
-		}(n)
+		for i := 0; i < r.opts.Workers; i++ {
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				r.workerLoop(n)
+			}(n)
+		}
 	}
 
 	// Inject the original streams at their source peers, concurrently per
-	// stream (as independent telescopes would).
+	// stream (as independent telescopes would), batching as configured.
 	var sources sync.WaitGroup
 	for _, d := range r.eng.Streams() {
 		if !d.Original {
@@ -234,10 +235,11 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		sources.Add(1)
 		go func(d *core.Deployed, feed []*xmlstream.Element) {
 			defer sources.Done()
+			b := batcher{r: r, stream: d}
 			for _, it := range feed {
-				r.send(message{stream: d, data: []byte(xmlstream.Marshal(it)), hop: 0})
+				b.add(it)
 			}
-			r.send(message{stream: d, hop: 0})
+			b.flush(true)
 		}(d, feed)
 	}
 	sources.Wait()
@@ -264,8 +266,8 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 }
 
 // MailboxHWM returns each peer's mailbox high-water mark: the deepest its
-// queue ever got during the run. Peers that never queued more than one
-// message at a time report 1 (or 0 if never addressed).
+// queue ever got during the run, counted in items (an EOS marker counts
+// one). Peers that were never addressed report 0.
 func (r *Runtime) MailboxHWM() map[network.PeerID]int {
 	out := map[network.PeerID]int{}
 	for id, n := range r.nodes {
@@ -274,16 +276,15 @@ func (r *Runtime) MailboxHWM() map[network.PeerID]int {
 	return out
 }
 
-// SetMailboxSoftCap sets a soft queue-depth cap on every peer mailbox:
-// pushes beyond it are counted (runtime.mailbox.overflow) and the first one
-// per mailbox logs a warning, but nothing is dropped or blocked — the
-// unbounded no-deadlock design is unchanged. Zero (the default) disables
-// the check. Call before Run.
+// SetMailboxSoftCap sets a soft queue-depth cap, in items, on every peer
+// mailbox: items queued beyond it are counted (runtime.mailbox.overflow)
+// and the first breach per mailbox logs a warning, but nothing is dropped
+// or blocked — the unbounded no-deadlock design is unchanged. A batch that
+// crosses the cap counts only the items past it. Zero (the default)
+// disables the check. Call before Run.
 func (r *Runtime) SetMailboxSoftCap(n int) {
 	for _, nd := range r.nodes {
-		nd.inbox.mu.Lock()
-		nd.inbox.softCap = n
-		nd.inbox.mu.Unlock()
+		nd.inbox.setSoftCap(n)
 	}
 }
 
@@ -315,7 +316,8 @@ func (r *Runtime) SeverLink(a, b network.PeerID) error {
 	return nil
 }
 
-// Dropped reports how many messages fault injection discarded so far.
+// Dropped reports how many items (EOS markers included) fault injection
+// discarded so far.
 func (r *Runtime) Dropped() int {
 	r.sevMu.RLock()
 	defer r.sevMu.RUnlock()
@@ -325,7 +327,8 @@ func (r *Runtime) Dropped() int {
 // publish feeds the run's measurements into the engine's metrics registry:
 // the shared link/peer counters under the "runtime" prefix (comparable
 // one-to-one with the simulator's "sim" counters), message/serialization
-// totals, and per-peer mailbox high-water gauges.
+// totals, per-peer mailbox high-water gauges, the batch-size distribution,
+// and this run's pool hit/miss deltas.
 func (r *Runtime) publish() {
 	reg := r.eng.Obs().Metrics
 	r.mu.Lock()
@@ -348,48 +351,84 @@ func (r *Runtime) publish() {
 	if overflow > 0 {
 		reg.Counter("runtime.mailbox.overflow").Add(float64(overflow))
 	}
+	// Pool deltas are best-effort: the pools are process-global, so
+	// concurrent runtimes in one process fold into each other's deltas.
+	bh, bm := xmlstream.PoolStats()
+	eh, em := exec.PoolStats()
+	for _, c := range []struct {
+		name      string
+		now, then uint64
+	}{
+		{"runtime.pool.buffer.hits", bh, r.bufHits0},
+		{"runtime.pool.buffer.misses", bm, r.bufMiss0},
+		{"runtime.pool.exec.hits", eh, r.execHits0},
+		{"runtime.pool.exec.misses", em, r.execMiss0},
+	} {
+		if d := c.now - c.then; d > 0 {
+			reg.Counter(c.name).Add(float64(d))
+		}
+	}
 }
 
 // send enqueues a message for the peer at the given hop of the stream's
-// route, accounting link traffic for hops past the producer. Messages bound
-// for a killed peer or across a severed link are dropped (and counted)
-// before any accounting — a dead wire carries nothing.
+// route, accounting link traffic (summed over the batch) for hops past the
+// producer. Messages bound for a killed peer or across a severed link are
+// dropped — and counted per item — before any accounting: a dead wire
+// carries nothing.
 func (r *Runtime) send(m message) {
 	peer := m.stream.Route[m.hop]
 	dst := r.nodes[peer]
 	if dst.dead.Load() {
-		r.drop()
+		r.dropMsg(&m)
 		return
 	}
+	nb := m.bytes()
 	if m.hop > 0 {
 		l := network.MakeLinkID(m.stream.Route[m.hop-1], peer)
 		r.sevMu.RLock()
 		cut := r.severed[l]
 		r.sevMu.RUnlock()
 		if cut {
-			r.drop()
+			r.dropMsg(&m)
 			return
 		}
-		if m.data != nil {
+		if nb > 0 {
 			r.mu.Lock()
-			r.metrics.AddTraffic(l, float64(len(m.data)))
+			r.metrics.AddTraffic(l, float64(nb))
 			r.mu.Unlock()
 		}
+	}
+	if len(m.items) > 0 {
+		r.batchHist.Observe(float64(len(m.items)))
 	}
 	r.qmu.Lock()
 	r.inflight++
 	r.msgs++
-	if m.data != nil {
-		r.serBytes += len(m.data)
-	}
+	r.serBytes += nb
 	r.qmu.Unlock()
 	dst.inbox.push(m)
 }
 
-func (r *Runtime) drop() {
+// dropMsg discards a message under fault injection, counting every carried
+// item (and EOS marker) as one dropped unit, and recycles its buffer.
+func (r *Runtime) dropMsg(m *message) {
+	u := m.units()
 	r.sevMu.Lock()
-	r.dropped++
+	r.dropped += u
 	r.sevMu.Unlock()
+	r.recycle(m)
+}
+
+// recycle returns a message's pooled buffer, ending the message's life.
+// Only three sites may call it — last-hop completion, a fault-injection
+// drop, and a dead peer's drain; forwarded messages keep their buffer.
+// After recycle the message's items must not be touched.
+func (r *Runtime) recycle(m *message) {
+	if m.buf != nil {
+		xmlstream.PutBuffer(m.buf)
+		m.buf = nil
+		m.items = nil
+	}
 }
 
 func (r *Runtime) finish() {
@@ -401,22 +440,26 @@ func (r *Runtime) finish() {
 	r.qmu.Unlock()
 }
 
-// nodeLoop processes a peer's mailbox sequentially (operator state is
-// single-threaded per peer, like one blade's engine). A killed peer keeps
+// workerLoop drains one peer's inbox lane by lane. A killed peer keeps
 // draining — discarding messages that were queued before the kill — so the
 // in-flight count still returns to zero and Run terminates.
-func (r *Runtime) nodeLoop(n *node) {
+func (r *Runtime) workerLoop(n *node) {
+	w := &worker{}
 	for {
-		m, ok := n.inbox.pop()
+		ln, msgs, ok := n.inbox.next()
 		if !ok {
 			return
 		}
-		if n.dead.Load() {
-			r.drop()
-		} else {
-			r.handle(n, m)
+		for i := range msgs {
+			m := &msgs[i]
+			if n.dead.Load() {
+				r.dropMsg(m)
+			} else {
+				r.handle(n, w, m)
+			}
+			r.finish()
 		}
-		r.finish()
+		n.inbox.done(ln)
 	}
 }
 
@@ -424,49 +467,129 @@ func (r *Runtime) nodeLoop(n *node) {
 // readers at the route end, and forwarding along the route. All downstream
 // sends happen before the in-flight counter is released, so quiescence is
 // exact.
-func (r *Runtime) handle(n *node, m message) {
+func (r *Runtime) handle(n *node, w *worker, m *message) {
 	d := m.stream
-	for _, child := range n.taps[d] {
-		if child.Tap != n.id {
-			continue
-		}
-		r.feedChild(n, child, m.data)
+	last := m.hop == len(d.Route)-1
+	taps := n.taps[d]
+	var readers []readerEntry
+	if last {
+		readers = n.readers[d]
 	}
-	if m.hop == len(d.Route)-1 {
-		for _, re := range n.readers[d] {
-			r.feedReader(n, re, m.data)
+	if len(taps) > 0 || len(readers) > 0 {
+		// Decode the batch once per peer and share the read-only items
+		// across every consumer here — the simulator does the same, handing
+		// one element pointer to all children and readers. In StdParser
+		// (baseline) mode each consumer decodes its own copy, replicating
+		// the pre-batching runtime.
+		var its []*xmlstream.Element
+		if !r.opts.StdParser {
+			its = r.parseFast(n, w, m.items)
+		}
+		for _, child := range taps {
+			if child.Tap != n.id {
+				continue
+			}
+			if r.opts.StdParser {
+				its = r.parseStd(n, m.items)
+			}
+			r.feedChild(n, child, its, m.eos)
+		}
+		for _, re := range readers {
+			if r.opts.StdParser {
+				its = r.parseStd(n, m.items)
+			}
+			r.feedReader(re, its, m.eos)
 		}
 	}
-	if m.hop < len(d.Route)-1 {
-		next := m
-		next.hop = m.hop + 1
-		if m.data != nil && m.hop > 0 {
+	if !last {
+		if nb := m.bytes(); nb > 0 && m.hop > 0 {
 			// Forwarding work accrues at relay peers strictly inside the
 			// route; the producer's emission cost is part of its operators.
-			r.work(n.id, r.eng.Cfg.Model.ForwardPerByte*float64(len(m.data)))
+			r.work(n.id, r.eng.Cfg.Model.ForwardPerByte*float64(nb))
 		}
+		next := *m
+		next.hop++
 		r.send(next)
+		return
 	}
+	r.recycle(m)
 }
 
-// feedChild runs a derived stream's residual at its tap and emits results
-// at hop 0 of the child's route.
-func (r *Runtime) feedChild(n *node, child *core.Deployed, data []byte) {
-	if data != nil {
-		r.work(n.id, r.eng.Cfg.Model.BLoad["duplicate"])
+// parseFast decodes a batch once into the worker's scratch slice. Items
+// failing to parse are reported and skipped.
+func (r *Runtime) parseFast(n *node, w *worker, raw [][]byte) []*xmlstream.Element {
+	its := w.elems[:0]
+	for _, b := range raw {
+		e, err := xmlstream.UnmarshalBytes(b)
+		if err != nil {
+			r.fail(fmt.Errorf("runtime: peer %s: %w", n.id, err))
+			continue
+		}
+		its = append(its, e)
 	}
-	outs, eos := r.runPipe(n, child.Residual, data)
-	for _, out := range outs {
-		r.send(message{stream: child, data: []byte(xmlstream.Marshal(out)), hop: 0})
+	w.elems = its
+	return its
+}
+
+// parseStd decodes a batch with the standard-library decoder, allocating
+// fresh elements per call — the baseline path (Options.StdParser).
+func (r *Runtime) parseStd(n *node, raw [][]byte) []*xmlstream.Element {
+	its := make([]*xmlstream.Element, 0, len(raw))
+	for _, b := range raw {
+		e, err := xmlstream.Unmarshal(string(b))
+		if err != nil {
+			r.fail(fmt.Errorf("runtime: peer %s: %w", n.id, err))
+			continue
+		}
+		its = append(its, e)
+	}
+	return its
+}
+
+// feedChild runs a derived stream's residual at its tap over a batch of
+// parent items and emits the results, re-batched, at hop 0 of the child's
+// route. Work is charged per item per stage, exactly as the simulator
+// charges it; the EOS flush itself is uncharged (matching both backends).
+func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Element, eos bool) {
+	bl := r.eng.Cfg.Model.BLoad
+	dup := bl["duplicate"]
+	var wk float64
+	charge := func(op exec.Operator, items int) { wk += bl[op.Name()] * float64(items) }
+	ob := batcher{r: r, stream: child}
+	for _, it := range its {
+		wk += dup
+		for _, out := range child.Residual.ProcessWith(it, charge) {
+			ob.add(out)
+		}
 	}
 	if eos {
-		r.send(message{stream: child, hop: 0})
+		for _, out := range child.Residual.Flush() {
+			ob.add(out)
+		}
+	}
+	ob.flush(eos)
+	if wk != 0 {
+		r.work(n.id, wk)
 	}
 }
 
-// feedReader runs a subscription's local pipeline at the target.
-func (r *Runtime) feedReader(n *node, re readerEntry, data []byte) {
-	outs, _ := r.runPipe(n, re.si.Local, data)
+// feedReader runs a subscription's local pipeline at the target over a
+// batch of feed items and records the delivered results.
+func (r *Runtime) feedReader(re readerEntry, its []*xmlstream.Element, eos bool) {
+	bl := r.eng.Cfg.Model.BLoad
+	var wk float64
+	charge := func(op exec.Operator, items int) { wk += bl[op.Name()] * float64(items) }
+	var outs []*xmlstream.Element
+	tgt := re.si.Feed.Target()
+	for _, it := range its {
+		outs = append(outs, re.si.Local.ProcessWith(it, charge)...)
+	}
+	if eos {
+		outs = append(outs, re.si.Local.Flush()...)
+	}
+	if wk != 0 {
+		r.work(tgt, wk)
+	}
 	if len(outs) == 0 {
 		return
 	}
@@ -478,34 +601,7 @@ func (r *Runtime) feedReader(n *node, re readerEntry, data []byte) {
 	r.mu.Unlock()
 }
 
-// runPipe pushes one serialized item (or EOS when data is nil) through a
-// pipeline, charging per-stage work; eos reports that downstream EOS should
-// propagate.
-func (r *Runtime) runPipe(n *node, p *exec.Pipeline, data []byte) (outs []*xmlstream.Element, eos bool) {
-	if data == nil {
-		return p.Flush(), true
-	}
-	item, err := xmlstream.Unmarshal(string(data))
-	if err != nil {
-		r.fail(fmt.Errorf("runtime: peer %s: %w", n.id, err))
-		return nil, false
-	}
-	items := []*xmlstream.Element{item}
-	for _, op := range p.Ops {
-		bload := r.eng.Cfg.Model.BLoad[op.Name()]
-		var next []*xmlstream.Element
-		for _, it := range items {
-			r.work(n.id, bload)
-			next = append(next, op.Process(it)...)
-		}
-		items = next
-		if len(items) == 0 {
-			return nil, false
-		}
-	}
-	return items, false
-}
-
+// work charges load-model units to a peer, scaled by its performance index.
 func (r *Runtime) work(p network.PeerID, units float64) {
 	units *= r.eng.Net.Peer(p).PerfIndex
 	r.mu.Lock()

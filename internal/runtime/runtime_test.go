@@ -209,38 +209,93 @@ func TestDistributedDeterministicPerSubscription(t *testing.T) {
 	}
 }
 
-// TestMailboxHighWaterMark drives a mailbox through a known push/pop
+// batchMsg builds a white-box test message carrying k (empty) items.
+func batchMsg(k int) message {
+	return message{items: make([][]byte, k)}
+}
+
+// TestInboxHighWaterMark drives an inbox through a known push/drain
 // schedule and checks the reported depth at every step: the high-water mark
-// rises with queued backlog and never falls when the queue drains.
-func TestMailboxHighWaterMark(t *testing.T) {
-	m := newMailbox()
-	if got := m.highWater(); got != 0 {
-		t.Fatalf("fresh mailbox hwm = %d, want 0", got)
+// counts items (not batches), rises with queued backlog, and never falls
+// when the queue drains.
+func TestInboxHighWaterMark(t *testing.T) {
+	b := newInbox()
+	if got := b.highWater(); got != 0 {
+		t.Fatalf("fresh inbox hwm = %d, want 0", got)
 	}
-	// Push 5 without a consumer: depth peaks at 5.
-	for i := 0; i < 5; i++ {
-		m.push(message{})
+	// Two batches of 2 and 3 items: depth peaks at 5 items.
+	b.push(batchMsg(2))
+	b.push(batchMsg(3))
+	if got := b.highWater(); got != 5 {
+		t.Fatalf("after 2+3 items hwm = %d, want 5", got)
 	}
-	if got := m.highWater(); got != 5 {
-		t.Fatalf("after 5 pushes hwm = %d, want 5", got)
+	// Drain the lane (both messages leave at once), then queue 3: depth
+	// reaches only 3, hwm must hold at 5.
+	ln, msgs, ok := b.next()
+	if !ok || len(msgs) != 2 {
+		t.Fatalf("next returned %d messages, ok=%v; want 2 messages", len(msgs), ok)
 	}
-	// Drain 4, push 2: depth reaches only 3, hwm must hold at 5.
-	for i := 0; i < 4; i++ {
-		if _, ok := m.pop(); !ok {
-			t.Fatal("pop failed on non-empty mailbox")
-		}
+	b.done(ln)
+	b.push(batchMsg(3))
+	if got := b.highWater(); got != 5 {
+		t.Fatalf("hwm after drain = %d, want 5 (high-water must not fall)", got)
 	}
-	m.push(message{})
-	m.push(message{})
-	if got := m.highWater(); got != 5 {
-		t.Fatalf("hwm after partial drain = %d, want 5 (high-water must not fall)", got)
-	}
-	// Push past the old peak: hwm follows.
-	for i := 0; i < 4; i++ {
-		m.push(message{})
-	}
-	if got := m.highWater(); got != 7 {
+	// Push past the old peak; an EOS marker counts one unit.
+	b.push(batchMsg(3))
+	b.push(message{eos: true})
+	if got := b.highWater(); got != 7 {
 		t.Fatalf("hwm after backlog of 7 = %d, want 7", got)
+	}
+}
+
+// TestInboxLaneSerialization checks the one-owner-per-lane invariant: a
+// push to a lane a worker currently owns must not reschedule it (two
+// workers on one stream would break per-subscription order), and releasing
+// the lane with pending messages requeues it.
+func TestInboxLaneSerialization(t *testing.T) {
+	b := newInbox()
+	b.push(batchMsg(1))
+	ln, _, ok := b.next()
+	if !ok {
+		t.Fatal("next failed on non-empty inbox")
+	}
+	b.push(batchMsg(1)) // arrives while the lane is owned
+	b.mu.Lock()
+	queued := len(b.runq)
+	b.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("owned lane was rescheduled (runq len %d); a stream must have one consumer", queued)
+	}
+	b.done(ln)
+	b.mu.Lock()
+	queued = len(b.runq)
+	b.mu.Unlock()
+	if queued != 1 {
+		t.Fatalf("lane with pending messages not requeued on done (runq len %d)", queued)
+	}
+}
+
+// TestInboxOverflowCountsPerItem is the regression test for batch-blind
+// soft-cap accounting: a batch that crosses the cap must count exactly the
+// items past it — not one per batch, and not its full size when part of it
+// fit under the cap.
+func TestInboxOverflowCountsPerItem(t *testing.T) {
+	b := newInbox()
+	b.setSoftCap(2)
+	b.push(batchMsg(5)) // depth 5, cap 2: 3 items over
+	if got := b.overflowCount(); got != 3 {
+		t.Fatalf("5-item batch past cap 2 counted %d overflows, want 3", got)
+	}
+	b.push(batchMsg(5)) // depth 10: all 5 land past the cap
+	if got := b.overflowCount(); got != 8 {
+		t.Fatalf("second batch counted %d total overflows, want 8", got)
+	}
+	// Under the cap nothing counts.
+	b2 := newInbox()
+	b2.setSoftCap(2)
+	b2.push(batchMsg(2))
+	if got := b2.overflowCount(); got != 0 {
+		t.Fatalf("batch within cap counted %d overflows, want 0", got)
 	}
 }
 

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/scenario"
+	"streamshare/internal/xmlstream"
+)
+
+// gridBuild registers a ScaleGrid scenario on a fresh engine. Twin builds
+// are byte-identical, so separate engines can execute the same plans.
+func gridBuild(t *testing.T, n, queries, items int) (*core.Engine, map[string][]*xmlstream.Element) {
+	t.Helper()
+	s := scenario.ScaleGrid(n, queries, items)
+	eng := core.NewEngine(s.Net, core.Config{})
+	for _, src := range s.Sources {
+		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range s.Queries {
+		if _, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed := map[string][]*xmlstream.Element{}
+	for _, src := range s.Sources {
+		feed[src.Name] = src.Items
+	}
+	return eng, feed
+}
+
+// TestOptionsEquivalence runs the same grid plans under BaselineOptions
+// (serial, item-at-a-time, std parser, no pooling) and DefaultOptions
+// (batched, pooled, parallel) and requires identical results, traffic and
+// work: the data-path options are performance knobs, never semantics knobs.
+func TestOptionsEquivalence(t *testing.T) {
+	engA, feedA := gridBuild(t, 3, 12, 200)
+	engB, feedB := gridBuild(t, 3, 12, 200)
+	base, err := NewWith(engA, true, BaselineOptions()).Run(feedA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewWith(engB, true, DefaultOptions()).Run(feedB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range base.Results {
+		if fast.Results[id] != n {
+			t.Errorf("%s: baseline %d items, default %d", id, n, fast.Results[id])
+		}
+	}
+	for id, a := range base.Collected {
+		b := fast.Collected[id]
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d collected items", id, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s item %d differs between baseline and default options", id, i)
+			}
+		}
+	}
+	if ab, fb := base.Metrics.TotalBytes(), fast.Metrics.TotalBytes(); math.Abs(ab-fb) > 1e-6 {
+		t.Errorf("traffic: baseline %.0f vs default %.0f", ab, fb)
+	}
+	if aw, fw := base.Metrics.TotalWork(), fast.Metrics.TotalWork(); math.Abs(aw-fw) > 1e-6 {
+		t.Errorf("work: baseline %.1f vs default %.1f", aw, fw)
+	}
+}
+
+// TestStressChurnRaceClean floods a 4×4 peer grid with two dozen
+// subscriptions while peers are killed and links severed mid-run, with
+// introspection calls racing the worker pools. Fault timing is
+// nondeterministic, so it asserts only timing-independent invariants — the
+// run terminates cleanly and no subscription goes unaccounted — and exists
+// chiefly to run under -race: any locking mistake in the batched,
+// multi-worker data path shows up here.
+func TestStressChurnRaceClean(t *testing.T) {
+	eng, feed := gridBuild(t, 4, 24, 200)
+	r := NewWith(eng, false, Options{BatchSize: 4, Workers: 4})
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := r.Run(feed)
+		if err == nil && res == nil {
+			err = errNilResult
+		}
+		done <- err
+	}()
+
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(2)
+	go func() { // churn: kill peers and sever links while the run flies
+		defer chaos.Done()
+		schedule := []func() error{
+			func() error { return r.SeverLink("SP1", "SP2") },
+			func() error { return r.KillPeer("SP10") },
+			func() error { return r.SeverLink("SP8", "SP12") },
+			func() error { return r.KillPeer("SP15") },
+			func() error { return r.SeverLink("SP5", "SP6") },
+		}
+		for _, ev := range schedule {
+			select {
+			case <-stop:
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
+			if err := ev(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() { // introspection racing the workers
+		defer chaos.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.MailboxHWM()
+			_ = r.Dropped()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not terminate under churn")
+	}
+	close(stop)
+	chaos.Wait()
+	if d := r.Dropped(); d < 0 {
+		t.Fatalf("negative drop count %d", d)
+	}
+}
+
+var errNilResult = &nilResultError{}
+
+type nilResultError struct{}
+
+func (*nilResultError) Error() string { return "Run returned nil result without error" }

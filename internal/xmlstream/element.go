@@ -17,8 +17,11 @@ import (
 // Element is one node of an XML item. A leaf element has Text and no
 // Children; an interior element has Children and empty Text.
 type Element struct {
-	Name     string
-	Text     string
+	// Name is the element's tag name.
+	Name string
+	// Text is the leaf's character content; empty on interior elements.
+	Text string
+	// Children are the interior element's child nodes, in document order.
 	Children []*Element
 }
 

@@ -1,0 +1,53 @@
+package xmlstream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buffer is a reusable byte buffer for item serialization. Hot paths obtain
+// one with GetBuffer, fill B via AppendMarshal, and hand it back with
+// PutBuffer once every slice cut from B is dead. Ownership is strict
+// single-holder: after PutBuffer the holder must not touch B or any
+// sub-slice of it again, because the backing array will be handed to the
+// next GetBuffer caller.
+type Buffer struct {
+	// B is the working slice; len is the filled prefix, cap persists across
+	// reuse.
+	B []byte
+}
+
+var bufPool = sync.Pool{}
+
+var poolHits, poolMisses atomic.Uint64
+
+// GetBuffer returns a Buffer with an empty (len 0) working slice, reusing a
+// pooled backing array when one is available. Safe for concurrent use.
+func GetBuffer() *Buffer {
+	if v := bufPool.Get(); v != nil {
+		b := v.(*Buffer)
+		b.B = b.B[:0]
+		poolHits.Add(1)
+		return b
+	}
+	poolMisses.Add(1)
+	return &Buffer{B: make([]byte, 0, 4096)}
+}
+
+// PutBuffer recycles b. The caller relinquishes ownership of b and of every
+// slice aliasing its backing array. Buffers that grew beyond 1 MiB are
+// dropped instead of pooled so one huge item cannot pin memory forever.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > 1<<20 {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// PoolStats reports the cumulative buffer-pool hit and miss counts of the
+// process. Callers interested in one run's behavior snapshot it before and
+// after and publish the delta (the runtime does this under
+// runtime.pool.buffer.*).
+func PoolStats() (hits, misses uint64) {
+	return poolHits.Load(), poolMisses.Load()
+}

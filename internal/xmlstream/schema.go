@@ -11,7 +11,9 @@ import (
 // counts are not constrained — WXQuery's data model only needs the element
 // structure.
 type Schema struct {
-	Name     string
+	// Name is the element name this node describes.
+	Name string
+	// Children are the element's permitted child elements.
 	Children []*Schema
 	// Leaf marks elements observed with text content (no children).
 	Leaf bool
