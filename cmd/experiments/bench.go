@@ -82,6 +82,113 @@ func timeRun(cfg benchGridConfig, opts runtime.Options, reps int) (time.Duration
 	return best, items
 }
 
+// ctrlRow is one scale-grid configuration measured through the control plane
+// alone: the steady-state rate at which Subscribe can plan and install one
+// more subscription (discovery, matching, costing, installation — no data
+// flows) on an engine already carrying the configuration's full population of
+// live shared streams. Reference is the brute-force planner (full scans, no
+// caches, serial costing); Planner is the default indexed/cached/parallel
+// one. Both make byte-identical decisions — the equivalence tests pin that —
+// so the rate is the only thing that moves.
+type ctrlRow struct {
+	Config           string  `json:"config"`
+	Peers            int     `json:"peers"`
+	Queries          int     `json:"queries"`
+	ReferenceMs      float64 `json:"referenceMs"`
+	PlannerMs        float64 `json:"plannerMs"`
+	ReferenceSubsSec float64 `json:"referenceSubsPerSec"`
+	PlannerSubsSec   float64 `json:"plannerSubsPerSec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// timeControlPlane measures the steady-state subscription rate: populate a
+// fresh engine with the scenario's sources and all queries, run one untimed
+// subscribe+unsubscribe pass over the query set (during population, query j
+// never planned against streams installed after j, so the pass brings the
+// planner's caches to steady state), then time reps passes of
+// subscribe+unsubscribe cycles and return the best per-pass wall time.
+func timeControlPlane(s *scenario.Scenario, cfg core.Config, reps int) time.Duration {
+	eng := core.NewEngine(s.Net, cfg)
+	for _, src := range s.Sources {
+		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, q := range s.Queries {
+		if _, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cycle := func() time.Duration {
+		start := time.Now()
+		for _, q := range s.Queries {
+			sub, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := eng.Unsubscribe(sub.ID); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	cycle() // untimed warm-up pass
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		if el := cycle(); best == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// benchControlPlane sweeps the scale grid through the control plane:
+// steady-state subscriptions planned and installed per wall second at
+// N peers × M live shared streams, reference planner vs the indexed one.
+// short shrinks the sweep to one small configuration for CI smoke runs.
+func benchControlPlane(short bool) []ctrlRow {
+	header("Control-plane benchmark: scale grid steady state, reference vs indexed planner")
+	type cpConfig struct{ n, queries int }
+	configs := []cpConfig{
+		{3, 64},
+		{4, 128},
+		{6, 256},
+	}
+	reps := 3
+	if short {
+		configs = []cpConfig{{3, 32}}
+		reps = 1
+	}
+	fmt.Printf("%-14s %7s %8s %10s %10s %12s %12s %8s\n", "Config", "Peers", "Queries",
+		"Ref ms", "Plan ms", "Ref subs/s", "Plan subs/s", "Speedup")
+	var rows []ctrlRow
+	for _, cfg := range configs {
+		// A tiny item count keeps stream-stats construction out of the
+		// measurement; the control plane only reads the sample statistics.
+		s := scenario.ScaleGrid(cfg.n, cfg.queries, 200)
+		refD := timeControlPlane(s, core.Config{ReferencePlanner: true}, reps)
+		fastD := timeControlPlane(s, core.Config{}, reps)
+		row := ctrlRow{
+			Config:           fmt.Sprintf("grid%dx%d-q%d", cfg.n, cfg.n, cfg.queries),
+			Peers:            cfg.n * cfg.n,
+			Queries:          cfg.queries,
+			ReferenceMs:      ms(refD),
+			PlannerMs:        ms(fastD),
+			ReferenceSubsSec: float64(cfg.queries) / refD.Seconds(),
+			PlannerSubsSec:   float64(cfg.queries) / fastD.Seconds(),
+		}
+		row.Speedup = row.PlannerSubsSec / row.ReferenceSubsSec
+		rows = append(rows, row)
+		fmt.Printf("%-14s %7d %8d %10.1f %10.1f %12.0f %12.0f %7.2fx\n",
+			row.Config, row.Peers, row.Queries, row.ReferenceMs, row.PlannerMs,
+			row.ReferenceSubsSec, row.PlannerSubsSec, row.Speedup)
+	}
+	fmt.Println("(steady-state subscriptions planned+installed per wall second against the")
+	fmt.Println(" configuration's full live-stream population; reference = full-scan serial")
+	fmt.Println(" planner inside the same binary)")
+	return rows
+}
+
 // benchDataPath sweeps the scale grid through the distributed runtime with
 // the baseline and the batched data path and reports the throughput
 // trajectory. short shrinks the sweep to one small configuration for CI

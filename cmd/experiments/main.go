@@ -96,15 +96,16 @@ type churnRow struct {
 // benchReport is the -json output: everything the run measured, keyed the
 // way EXPERIMENTS.md discusses it.
 type benchReport struct {
-	Rev       string      `json:"rev"`
-	Items     int         `json:"items"`
-	Seed      int64       `json:"seed"`
-	Fig6      *figData    `json:"fig6,omitempty"`
-	Fig7      *figData    `json:"fig7,omitempty"`
-	Table1    []table1Row `json:"table1,omitempty"`
-	Rejection []rejRow    `json:"rejection,omitempty"`
-	Churn     []churnRow  `json:"churn,omitempty"`
-	DataPath  []benchRow  `json:"dataPath,omitempty"`
+	Rev          string      `json:"rev"`
+	Items        int         `json:"items"`
+	Seed         int64       `json:"seed"`
+	Fig6         *figData    `json:"fig6,omitempty"`
+	Fig7         *figData    `json:"fig7,omitempty"`
+	Table1       []table1Row `json:"table1,omitempty"`
+	Rejection    []rejRow    `json:"rejection,omitempty"`
+	Churn        []churnRow  `json:"churn,omitempty"`
+	DataPath     []benchRow  `json:"dataPath,omitempty"`
+	ControlPlane []ctrlRow   `json:"controlPlane,omitempty"`
 }
 
 func main() {
@@ -141,6 +142,7 @@ func main() {
 	}
 	if *bench {
 		report.DataPath = benchDataPath(*items, *short)
+		report.ControlPlane = benchControlPlane(*short)
 		// The benchmark exists to document the throughput trajectory, so
 		// it always persists its measurements.
 		*jsonOut = true

@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"streamshare/internal/core"
+	"streamshare/internal/scenario"
+	"streamshare/internal/xmlstream"
+)
+
+// populateGrid registers the ScaleGrid sources and all queries on a fresh
+// engine, bringing it to the steady state the benchmarks measure against:
+// N peers carrying M live shared streams.
+func populateGrid(b *testing.B, cfg core.Config) (*core.Engine, *scenario.Scenario) {
+	b.Helper()
+	s := scenario.ScaleGrid(6, 256, 200)
+	eng := core.NewEngine(s.Net, cfg)
+	for _, src := range s.Sources {
+		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, q := range s.Queries {
+		if _, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, s
+}
+
+// benchmarkControlPlane measures the steady-state subscription rate: with the
+// ScaleGrid population live, each iteration plans and installs one more
+// subscription against the full stream catalog, then removes it again. One
+// full subscribe+unsubscribe pass over the query set before the timer starts
+// brings the planner's caches to their steady state — during population,
+// query j was never planned against streams installed after j, so without the
+// pass the first measured cycles would still be paying one-time misses.
+func benchmarkControlPlane(b *testing.B, cfg core.Config) {
+	eng, s := populateGrid(b, cfg)
+	for _, q := range s.Queries {
+		sub, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Unsubscribe(sub.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := s.Queries[i%len(s.Queries)]
+		sub, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Unsubscribe(sub.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControlPlaneIndexed(b *testing.B) {
+	benchmarkControlPlane(b, core.Config{})
+}
+
+func BenchmarkControlPlaneReference(b *testing.B) {
+	benchmarkControlPlane(b, core.Config{ReferencePlanner: true})
+}
+
+// benchmarkControlPlaneColdStart measures the one-shot population cost: a
+// fresh engine registering the whole ScaleGrid workload from nothing. Caches
+// and index start empty every iteration, so this bounds how much of the
+// steady-state win is amortization.
+func benchmarkControlPlaneColdStart(b *testing.B, cfg core.Config) {
+	s := scenario.ScaleGrid(6, 256, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(s.Net, cfg)
+		for _, src := range s.Sources {
+			if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, q := range s.Queries {
+			if _, err := eng.Subscribe(q.Src, q.Target, core.StreamSharing); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkControlPlaneColdStartIndexed(b *testing.B) {
+	benchmarkControlPlaneColdStart(b, core.Config{})
+}
+
+func BenchmarkControlPlaneColdStartReference(b *testing.B) {
+	benchmarkControlPlaneColdStart(b, core.Config{ReferencePlanner: true})
+}

@@ -11,107 +11,51 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"time"
+	"sync"
 
 	"streamshare/internal/cost"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
+	"streamshare/internal/plan"
 	"streamshare/internal/properties"
 	"streamshare/internal/stats"
 	"streamshare/internal/wxquery"
 	"streamshare/internal/xmlstream"
 )
 
-// Strategy selects how new subscriptions are planned (§4).
-type Strategy int
+// Strategy selects how new subscriptions are planned (§4). It lives in the
+// plan package; the engine re-exports it so registrations read naturally.
+type Strategy = plan.Strategy
 
 // Planning strategies.
 const (
 	// DataShipping routes the whole input stream from its source to the
 	// target super-peer, once per subscription, and evaluates there.
-	DataShipping Strategy = iota
+	DataShipping = plan.DataShipping
 	// QueryShipping evaluates each subscription completely at the source
 	// super-peer and ships the result.
-	QueryShipping
+	QueryShipping = plan.QueryShipping
 	// StreamSharing runs Algorithm 1: reuse (possibly preprocessed) streams
 	// already flowing in the network, chosen by the cost model.
-	StreamSharing
+	StreamSharing = plan.StreamSharing
 )
-
-// String names the strategy as in the paper's figures.
-func (s Strategy) String() string {
-	switch s {
-	case DataShipping:
-		return "Data Shipping"
-	case QueryShipping:
-		return "Query Shipping"
-	case StreamSharing:
-		return "Stream Sharing"
-	}
-	return fmt.Sprintf("Strategy(%d)", int(s))
-}
 
 // ErrRejected reports that no evaluation plan without overload exists for a
 // subscription (the rejection experiment of §4).
-var ErrRejected = errors.New("core: subscription rejected: every plan overloads a peer or connection")
+var ErrRejected = plan.ErrRejected
 
 // ErrUnknownStream reports a subscription referencing an unregistered input.
 var ErrUnknownStream = errors.New("core: unknown input stream")
 
-// Deployed is a data stream flowing in the network: the original stream at
-// its source super-peer, or a derived stream produced by operators at a tap
-// peer and routed to a target. Every peer on the route can tap the stream
-// for further sharing (§1's example duplicates Query 1's result at SP5).
-type Deployed struct {
-	ID string
-	// Input describes the stream's content relative to its original input
-	// (the properties of §3.1; identity for original streams).
-	Input *properties.Input
-	// Parent is the stream this one is derived from; nil for originals.
-	Parent *Deployed
-	// Tap is the peer where Residual runs (the first peer of Route).
-	Tap network.PeerID
-	// Route is the path the stream flows along, from Tap to its target.
-	Route []network.PeerID
-	// Residual transforms parent items into this stream's items at Tap.
-	Residual *exec.Pipeline
-	// Size and Freq are the cost model's estimates for one item and the
-	// item frequency.
-	Size, Freq float64
-	// Original marks the raw source streams registered by data providers.
-	Original bool
-	// NotShareable marks streams whose items are restructured query results;
-	// per §2 post-processing output is never considered for reuse.
-	NotShareable bool
-	// Broken marks streams severed by a topology failure: their tap, a route
-	// peer or a route link is down (or an ancestor is broken). Broken streams
-	// are never reused for sharing; their reserved usage has been released
-	// (see ReleaseBroken) and non-originals are swept once repaired.
-	Broken bool
+// Deployed is a data stream flowing in the network; see plan.Deployed. The
+// planner owns the type (its index tracks deployments); the engine, the
+// runtime and the simulator share it through this alias.
+type Deployed = plan.Deployed
 
-	// hidden transiently excludes the stream from discovery while a
-	// migration re-plans its subscription (TryMigrate).
-	hidden bool
-
-	// linkAdd and peerAdd record the analytic usage the stream's
-	// installation added, so Unsubscribe can release it.
-	linkAdd map[network.LinkID]float64
-	peerAdd map[network.PeerID]float64
-}
-
-// Target returns getTNode(p): the peer the stream is delivered to.
-func (d *Deployed) Target() network.PeerID { return d.Route[len(d.Route)-1] }
-
-// OnRoute reports whether the stream is available at peer v.
-func (d *Deployed) OnRoute(v network.PeerID) bool {
-	for _, p := range d.Route {
-		if p == v {
-			return true
-		}
-	}
-	return false
-}
+// RegStats records the cost of registering a subscription (Table 1); see
+// plan.RegStats.
+type RegStats = plan.RegStats
 
 // SubInput is one input of an installed subscription: the canonical feed
 // stream arriving at the target plus the local post-processing pipeline.
@@ -175,27 +119,6 @@ func opList(p *exec.Pipeline) string {
 	return "[" + strings.Join(names, " → ") + "]"
 }
 
-// RegStats records the cost of registering a subscription, reproducing
-// Table 1: the measured algorithm time plus a modeled network latency of
-// Messages control messages.
-type RegStats struct {
-	Compute time.Duration
-	// Messages is the number of point-to-point control messages the
-	// registration exchanged (discovery, property fetches, installation).
-	Messages int
-	// Visited is the number of peers the discovery traversed.
-	Visited int
-	// Candidates is the number of candidate streams whose properties were
-	// matched.
-	Candidates int
-}
-
-// Time returns the modeled total registration latency given a per-message
-// network latency.
-func (r RegStats) Time(perMessage time.Duration) time.Duration {
-	return r.Compute + time.Duration(r.Messages)*perMessage
-}
-
 // Config tunes an Engine.
 type Config struct {
 	Model cost.Model
@@ -218,6 +141,15 @@ type Config struct {
 	ValidatePaths bool
 	// NoMinimize skips predicate-graph minimization (ablation).
 	NoMinimize bool
+	// ReferencePlanner disables the planner's deployed-stream index, route
+	// and match caches, and parallel costing, restoring the brute-force
+	// sequential search. Decisions are identical either way (the equivalence
+	// tests assert it); this exists as the baseline for the control-plane
+	// benchmark and as a cross-check.
+	ReferencePlanner bool
+	// PlanWorkers bounds the planner's candidate-costing worker pool; <= 0
+	// picks a default from GOMAXPROCS, 1 forces serial costing.
+	PlanWorkers int
 	// Obs injects a shared observability layer (metrics registry + decision
 	// tracer); nil gives the engine a private one. Instrumentation is always
 	// on — it is cheap enough to leave enabled (atomic counters, bounded
@@ -237,11 +169,23 @@ type Engine struct {
 	Est *cost.Estimator
 
 	obs       *obs.Observer
+	planner   *plan.Planner
 	originals map[string]*Deployed
 	origStats map[string]*stats.Stream
 	deployed  []*Deployed
 	subs      []*Subscription
 	nextID    int
+	// subSeq issues subscription ids ("q1", "q2", …) monotonically: ids are
+	// never reused after Unsubscribe or a failed repair. Failed registration
+	// attempts do not consume an id — the tentative id appears only in their
+	// decision trace.
+	subSeq int
+
+	// mu serializes the control plane (Subscribe, Unsubscribe, Replan,
+	// TryMigrate, RegisterStream and the repair entry points). Simulate and
+	// the read-only getters are not locked; run them from the same goroutine
+	// that mutates, as the server and runtime do.
+	mu sync.Mutex
 
 	// Analytic running usage, kept in sync with installed plans.
 	linkUse map[network.LinkID]float64 // bytes/second
@@ -260,7 +204,7 @@ func NewEngine(net *network.Network, cfg Config) *Engine {
 			cfg.Obs = obs.NewObserver()
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		Net:       net,
 		Cfg:       cfg,
 		obs:       cfg.Obs,
@@ -270,12 +214,25 @@ func NewEngine(net *network.Network, cfg Config) *Engine {
 		linkUse:   map[network.LinkID]float64{},
 		peerUse:   map[network.PeerID]float64{},
 	}
+	e.planner = plan.New(net, e, plan.Options{
+		Model:      cfg.Model,
+		Est:        e.Est,
+		Registry:   cfg.Registry,
+		Admission:  cfg.Admission,
+		DepthFirst: cfg.DepthFirst,
+		Widening:   cfg.Widening,
+		Reference:  cfg.ReferencePlanner,
+		Workers:    cfg.PlanWorkers,
+	}, e.obs)
+	return e
 }
 
 // RegisterStream registers an original data stream at a super-peer, with
 // statistics collected from a sample (frequency, element sizes, value
 // ranges). The statistics drive the cost model's estimations.
 func (e *Engine) RegisterStream(name string, itemPath xmlstream.Path, at network.PeerID, st *stats.Stream) (*Deployed, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.Net.Peer(at) == nil {
 		return nil, fmt.Errorf("core: unknown peer %s", at)
 	}
@@ -296,6 +253,7 @@ func (e *Engine) RegisterStream(name string, itemPath xmlstream.Path, at network
 	e.origStats[name] = st
 	e.Est.Stats[name] = st
 	e.deployed = append(e.deployed, d)
+	e.planner.Install(d)
 	e.obs.Metrics.Counter("core.streams.registered").Inc()
 	e.obs.Metrics.Gauge("core.streams.deployed").Set(float64(len(e.deployed)))
 	return d, nil
@@ -337,6 +295,11 @@ func (e *Engine) RepairFuzzyOrder(stream string, ref xmlstream.Path, size int) e
 // Streams returns all deployed streams, originals first, in creation order.
 func (e *Engine) Streams() []*Deployed { return e.deployed }
 
+// Original returns the registered original stream by name, or nil. Together
+// with Streams, LinkLoad and PeerLoad it forms the plan.Host surface the
+// planner reads engine state through.
+func (e *Engine) Original(stream string) *Deployed { return e.originals[stream] }
+
 // Subscriptions returns the installed subscriptions in registration order.
 func (e *Engine) Subscriptions() []*Subscription { return e.subs }
 
@@ -347,14 +310,15 @@ func (e *Engine) LinkLoad(l network.LinkID) float64 { return e.linkUse[l] }
 // PeerLoad returns the current analytic load of a peer in work units/second.
 func (e *Engine) PeerLoad(p network.PeerID) float64 { return e.peerUse[p] }
 
-// availableAt returns the deployed streams whose route includes v and that
-// are variants of the named original input stream.
-func (e *Engine) availableAt(v network.PeerID, stream string) []*Deployed {
-	var out []*Deployed
-	for _, d := range e.deployed {
-		if d.Input.Stream == stream && !d.NotShareable && !d.Broken && !d.hidden && d.OnRoute(v) {
-			out = append(out, d)
+// removeDeployed splices a stream out of the registry and the planner's
+// discovery index. It reports whether the stream was present.
+func (e *Engine) removeDeployed(d *Deployed) bool {
+	for i, x := range e.deployed {
+		if x == d {
+			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
+			e.planner.Uninstall(d)
+			return true
 		}
 	}
-	return out
+	return false
 }

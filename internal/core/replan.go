@@ -7,6 +7,7 @@ import (
 	"streamshare/internal/cost"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
+	"streamshare/internal/plan"
 	"streamshare/internal/properties"
 )
 
@@ -53,19 +54,21 @@ func (e *Engine) streamBroken(d *Deployed) bool {
 // Broken streams are excluded from sharing discovery; Replan replaces or
 // rejects the subscriptions feeding from them.
 func (e *Engine) ReleaseBroken() []*Deployed {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var broken []*Deployed
 	for _, d := range e.deployed {
 		if d.Broken || !e.streamBroken(d) {
 			continue
 		}
 		d.Broken = true
-		for l, b := range d.linkAdd {
+		for l, b := range d.LinkAdd {
 			e.linkUse[l] -= b
 			if e.linkUse[l] < 1e-9 {
 				e.linkUse[l] = 0
 			}
 		}
-		for p, w := range d.peerAdd {
+		for p, w := range d.PeerAdd {
 			e.peerUse[p] -= w
 			if e.peerUse[p] < 1e-9 {
 				e.peerUse[p] = 0
@@ -73,7 +76,7 @@ func (e *Engine) ReleaseBroken() []*Deployed {
 		}
 		// The usage is gone for good: a later release() of this stream must
 		// not subtract it again.
-		d.linkAdd, d.peerAdd = nil, nil
+		d.LinkAdd, d.PeerAdd = nil, nil
 		e.obs.Metrics.Counter("core.streams.broken").Inc()
 		broken = append(broken, d)
 	}
@@ -88,6 +91,8 @@ func (e *Engine) ReleaseBroken() []*Deployed {
 // Derived streams stay broken — their resources were released, and Replan
 // rebuilds them from scratch. It returns the number of streams revived.
 func (e *Engine) ReviveRestored() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	n := 0
 	for _, d := range e.deployed {
 		if d.Broken && d.Original && !e.routeDown(d) {
@@ -129,6 +134,8 @@ func (e *Engine) Affected() []*Subscription {
 // The event string labels the re-planning decision trace ("repair
 // peer-failed SP6"); pass "" for none.
 func (e *Engine) Replan(sub *Subscription, event string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	started := time.Now()
 	reg := e.obs.Metrics
 	reg.Counter("core.replan.total").Inc()
@@ -158,7 +165,7 @@ func (e *Engine) Replan(sub *Subscription, event string) error {
 		si    *SubInput
 		in    *properties.Input
 		resIn *properties.Input
-		cand  *candidate
+		cand  *plan.Candidate
 	}
 	var plans []planned
 	for _, si := range sub.Inputs {
@@ -168,16 +175,7 @@ func (e *Engine) Replan(sub *Subscription, event string) error {
 		si.Feed.Broken = true
 		in := si.In
 		it := dt.Input(in.Stream)
-		var c *candidate
-		var err error
-		switch sub.Strategy {
-		case DataShipping:
-			c, err = e.planDataShipping(sub.Query, in, sub.Target, &rs, it)
-		case QueryShipping:
-			c, err = e.planQueryShipping(sub.Query, in, sub.Target, &rs, it)
-		default:
-			c, err = e.planStreamSharing(in, sub.Target, &rs, it)
-		}
+		c, err := e.planner.PlanInput(sub.Query, in, sub.Target, sub.Strategy, &rs, it)
 		if err != nil {
 			return fail(err)
 		}
@@ -233,12 +231,8 @@ func (e *Engine) sweepBroken(d *Deployed) {
 	if d == nil || d.Original {
 		return
 	}
-	for i, x := range e.deployed {
-		if x == d {
-			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
-			e.obs.Metrics.Counter("core.streams.swept").Inc()
-			break
-		}
+	if e.removeDeployed(d) {
+		e.obs.Metrics.Counter("core.streams.swept").Inc()
 	}
 	e.release(d.Parent)
 }
@@ -292,6 +286,8 @@ func (e *Engine) priceFootprint(linkAdd map[network.LinkID]float64, peerAdd map[
 // It returns whether the subscription migrated. The event string labels the
 // decision trace of a successful migration.
 func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, si := range sub.Inputs {
 		if si.Feed.Broken || e.streamBroken(si.Feed) {
 			return false, nil
@@ -305,14 +301,14 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 	// their usage so candidate plans price against the capacity that would
 	// actually be free after the migration.
 	for _, si := range sub.Inputs {
-		si.Feed.hidden = true
-		for l, b := range si.Feed.linkAdd {
+		si.Feed.Hidden = true
+		for l, b := range si.Feed.LinkAdd {
 			e.linkUse[l] -= b
 			if e.linkUse[l] < 1e-9 {
 				e.linkUse[l] = 0
 			}
 		}
-		for p, w := range si.Feed.peerAdd {
+		for p, w := range si.Feed.PeerAdd {
 			e.peerUse[p] -= w
 			if e.peerUse[p] < 1e-9 {
 				e.peerUse[p] = 0
@@ -321,11 +317,11 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 	}
 	restore := func() {
 		for _, si := range sub.Inputs {
-			si.Feed.hidden = false
-			for l, b := range si.Feed.linkAdd {
+			si.Feed.Hidden = false
+			for l, b := range si.Feed.LinkAdd {
 				e.linkUse[l] += b
 			}
-			for p, w := range si.Feed.peerAdd {
+			for p, w := range si.Feed.PeerAdd {
 				e.peerUse[p] += w
 			}
 		}
@@ -333,7 +329,7 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 
 	oldCost := 0.0
 	for _, si := range sub.Inputs {
-		oldCost += e.Cfg.Model.Cost(e.priceFootprint(si.Feed.linkAdd, si.Feed.peerAdd))
+		oldCost += e.Cfg.Model.Cost(e.priceFootprint(si.Feed.LinkAdd, si.Feed.PeerAdd))
 	}
 
 	started := time.Now()
@@ -349,28 +345,19 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 	type planned struct {
 		in    *properties.Input
 		resIn *properties.Input
-		cand  *candidate
+		cand  *plan.Candidate
 	}
 	var plans []planned
 	newCost := 0.0
 	for _, si := range sub.Inputs {
 		in := si.In
 		it := dt.Input(in.Stream)
-		var c *candidate
-		var err error
-		switch sub.Strategy {
-		case DataShipping:
-			c, err = e.planDataShipping(sub.Query, in, sub.Target, &rs, it)
-		case QueryShipping:
-			c, err = e.planQueryShipping(sub.Query, in, sub.Target, &rs, it)
-		default:
-			c, err = e.planStreamSharing(in, sub.Target, &rs, it)
-		}
+		c, err := e.planner.PlanInput(sub.Query, in, sub.Target, sub.Strategy, &rs, it)
 		if err != nil {
 			restore()
 			return false, nil // no feasible alternative; keep the current plan
 		}
-		newCost += c.cost
+		newCost += c.Cost
 		plans = append(plans, planned{in: in, resIn: result.Input(in.Stream), cand: c})
 	}
 
@@ -396,12 +383,7 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 	for i, si := range sub.Inputs {
 		old := si.Feed
 		si.Feed, si.Local = installed[i].Feed, installed[i].Local
-		for j, x := range e.deployed {
-			if x == old {
-				e.deployed = append(e.deployed[:j], e.deployed[j+1:]...)
-				break
-			}
-		}
+		e.removeDeployed(old)
 		e.release(old.Parent)
 	}
 	dt.Duration = time.Since(started)
@@ -417,19 +399,14 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 // uninstallFeed reverses a just-completed install: removes the feed and
 // subtracts the usage it applied.
 func (e *Engine) uninstallFeed(d *Deployed) {
-	for i, x := range e.deployed {
-		if x == d {
-			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
-			break
-		}
-	}
-	for l, b := range d.linkAdd {
+	e.removeDeployed(d)
+	for l, b := range d.LinkAdd {
 		e.linkUse[l] -= b
 		if e.linkUse[l] < 1e-9 {
 			e.linkUse[l] = 0
 		}
 	}
-	for p, w := range d.peerAdd {
+	for p, w := range d.PeerAdd {
 		e.peerUse[p] -= w
 		if e.peerUse[p] < 1e-9 {
 			e.peerUse[p] = 0

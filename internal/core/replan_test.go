@@ -19,10 +19,10 @@ func checkUsageInvariant(t *testing.T, e *Engine) {
 	wantLink := map[network.LinkID]float64{}
 	wantPeer := map[network.PeerID]float64{}
 	for _, d := range e.deployed {
-		for l, b := range d.linkAdd {
+		for l, b := range d.LinkAdd {
 			wantLink[l] += b
 		}
-		for p, w := range d.peerAdd {
+		for p, w := range d.PeerAdd {
 			wantPeer[p] += w
 		}
 	}

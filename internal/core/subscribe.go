@@ -5,52 +5,34 @@ import (
 	"fmt"
 	"time"
 
-	"streamshare/internal/cost"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
+	"streamshare/internal/plan"
 	"streamshare/internal/predicate"
 	"streamshare/internal/properties"
 	"streamshare/internal/wxquery"
 )
 
-// candidate is one evaluation plan for a single input stream of a new
-// subscription: tap the source stream at a peer, run residual operators
-// there, and route the result to the subscription's target.
-type candidate struct {
-	source *Deployed
-	tap    network.PeerID
-	route  []network.PeerID
-	// residual transforms source items into the subscription's canonical
-	// stream; built fresh again at install time so operator state is not
-	// shared between costing and execution.
-	residualOps []string
-	// size/freq of the new stream (cost model estimates).
-	size, freq float64
-	// absolute additions to link and peer usage if installed.
-	linkAdd map[network.LinkID]float64
-	peerAdd map[network.PeerID]float64
-	usage   cost.Usage
-	cost    float64
-	// widen, when set, rewires an existing stream before installation
-	// (§6's stream-widening extension; see widen.go).
-	widen *widening
-}
-
 // Subscribe registers a continuous query at the given target super-peer
 // using the engine's configured strategy and installs the chosen evaluation
-// plan. It returns ErrRejected when admission control is enabled and every
-// plan would overload a peer or network connection.
+// plan (the search itself lives in internal/plan). It returns ErrRejected
+// when admission control is enabled and every plan would overload a peer or
+// network connection. Concurrent Subscribe calls are safe: the engine
+// serializes its control plane, while each call's candidate costing fans
+// out over the planner's worker pool.
 //
 // Every call — successful or not — leaves a decision trace in the engine's
 // observer recording candidate streams, match outcomes, cost breakdowns and
 // the winner; successful registrations also keep it on Subscription.Trace.
 func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*Subscription, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	started := time.Now()
 	reg := e.obs.Metrics
 	reg.Counter("core.subscribe.total").Inc()
 	dt := &obs.DecisionTrace{
-		SubID:    fmt.Sprintf("q%d", len(e.subs)+1),
+		SubID:    fmt.Sprintf("q%d", e.subSeq+1),
 		Strategy: strat.String(),
 		Target:   string(target),
 		Query:    src,
@@ -92,7 +74,7 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 	type planned struct {
 		in    *properties.Input
 		resIn *properties.Input
-		cand  *candidate
+		cand  *plan.Candidate
 	}
 	var plans []planned
 	for _, in := range props.Inputs {
@@ -105,16 +87,7 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 				return fail(err)
 			}
 		}
-		var c *candidate
-		var err error
-		switch strat {
-		case DataShipping:
-			c, err = e.planDataShipping(q, in, target, &sub.Reg, it)
-		case QueryShipping:
-			c, err = e.planQueryShipping(q, in, target, &sub.Reg, it)
-		default:
-			c, err = e.planStreamSharing(in, target, &sub.Reg, it)
-		}
+		c, err := e.planner.PlanInput(q, in, target, strat, &sub.Reg, it)
 		if err != nil {
 			return fail(err)
 		}
@@ -134,6 +107,7 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 	dt.VisitedPeers = sub.Reg.Visited
 	e.obs.Tracer.Record(dt)
 	e.subs = append(e.subs, sub)
+	e.subSeq++
 
 	reg.Counter("core.subscribe.installed").Inc()
 	reg.Counter("core.discovery.visited").Add(float64(sub.Reg.Visited))
@@ -143,7 +117,7 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 		Observe(sub.Reg.Compute.Seconds())
 	costHist := reg.Histogram("core.plan.cost", obs.ExpBuckets(1e-8, 10, 12))
 	for _, p := range plans {
-		costHist.Observe(p.cand.cost)
+		costHist.Observe(p.cand.Cost)
 	}
 	e.publishUse()
 	return sub, nil
@@ -197,338 +171,26 @@ func (e *Engine) validatePaths(in *properties.Input) error {
 	return nil
 }
 
-func peerStrings(ps []network.PeerID) []string {
-	out := make([]string, len(ps))
-	for i, p := range ps {
-		out[i] = string(p)
-	}
-	return out
-}
-
-// traceCandidate fills a trace row's plan fields from a costed candidate.
-func (e *Engine) traceCandidate(ct *obs.CandidateTrace, c *candidate) {
-	ct.Tap = string(c.tap)
-	ct.Route = peerStrings(c.route)
-	ct.Residual = append([]string(nil), c.residualOps...)
-	ct.Cost = obs.CostBreakdown(e.Cfg.Model.Breakdown(c.usage))
-	ct.Overloaded = c.usage.Overloaded()
-}
-
-// planDataShipping routes the raw input stream to the target, once for this
-// subscription, and evaluates the whole query there.
-func (e *Engine) planDataShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats, it *obs.InputTrace) (*candidate, error) {
-	orig := e.originals[in.Stream]
-	it.Visited = append(it.Visited, string(orig.Tap))
-	ct := obs.CandidateTrace{Stream: orig.ID, FoundAt: string(orig.Tap), Match: true, Reason: "match"}
-	route := e.Net.ShortestPath(orig.Tap, target)
-	if route == nil {
-		ct.Err = "no path to target"
-		it.Candidates = append(it.Candidates, ct)
-		return nil, fmt.Errorf("core: no path from %s to %s", orig.Tap, target)
-	}
-	reg.Messages += 2*(len(route)-1) + 2
-	c := &candidate{source: orig, tap: orig.Tap, route: route, size: orig.Size, freq: orig.Freq}
-	// Whole evaluation at the target peer.
-	full, err := exec.FullPipeline(q, in, e.Cfg.Registry)
-	if err != nil {
-		return nil, err
-	}
-	e.costCandidate(c, in, opNames(full.Ops), target)
-	e.traceCandidate(&ct, c)
-	if e.Cfg.Admission && c.usage.Overloaded() {
-		it.Candidates = append(it.Candidates, ct)
-		return nil, ErrRejected
-	}
-	ct.Selected = true
-	it.Candidates = append(it.Candidates, ct)
-	return c, nil
-}
-
-// planQueryShipping evaluates the whole query at the source super-peer and
-// ships the (restructured) result.
-func (e *Engine) planQueryShipping(q *wxquery.Query, in *properties.Input, target network.PeerID, reg *RegStats, it *obs.InputTrace) (*candidate, error) {
-	orig := e.originals[in.Stream]
-	it.Visited = append(it.Visited, string(orig.Tap))
-	ct := obs.CandidateTrace{Stream: orig.ID, FoundAt: string(orig.Tap), Match: true, Reason: "match"}
-	route := e.Net.ShortestPath(orig.Tap, target)
-	if route == nil {
-		ct.Err = "no path to target"
-		it.Candidates = append(it.Candidates, ct)
-		return nil, fmt.Errorf("core: no path from %s to %s", orig.Tap, target)
-	}
-	reg.Messages += 2*(len(route)-1) + 2
-	full, err := exec.FullPipeline(q, in, e.Cfg.Registry)
-	if err != nil {
-		return nil, err
-	}
-	size, freq := e.Est.SizeFreq(in)
-	c := &candidate{source: orig, tap: orig.Tap, route: route, size: size, freq: freq,
-		residualOps: opNames(full.Ops)}
-	e.costCandidate(c, in, nil, target)
-	e.traceCandidate(&ct, c)
-	if e.Cfg.Admission && c.usage.Overloaded() {
-		it.Candidates = append(it.Candidates, ct)
-		return nil, ErrRejected
-	}
-	ct.Selected = true
-	it.Candidates = append(it.Candidates, ct)
-	return c, nil
-}
-
-// planStreamSharing is Algorithm 1 (Subscribe) for one input stream: a
-// breadth-first search over the stream overlay starting at the input's
-// source super-peer, matching the properties of every stream available at
-// each visited peer and keeping the cheapest plan according to the cost
-// function C. Every considered stream is recorded in the input trace — a
-// stream discovered at several peers gets one row, at its first discovery.
-func (e *Engine) planStreamSharing(in *properties.Input, target network.PeerID, reg *RegStats, it *obs.InputTrace) (*candidate, error) {
-	orig := e.originals[in.Stream]
-	vb := orig.Tap
-
-	rows := map[*Deployed]int{}
-	rowFor := func(d *Deployed, at network.PeerID) (int, bool) {
-		if i, ok := rows[d]; ok {
-			return i, false
-		}
-		it.Candidates = append(it.Candidates, obs.CandidateTrace{Stream: d.ID, FoundAt: string(at)})
-		i := len(it.Candidates) - 1
-		rows[d] = i
-		return i, true
-	}
-	chosen := map[*candidate]int{}
-	selectable := func(c *candidate) bool {
-		return !(e.Cfg.Admission && c.usage.Overloaded())
-	}
-
-	best, err := e.shareCandidate(orig, vb, in, target)
-	if err != nil {
-		return nil, err
-	}
-	if i, fresh := rowFor(orig, vb); fresh {
-		ct := &it.Candidates[i]
-		ct.Match, ct.Reason = true, "match"
-		e.traceCandidate(ct, best)
-		chosen[best] = i
-	}
-	if !selectable(best) {
-		best = nil
-	}
-	feasible := best != nil
-
-	lv := []network.PeerID{vb}
-	marked := map[network.PeerID]bool{}
-	queued := map[network.PeerID]bool{vb: true}
-	for len(lv) > 0 {
-		var v network.PeerID
-		if e.Cfg.DepthFirst {
-			v, lv = lv[len(lv)-1], lv[:len(lv)-1]
-		} else {
-			v, lv = lv[0], lv[1:]
-		}
-		if marked[v] {
-			continue
-		}
-		marked[v] = true
-		reg.Visited++
-		it.Visited = append(it.Visited, string(v))
-		for _, d := range e.availableAt(v, in.Stream) {
-			reg.Candidates++
-			i, fresh := rowFor(d, v)
-			if !properties.MatchInput(d.Input, in) {
-				// Non-matching properties do not extend the search (§3.3:
-				// following these paths cannot yield a reusable stream).
-				if fresh {
-					it.Candidates[i].Reason = properties.ExplainInputMismatch(d.Input, in)
-				}
-				continue
-			}
-			if n := d.Target(); !marked[n] && !queued[n] {
-				lv = append(lv, n)
-				queued[n] = true
-			}
-			cand, err := e.shareCandidate(d, v, in, target)
-			if err != nil {
-				if fresh {
-					ct := &it.Candidates[i]
-					ct.Match, ct.Reason, ct.Err = true, "match", err.Error()
-				}
-				continue
-			}
-			if fresh {
-				ct := &it.Candidates[i]
-				ct.Match, ct.Reason = true, "match"
-				e.traceCandidate(ct, cand)
-				chosen[cand] = i
-			}
-			if !selectable(cand) {
-				continue
-			}
-			if !feasible || cand.cost < best.cost {
-				best, feasible = cand, true
-			}
-		}
-	}
-	// Discovery costs one request/reply pair per visited peer; the
-	// properties of the streams available there piggyback on the reply.
-	reg.Messages += 2 * reg.Visited
-	if e.Cfg.Widening && (best == nil || best.source.Original) {
-		// Nothing shareable is flowing: consider altering an existing
-		// stream so it carries enough data for both its consumers and this
-		// subscription (§6).
-		if wc := e.widenCandidate(in, target); wc != nil && (best == nil || wc.cost < best.cost) {
-			best = wc
-			ct := obs.CandidateTrace{
-				Stream: wc.widen.d.ID, FoundAt: string(wc.widen.d.Tap),
-				Match: true, Reason: "widenable", Widened: true,
-			}
-			e.traceCandidate(&ct, wc)
-			it.Candidates = append(it.Candidates, ct)
-			chosen[wc] = len(it.Candidates) - 1
-		}
-	}
-	if best == nil {
-		return nil, ErrRejected
-	}
-	reg.Messages += 2*(len(best.route)-1) + 2
-	if e.Cfg.Admission && best.usage.Overloaded() {
-		return nil, ErrRejected
-	}
-	if i, ok := chosen[best]; ok {
-		it.Candidates[i].Selected = true
-	}
-	return best, nil
-}
-
-// shareCandidate is generatePlan(p, v, vq): reuse stream d — discovered at
-// peer v — for the subscription input in, routing the residual result to the
-// target. The duplication point is the peer on d's route closest to the
-// target (earliest on the route on ties), which is how the paper's example
-// duplicates Query 1's result at SP5 rather than at its endpoint SP1.
-// Overload handling is the caller's: the candidate is returned with its
-// usage filled either way, so rejected plans still show up in traces.
-func (e *Engine) shareCandidate(d *Deployed, v network.PeerID, in *properties.Input, target network.PeerID) (*candidate, error) {
-	var route []network.PeerID
-	for _, tap := range d.Route {
-		r := e.Net.ShortestPath(tap, target)
-		if r != nil && (route == nil || len(r) < len(route)) {
-			route = r
-		}
-	}
-	if route == nil {
-		return nil, fmt.Errorf("core: no path from %s to %s", v, target)
-	}
-	v = route[0]
-	res, err := exec.ResidualPipeline(d.Input, in, e.Cfg.Registry)
-	if err != nil {
-		return nil, err
-	}
-	size, freq := e.Est.SizeFreq(in)
-	c := &candidate{source: d, tap: v, route: route, size: size, freq: freq,
-		residualOps: opNames(res.Ops)}
-	e.costCandidate(c, in, []string{cost.OpRestructure}, target)
-	return c, nil
-}
-
-func opNames(ops []exec.Operator) []string {
-	out := make([]string, len(ops))
-	for i, o := range ops {
-		out[i] = o.Name()
-	}
-	return out
-}
-
-// costCandidate fills the candidate's usage, absolute additions and cost
-// value: the new stream's traffic on every route link, residual operators
-// and duplication at the tap, forwarding at intermediate peers, and the
-// local pipeline at the target.
-func (e *Engine) costCandidate(c *candidate, in *properties.Input, targetOps []string, target network.PeerID) {
-	// Keep any pre-seeded usage (widening plans seed their rewiring delta).
-	if c.linkAdd == nil {
-		c.linkAdd = map[network.LinkID]float64{}
-	}
-	if c.peerAdd == nil {
-		c.peerAdd = map[network.PeerID]float64{}
-	}
-
-	bytesPerSec := c.size * c.freq
-	for _, l := range network.PathLinks(c.route) {
-		c.linkAdd[l] += bytesPerSec
-	}
-
-	addOp := func(p network.PeerID, op string, freq float64) {
-		c.peerAdd[p] += e.Cfg.Model.OpLoad(op, e.Net.Peer(p), freq)
-	}
-	// Duplication at the tap: the reused stream keeps flowing to its own
-	// consumers; tapping it forks a copy (§1's duplication at SP5).
-	if !c.source.Original || c.tap != c.source.Tap {
-		addOp(c.tap, cost.OpDuplicate, c.source.Freq)
-	}
-	// Residual operators at the tap. Pre-selection stages see the parent's
-	// frequency, window stages the post-selection item frequency, and
-	// post-window stages the result frequency.
-	inFreq := c.source.Freq
-	for _, op := range c.residualOps {
-		addOp(c.tap, op, inFreq)
-		switch op {
-		case cost.OpSelect:
-			inFreq = e.Est.InputFreq(in)
-		case cost.OpWindowAgg, cost.OpWindowContents, cost.OpWindowMerge, cost.OpRemap:
-			inFreq = c.freq
-		}
-	}
-	// Forwarding at intermediate peers.
-	for _, p := range c.route[1:] {
-		if p == target {
-			continue
-		}
-		c.peerAdd[p] += e.Cfg.Model.ForwardLoad(e.Net.Peer(p), c.freq, c.size)
-	}
-	// Local pipeline at the target.
-	for _, op := range targetOps {
-		f := c.freq
-		if op == cost.OpSelect || op == cost.OpWindowAgg || op == cost.OpWindowContents {
-			// Data shipping evaluates from the raw stream at the target.
-			f = c.source.Freq
-		}
-		addOp(target, op, f)
-	}
-
-	// Relative usage against remaining capacity.
-	for l, b := range c.linkAdd {
-		bw := e.Net.Link(l.A, l.B).Bandwidth
-		c.usage.Links = append(c.usage.Links, cost.LinkUsage{
-			ID: l, Ub: b / bw, Ab: 1 - e.linkUse[l]/bw,
-		})
-	}
-	for p, w := range c.peerAdd {
-		cap := e.Net.Peer(p).Capacity
-		c.usage.Peers = append(c.usage.Peers, cost.PeerUsage{
-			ID: p, Ul: w / cap, Al: 1 - e.peerUse[p]/cap,
-		})
-	}
-	c.cost = e.Cfg.Model.Cost(c.usage)
-}
-
 // install creates the deployed stream and subscription wiring for one
 // planned input and applies its analytic usage.
-func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *properties.Input, c *candidate, strat Strategy) (*SubInput, error) {
+func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *properties.Input, c *plan.Candidate, strat Strategy) (*SubInput, error) {
 	e.nextID++
 	si := &SubInput{In: in}
-	if c.widen != nil {
-		e.installWidening(c.widen)
+	if c.Widen != nil {
+		e.installWidening(c.Widen)
 		// The rewiring delta was only seeded for costing; installWidening
 		// has applied the rewire exactly, so the subscription's own
 		// footprint excludes it.
-		for l, b := range c.widen.deltaLink {
-			c.linkAdd[l] -= b
-			if c.linkAdd[l] == 0 {
-				delete(c.linkAdd, l)
+		for l, b := range c.Widen.DeltaLink {
+			c.LinkAdd[l] -= b
+			if c.LinkAdd[l] == 0 {
+				delete(c.LinkAdd, l)
 			}
 		}
-		for p, u := range c.widen.deltaPeer {
-			c.peerAdd[p] -= u
-			if c.peerAdd[p] == 0 {
-				delete(c.peerAdd, p)
+		for p, u := range c.Widen.DeltaPeer {
+			c.PeerAdd[p] -= u
+			if c.PeerAdd[p] == 0 {
+				delete(c.PeerAdd, p)
 			}
 		}
 	}
@@ -542,13 +204,13 @@ func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *propert
 		}
 		si.Feed = &Deployed{
 			ID:       fmt.Sprintf("s%d(raw %s for %s)", e.nextID, in.Stream, sub.ID),
-			Input:    c.source.Input,
-			Parent:   c.source,
-			Tap:      c.tap,
-			Route:    c.route,
+			Input:    c.Source.Input,
+			Parent:   c.Source,
+			Tap:      c.Tap,
+			Route:    c.Route,
 			Residual: exec.NewPipeline(),
-			Size:     c.size,
-			Freq:     c.freq,
+			Size:     c.Size,
+			Freq:     c.Freq,
 		}
 		si.Local = full
 	case QueryShipping:
@@ -559,17 +221,17 @@ func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *propert
 		si.Feed = &Deployed{
 			ID:           fmt.Sprintf("s%d(result %s)", e.nextID, sub.ID),
 			Input:        resIn,
-			Parent:       c.source,
-			Tap:          c.tap,
-			Route:        c.route,
+			Parent:       c.Source,
+			Tap:          c.Tap,
+			Route:        c.Route,
 			Residual:     full,
-			Size:         c.size,
-			Freq:         c.freq,
+			Size:         c.Size,
+			Freq:         c.Freq,
 			NotShareable: true,
 		}
 		si.Local = exec.NewPipeline()
 	default:
-		res, err := exec.ResidualPipeline(c.source.Input, in, e.Cfg.Registry)
+		res, err := exec.ResidualPipeline(c.Source.Input, in, e.Cfg.Registry)
 		if err != nil {
 			return nil, err
 		}
@@ -578,14 +240,14 @@ func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *propert
 			return nil, err
 		}
 		si.Feed = &Deployed{
-			ID:       fmt.Sprintf("s%d(%s via %s@%s)", e.nextID, sub.ID, c.source.ID, c.tap),
+			ID:       fmt.Sprintf("s%d(%s via %s@%s)", e.nextID, sub.ID, c.Source.ID, c.Tap),
 			Input:    resIn,
-			Parent:   c.source,
-			Tap:      c.tap,
-			Route:    c.route,
+			Parent:   c.Source,
+			Tap:      c.Tap,
+			Route:    c.Route,
 			Residual: res,
-			Size:     c.size,
-			Freq:     c.freq,
+			Size:     c.Size,
+			Freq:     c.Freq,
 		}
 		si.Local = exec.NewPipeline(rs)
 	}
@@ -595,15 +257,17 @@ func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *propert
 	// Query-shipping results are restructured and private; data-shipping raw
 	// copies are per-subscription by definition. Only stream sharing
 	// advertises its canonical streams — but keeping all deployments in the
-	// registry is harmless because only the sharing strategy searches it.
+	// registry is harmless because discovery goes through the planner's
+	// index, which never lists non-shareable ones.
 	e.deployed = append(e.deployed, si.Feed)
+	e.planner.Install(si.Feed)
 
-	si.Feed.linkAdd = c.linkAdd
-	si.Feed.peerAdd = c.peerAdd
-	for l, b := range c.linkAdd {
+	si.Feed.LinkAdd = c.LinkAdd
+	si.Feed.PeerAdd = c.PeerAdd
+	for l, b := range c.LinkAdd {
 		e.linkUse[l] += b
 	}
-	for p, w := range c.peerAdd {
+	for p, w := range c.PeerAdd {
 		e.peerUse[p] += w
 	}
 	return si, nil

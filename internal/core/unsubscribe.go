@@ -11,6 +11,8 @@ import "fmt"
 // The paper treats subscriptions as long-lived (§4) and does not specify
 // deregistration; this is the natural inverse of plan installation.
 func (e *Engine) Unsubscribe(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	idx := -1
 	for i, s := range e.subs {
 		if s.ID == id {
@@ -37,20 +39,16 @@ func (e *Engine) release(d *Deployed) {
 	if d == nil || d.Original || e.hasConsumers(d) {
 		return
 	}
-	for i, x := range e.deployed {
-		if x == d {
-			e.deployed = append(e.deployed[:i], e.deployed[i+1:]...)
-			e.obs.Metrics.Counter("core.streams.released").Inc()
-			break
-		}
+	if e.removeDeployed(d) {
+		e.obs.Metrics.Counter("core.streams.released").Inc()
 	}
-	for l, b := range d.linkAdd {
+	for l, b := range d.LinkAdd {
 		e.linkUse[l] -= b
 		if e.linkUse[l] < 1e-9 {
 			e.linkUse[l] = 0
 		}
 	}
-	for p, w := range d.peerAdd {
+	for p, w := range d.PeerAdd {
 		e.peerUse[p] -= w
 		if e.peerUse[p] < 1e-9 {
 			e.peerUse[p] = 0

@@ -1,12 +1,9 @@
 package core
 
 import (
-	"fmt"
-
-	"streamshare/internal/cost"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
-	"streamshare/internal/properties"
+	"streamshare/internal/plan"
 )
 
 // Stream widening (enabled with Config.Widening) implements the paper's §6
@@ -20,170 +17,15 @@ import (
 // (residual selection/projection reconstruct exactly its previous items, so
 // existing consumers are unaffected), and streams that tapped d along its
 // route are re-parented onto w. The new subscription then taps w like any
-// shared stream. Plans are only chosen when the cost function prefers them
-// over routing from the original source.
-
-// widening carries the rewiring decision inside a candidate.
-type widening struct {
-	d  *Deployed         // existing stream to widen
-	w  *Deployed         // the widened replacement (pre-built, not yet installed)
-	in *properties.Input // widened properties
-	// dLinkAdd/dPeerAdd and wLinkAdd/wPeerAdd are the post-rewire usage
-	// footprints of d and w.
-	dPeerAdd map[network.PeerID]float64
-	wLinkAdd map[network.LinkID]float64
-	wPeerAdd map[network.PeerID]float64
-	// deltaLink/deltaPeer is the rewiring delta seeded into the candidate's
-	// usage for costing; installWidening applies the rewire itself, so the
-	// installer subtracts the delta again from the candidate's additions.
-	deltaLink map[network.LinkID]float64
-	deltaPeer map[network.PeerID]float64
-}
-
-// widenCandidate searches for the cheapest widening plan for the given
-// subscription input, or nil if none is applicable (or none survives
-// admission control).
-func (e *Engine) widenCandidate(in *properties.Input, target network.PeerID) *candidate {
-	var best *candidate
-	for _, d := range e.deployed {
-		if d.Original || d.NotShareable || d.Broken || d.hidden || d.Input.Stream != in.Stream {
-			continue
-		}
-		if d.Parent == nil || !d.Parent.Original {
-			// Widening rebuilds the stream from its parent; restrict to
-			// first-level streams so the parent always carries enough data.
-			continue
-		}
-		if properties.MatchInput(d.Input, in) {
-			continue // ordinary sharing already covers this stream
-		}
-		wIn := properties.Widen(d.Input, in)
-		if wIn == nil {
-			continue
-		}
-		c, err := e.buildWidenCandidate(d, wIn, in, target)
-		if err != nil || c == nil {
-			continue
-		}
-		if best == nil || c.cost < best.cost {
-			best = c
-		}
-	}
-	return best
-}
-
-// buildWidenCandidate prices one widening plan.
-func (e *Engine) buildWidenCandidate(d *Deployed, wIn, in *properties.Input, target network.PeerID) (*candidate, error) {
-	wSize, wFreq := e.Est.SizeFreq(wIn)
-	wRes, err := exec.ResidualPipeline(d.Parent.Input, wIn, e.Cfg.Registry)
-	if err != nil {
-		return nil, err
-	}
-	dRes, err := exec.ResidualPipeline(wIn, d.Input, e.Cfg.Registry)
-	if err != nil {
-		return nil, err
-	}
-	w := &Deployed{
-		ID:       fmt.Sprintf("w%s(widened %s)", d.ID, d.Input.Stream),
-		Input:    wIn,
-		Parent:   d.Parent,
-		Tap:      d.Tap,
-		Route:    d.Route,
-		Residual: wRes,
-		Size:     wSize,
-		Freq:     wFreq,
-	}
-
-	// Post-rewire footprints: w inherits d's route at the widened rate; d
-	// shrinks to a local derivation at its target.
-	wiLink := map[network.LinkID]float64{}
-	for _, l := range network.PathLinks(d.Route) {
-		wiLink[l] += wSize * wFreq
-	}
-	wiPeer := map[network.PeerID]float64{}
-	addOp := func(m map[network.PeerID]float64, p network.PeerID, op string, freq float64) {
-		m[p] += e.Cfg.Model.OpLoad(op, e.Net.Peer(p), freq)
-	}
-	inFreq := d.Parent.Freq
-	for _, op := range wRes.Ops {
-		addOp(wiPeer, d.Tap, op.Name(), inFreq)
-		if op.Name() == cost.OpSelect {
-			inFreq = wFreq
-		}
-	}
-	for i := 1; i < len(d.Route)-1; i++ {
-		wiPeer[d.Route[i]] += e.Cfg.Model.ForwardLoad(e.Net.Peer(d.Route[i]), wFreq, wSize)
-	}
-	dPeer := map[network.PeerID]float64{}
-	addOp(dPeer, d.Target(), cost.OpDuplicate, wFreq)
-	for _, op := range dRes.Ops {
-		addOp(dPeer, d.Target(), op.Name(), wFreq)
-	}
-
-	// The subscription's own feed taps w at the best route point.
-	var route []network.PeerID
-	for _, tap := range d.Route {
-		if r := e.Net.ShortestPath(tap, target); r != nil && (route == nil || len(r) < len(route)) {
-			route = r
-		}
-	}
-	if route == nil {
-		return nil, fmt.Errorf("core: no path to %s", target)
-	}
-	subRes, err := exec.ResidualPipeline(wIn, in, e.Cfg.Registry)
-	if err != nil {
-		return nil, err
-	}
-	size, freq := e.Est.SizeFreq(in)
-	c := &candidate{
-		source: w, tap: route[0], route: route,
-		size: size, freq: freq,
-		residualOps: opNames(subRes.Ops),
-		widen: &widening{
-			d: d, w: w, in: wIn,
-			dPeerAdd: dPeer, wLinkAdd: wiLink, wPeerAdd: wiPeer,
-		},
-	}
-	// Seed the rewiring delta (relative to releasing d's current footprint)
-	// before pricing the subscription's own additions.
-	deltaLink := map[network.LinkID]float64{}
-	deltaPeer := map[network.PeerID]float64{}
-	for l, b := range wiLink {
-		deltaLink[l] += b
-	}
-	for l, b := range d.linkAdd {
-		deltaLink[l] -= b
-	}
-	for p, u := range wiPeer {
-		deltaPeer[p] += u
-	}
-	for p, u := range dPeer {
-		deltaPeer[p] += u
-	}
-	for p, u := range d.peerAdd {
-		deltaPeer[p] -= u
-	}
-	c.widen.deltaLink, c.widen.deltaPeer = deltaLink, deltaPeer
-	c.linkAdd = map[network.LinkID]float64{}
-	c.peerAdd = map[network.PeerID]float64{}
-	for l, b := range deltaLink {
-		c.linkAdd[l] += b
-	}
-	for p, u := range deltaPeer {
-		c.peerAdd[p] += u
-	}
-	e.costCandidate(c, in, []string{cost.OpRestructure}, target)
-	if e.Cfg.Admission && c.usage.Overloaded() {
-		return nil, nil
-	}
-	return c, nil
-}
+// shared stream. The *search* for widening plans lives in internal/plan
+// (the candidate carries the decision in Candidate.Widen); this file applies
+// the rewire at install time.
 
 // installWidening performs the rewiring described above; it must run before
-// the subscription's own feed is installed against c.source (= the widened
+// the subscription's own feed is installed against c.Source (= the widened
 // stream).
-func (e *Engine) installWidening(wd *widening) {
-	d, w := wd.d, wd.w
+func (e *Engine) installWidening(wd *plan.Widening) {
+	d, w := wd.D, wd.W
 	e.obs.Metrics.Counter("core.widen.installed").Inc()
 	w.Residual = exec.Instrument(w.Residual, e.obs.Metrics, "exec.op")
 	// Insert w directly before d so simulation flush order stays
@@ -216,23 +58,26 @@ func (e *Engine) installWidening(wd *widening) {
 		d.Residual = exec.Instrument(dRes, e.obs.Metrics, "exec.op")
 	}
 	// Usage bookkeeping: release d's old footprint, apply the new ones.
-	for l, b := range d.linkAdd {
+	for l, b := range d.LinkAdd {
 		e.linkUse[l] -= b
 	}
-	for p, u := range d.peerAdd {
+	for p, u := range d.PeerAdd {
 		e.peerUse[p] -= u
 	}
-	d.linkAdd = map[network.LinkID]float64{}
-	d.peerAdd = wd.dPeerAdd
-	w.linkAdd = wd.wLinkAdd
-	w.peerAdd = wd.wPeerAdd
-	for l, b := range w.linkAdd {
+	d.LinkAdd = map[network.LinkID]float64{}
+	d.PeerAdd = wd.DPeerAdd
+	w.LinkAdd = wd.WLinkAdd
+	w.PeerAdd = wd.WPeerAdd
+	for l, b := range w.LinkAdd {
 		e.linkUse[l] += b
 	}
-	for p, u := range w.peerAdd {
+	for p, u := range w.PeerAdd {
 		e.peerUse[p] += u
 	}
-	for p, u := range d.peerAdd {
+	for p, u := range d.PeerAdd {
 		e.peerUse[p] += u
 	}
+	// The rewire inserted w mid-registry and moved d's tap and route, which
+	// the discovery index cannot track incrementally — rebuild it.
+	e.planner.Reindex(e.deployed)
 }

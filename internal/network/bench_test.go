@@ -1,0 +1,69 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGrid builds an n×n grid of super-peers, the topology the planner's
+// BFS expands over in the scale experiments.
+func benchGrid(n int) *Network {
+	net := New()
+	id := func(r, c int) PeerID { return PeerID(fmt.Sprintf("SP%d_%d", r, c)) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			net.AddPeer(Peer{ID: id(r, c), Super: true, Capacity: 100, PerfIndex: 1})
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				net.Connect(id(r, c), id(r, c+1), 1e6)
+			}
+			if r+1 < n {
+				net.Connect(id(r, c), id(r+1, c), 1e6)
+			}
+		}
+	}
+	return net
+}
+
+// BenchmarkNeighbors measures the per-expansion cost of Neighbors on a live
+// grid — the planner BFS hot path. With sorted adjacency lists and the
+// filtered-view fast path this is allocation-free.
+func BenchmarkNeighbors(b *testing.B) {
+	net := benchGrid(8)
+	ids := net.Peers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Neighbors(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkNeighborsDegraded measures the same walk with one failed peer,
+// forcing the filtered-copy path.
+func BenchmarkNeighborsDegraded(b *testing.B) {
+	net := benchGrid(8)
+	ids := net.Peers()
+	if err := net.FailPeer(ids[len(ids)/2]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Neighbors(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkShortestPath measures corner-to-corner routing on the live grid,
+// the unit of work the planner's route cache memoizes.
+func BenchmarkShortestPath(b *testing.B) {
+	net := benchGrid(8)
+	ids := net.Peers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.ShortestPath(ids[0], ids[len(ids)-1])
+	}
+}

@@ -169,8 +169,8 @@ func (n *Network) Connect(a, b PeerID, bandwidth float64) {
 		panic(fmt.Sprintf("network: duplicate link %s", id))
 	}
 	n.links[id] = &Link{ID: id, Bandwidth: bandwidth}
-	n.adj[a] = append(n.adj[a], b)
-	n.adj[b] = append(n.adj[b], a)
+	n.adj[a] = insertSorted(n.adj[a], b)
+	n.adj[b] = insertSorted(n.adj[b], a)
 	n.notify(Change{Kind: LinkAdded, Link: id, Value: bandwidth})
 }
 
@@ -312,17 +312,54 @@ func (n *Network) Links() []LinkID {
 	return out
 }
 
-// Neighbors returns the peers reachable from id over live links, sorted.
-// Failed peers and failed links are excluded.
+// insertSorted adds id to a sorted adjacency list, keeping it sorted.
+// Adjacency lists are maintained sorted on Connect so Neighbors never
+// re-sorts on the planner's hot path.
+func insertSorted(list []PeerID, id PeerID) []PeerID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// Neighbors returns the peers reachable from id over live links, in sorted
+// order. Failed peers and failed links are excluded.
+//
+// The returned slice may alias the network's internal adjacency list and is
+// only valid until the next topology mutation; callers must treat it as
+// read-only. On a fully live topology (the common case on the planner's BFS
+// hot path) this performs no allocation and no sorting.
 func (n *Network) Neighbors(id PeerID) []PeerID {
-	var out []PeerID
-	for _, w := range n.adj[id] {
-		if n.LinkUp(id, w) {
-			out = append(out, w)
-		}
+	adj := n.adj[id]
+	if len(n.downPeers) == 0 && len(n.downLinks) == 0 {
+		return adj
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if !n.PeerUp(id) {
+		return nil
+	}
+	// Degraded topology: find the first excluded neighbor; everything before
+	// it can seed the filtered copy directly (adj is already sorted).
+	for i, w := range adj {
+		if n.liveEdge(id, w) {
+			continue
+		}
+		out := append(make([]PeerID, 0, len(adj)-1), adj[:i]...)
+		for _, w := range adj[i+1:] {
+			if n.liveEdge(id, w) {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	return adj
+}
+
+// liveEdge reports whether the edge from an up peer id to neighbor w is
+// usable: w is up and the connecting link is not failed. Unlike LinkUp it
+// assumes id itself was already checked.
+func (n *Network) liveEdge(id, w PeerID) bool {
+	return !n.downPeers[w] && !n.downLinks[MakeLinkID(id, w)]
 }
 
 // ShortestPath returns a minimum-hop path from a to b over the live topology

@@ -1,0 +1,107 @@
+package plan
+
+import "streamshare/internal/network"
+
+// Index is the deployed-stream index: per original input stream, per peer,
+// the posting list of deployed streams whose route passes through that peer,
+// in deployment order. It replaces the planner's former full scan over every
+// deployed stream at every visited peer — discovery now reads exactly the
+// streams that can be tapped at the peer under consideration.
+//
+// The lists are maintained incrementally on Install/Uninstall; widening
+// rewires (which reorder the registry and change routes in place) trigger a
+// full Rebuild instead. NotShareable streams are never indexed — §2's
+// post-processing output is categorically excluded from reuse — while the
+// transient Broken/Hidden flags are filtered at query time by the planner,
+// since they flip without an install/uninstall event.
+type Index struct {
+	post map[string]map[network.PeerID][]*Deployed
+	// counts tracks the number of indexed streams per original input stream;
+	// the planner uses it to size trace and work buffers up front.
+	counts map[string]int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{post: map[string]map[network.PeerID][]*Deployed{}, counts: map[string]int{}}
+}
+
+// Count returns the number of indexed streams deriving from the named
+// original input stream (including transiently broken or hidden ones).
+func (x *Index) Count(stream string) int { return x.counts[stream] }
+
+// Install appends the stream to the posting list of every peer on its
+// route. Deployment order is preserved because the engine installs streams
+// in registry order.
+func (x *Index) Install(d *Deployed) {
+	if d.NotShareable {
+		return
+	}
+	peers := x.post[d.Input.Stream]
+	if peers == nil {
+		peers = map[network.PeerID][]*Deployed{}
+		x.post[d.Input.Stream] = peers
+	}
+	for _, v := range d.Route {
+		peers[v] = append(peers[v], d)
+	}
+	x.counts[d.Input.Stream]++
+}
+
+// Uninstall removes the stream from every posting list it appears on,
+// preserving the order of the remaining entries. Removal scans the stream's
+// current route; if the route changed since installation (widening), the
+// engine rebuilds instead.
+func (x *Index) Uninstall(d *Deployed) {
+	peers := x.post[d.Input.Stream]
+	if peers == nil {
+		return
+	}
+	removed := false
+	for _, v := range d.Route {
+		list := peers[v]
+		for i, e := range list {
+			if e == d {
+				peers[v] = append(list[:i], list[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if len(peers[v]) == 0 {
+			delete(peers, v)
+		}
+	}
+	if removed {
+		x.counts[d.Input.Stream]--
+	}
+}
+
+// Rebuild discards the index and re-creates it from the engine's registry
+// slice, restoring deployment order exactly.
+func (x *Index) Rebuild(all []*Deployed) {
+	x.post = map[string]map[network.PeerID][]*Deployed{}
+	x.counts = map[string]int{}
+	for _, d := range all {
+		x.Install(d)
+	}
+}
+
+// Available returns the live posting list for (peer, stream): indexed
+// streams minus the transiently broken or hidden ones. The common case —
+// nothing broken or hidden — returns the list unfiltered and unallocated;
+// callers must treat it as read-only.
+func (x *Index) Available(v network.PeerID, stream string) []*Deployed {
+	list := x.post[stream][v]
+	for i, d := range list {
+		if d.Broken || d.Hidden {
+			out := append(make([]*Deployed, 0, len(list)-1), list[:i]...)
+			for _, d := range list[i+1:] {
+				if !d.Broken && !d.Hidden {
+					out = append(out, d)
+				}
+			}
+			return out
+		}
+	}
+	return list
+}

@@ -1,0 +1,55 @@
+package predicate
+
+import "testing"
+
+// Equal graphs must fingerprint equally regardless of construction order,
+// and the fingerprint must change when the edge set changes.
+func TestFingerprintCanonical(t *testing.T) {
+	a := q1Graph()
+
+	b := New()
+	// Same atoms, reversed insertion order.
+	b.AddAtom(Atom{Left: "dec", Op: Le, Const: dec("-40.0")})
+	b.AddAtom(Atom{Left: "dec", Op: Ge, Const: dec("-49.0")})
+	b.AddAtom(Atom{Left: "ra", Op: Le, Const: dec("138.0")})
+	b.AddAtom(Atom{Left: "ra", Op: Ge, Const: dec("120.0")})
+
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("insertion order changed the fingerprint:\n a=%s\n b=%s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() == q2Graph().Fingerprint() {
+		t.Error("distinct graphs share a fingerprint")
+	}
+	var nilG *Graph
+	if nilG.Fingerprint() != "" {
+		t.Errorf("nil graph fingerprint = %q, want empty", nilG.Fingerprint())
+	}
+}
+
+// Mutating a graph after a fingerprint/closure has been memoized must
+// invalidate the memos: the tightened graph of Minimize fingerprints
+// differently from its pre-minimization state when edges change, and
+// satisfiability checks still see the current edge set.
+func TestFingerprintInvalidation(t *testing.T) {
+	g := q1Graph()
+	before := g.Fingerprint()
+	if before == "" {
+		t.Fatal("empty fingerprint for a non-empty graph")
+	}
+	// Warm the closure memo too.
+	if !g.Satisfiable() {
+		t.Fatal("q1 graph should be satisfiable")
+	}
+	g.AddAtom(Atom{Left: "en", Op: Ge, Const: dec("1.3")})
+	after := g.Fingerprint()
+	if after == before {
+		t.Error("fingerprint unchanged after AddAtom")
+	}
+	// The closure must reflect the new atom: en ≤ 1.0 now contradicts en ≥ 1.3.
+	merged := g.Clone()
+	merged.AddAtom(Atom{Left: "en", Op: Le, Const: dec("1.0")})
+	if merged.Satisfiable() {
+		t.Error("closure memo went stale: contradiction not detected")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"streamshare/internal/decimal"
 )
@@ -119,10 +120,24 @@ type edgeKey struct{ from, to int }
 
 // Graph is a weighted directed predicate graph. The zero value is an empty
 // (always-true) predicate.
+//
+// Graphs are mutable while they are being built (AddAtom, Minimize) and
+// immutable afterwards; derived views — the transitive closure, the
+// per-node adjacency lists, the canonical fingerprint — are memoized on
+// first use and invalidated by any mutation. The memos are guarded by a
+// mutex so read-only consumers (e.g. the planner's parallel costing
+// workers) may share a built graph across goroutines.
 type Graph struct {
 	labels []string
 	index  map[string]int
 	edges  map[edgeKey]Weight
+
+	memo struct {
+		sync.Mutex
+		fp  string
+		clo [][]*Weight
+		adj map[int][]Edge
+	}
 }
 
 // New returns an empty predicate graph.
@@ -158,8 +173,27 @@ func (g *Graph) node(label string) int {
 func (g *Graph) addEdge(from, to string, w Weight) {
 	k := edgeKey{g.node(from), g.node(to)}
 	if old, ok := g.edges[k]; !ok || w.Stronger(old) {
-		g.edges[k] = w
+		g.setEdge(k, w)
 	}
+}
+
+// setEdge stores a constraint and invalidates the memoized views.
+func (g *Graph) setEdge(k edgeKey, w Weight) {
+	g.edges[k] = w
+	g.invalidate()
+}
+
+// delEdge removes a constraint and invalidates the memoized views.
+func (g *Graph) delEdge(k edgeKey) {
+	delete(g.edges, k)
+	g.invalidate()
+}
+
+// invalidate drops every memoized derived view after a mutation.
+func (g *Graph) invalidate() {
+	g.memo.Lock()
+	g.memo.fp, g.memo.clo, g.memo.adj = "", nil, nil
+	g.memo.Unlock()
 }
 
 // AddAtom normalizes one atomic predicate into graph edges.
@@ -217,24 +251,80 @@ func (g *Graph) Edges() []Edge {
 }
 
 // EdgesAt returns the constraints incident to label (either direction).
+// The returned slice is a memoized view shared between calls — callers must
+// not modify it.
 func (g *Graph) EdgesAt(label string) []Edge {
 	i, ok := g.index[label]
 	if !ok {
 		return nil
 	}
-	var out []Edge
-	for k, w := range g.edges {
-		if k.from == i || k.to == i {
-			out = append(out, Edge{From: g.labels[k.from], To: g.labels[k.to], W: w})
+	return g.adjacency()[i]
+}
+
+// adjacency returns the memoized per-node incident-edge lists, building
+// them on first use. Rebuilt after every mutation (see invalidate).
+func (g *Graph) adjacency() map[int][]Edge {
+	g.memo.Lock()
+	defer g.memo.Unlock()
+	if g.memo.adj == nil {
+		adj := make(map[int][]Edge, len(g.labels))
+		for k, w := range g.edges {
+			e := Edge{From: g.labels[k.from], To: g.labels[k.to], W: w}
+			adj[k.from] = append(adj[k.from], e)
+			if k.to != k.from {
+				adj[k.to] = append(adj[k.to], e)
+			}
 		}
+		for _, es := range adj {
+			sort.Slice(es, func(a, b int) bool {
+				if es[a].From != es[b].From {
+					return es[a].From < es[b].From
+				}
+				return es[a].To < es[b].To
+			})
+		}
+		g.memo.adj = adj
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].From != out[b].From {
-			return out[a].From < out[b].From
+	return g.memo.adj
+}
+
+// Fingerprint returns a canonical encoding of the stored constraint set:
+// two graphs with equal fingerprints describe identical conjunctive
+// predicates (same node labels, same strongest constraints). It is the
+// cache key for memoized match/implication outcomes; the encoding is
+// memoized and recomputed only after mutations. A nil graph fingerprints
+// as the empty string.
+func (g *Graph) Fingerprint() string {
+	if g == nil {
+		return ""
+	}
+	g.memo.Lock()
+	defer g.memo.Unlock()
+	if g.memo.fp == "" {
+		var b strings.Builder
+		b.WriteByte('g')
+		keys := make([]edgeKey, 0, len(g.edges))
+		for k := range g.edges {
+			keys = append(keys, k)
 		}
-		return out[a].To < out[b].To
-	})
-	return out
+		sort.Slice(keys, func(i, j int) bool {
+			if g.labels[keys[i].from] != g.labels[keys[j].from] {
+				return g.labels[keys[i].from] < g.labels[keys[j].from]
+			}
+			return g.labels[keys[i].to] < g.labels[keys[j].to]
+		})
+		for _, k := range keys {
+			w := g.edges[k]
+			b.WriteByte(';')
+			b.WriteString(g.labels[k.from])
+			b.WriteByte('|')
+			b.WriteString(g.labels[k.to])
+			b.WriteByte('|')
+			b.WriteString(w.String())
+		}
+		g.memo.fp = b.String()
+	}
+	return g.memo.fp
 }
 
 // Len reports the number of stored constraints.
@@ -282,10 +372,24 @@ func (g *Graph) String() string {
 	return b.String()
 }
 
-// closure computes all-pairs strongest derivable constraints via
+// closure returns the memoized all-pairs strongest derivable constraints,
+// computing them on first use. Mutations invalidate the memo, so builders
+// (Minimize) always see a closure consistent with the current edge set,
+// while immutable graphs pay for Floyd–Warshall once no matter how many
+// Satisfiable/ImpliedBy comparisons they participate in.
+func (g *Graph) closure() [][]*Weight {
+	g.memo.Lock()
+	defer g.memo.Unlock()
+	if g.memo.clo == nil {
+		g.memo.clo = g.computeClosure()
+	}
+	return g.memo.clo
+}
+
+// computeClosure runs all-pairs strongest derivable constraints via
 // Floyd–Warshall over the (Weight, Add, Stronger) semiring. dist[i][j] is nil
 // when no constraint between i and j is derivable.
-func (g *Graph) closure() [][]*Weight {
+func (g *Graph) computeClosure() [][]*Weight {
 	n := len(g.labels)
 	dist := make([][]*Weight, n)
 	for i := range dist {
@@ -342,7 +446,7 @@ func (g *Graph) Minimize() {
 	dist := g.closure()
 	for k := range g.edges {
 		if d := dist[k.from][k.to]; d != nil && d.Stronger(g.edges[k]) {
-			g.edges[k] = *d
+			g.setEdge(k, *d)
 		}
 	}
 	keys := make([]edgeKey, 0, len(g.edges))
@@ -357,9 +461,9 @@ func (g *Graph) Minimize() {
 	})
 	for _, k := range keys {
 		w := g.edges[k]
-		delete(g.edges, k)
+		g.delEdge(k)
 		if d := g.derive(k.from, k.to); d == nil || !d.Implies(w) {
-			g.edges[k] = w // not derivable without it: keep
+			g.setEdge(k, w) // not derivable without it: keep
 		}
 	}
 }

@@ -1,0 +1,120 @@
+package properties
+
+import (
+	"strings"
+	"sync"
+
+	"streamshare/internal/xmlstream"
+)
+
+// Fingerprint returns a canonical encoding of the input transformation:
+// two inputs with equal fingerprints describe the same stream/ItemPath and
+// the same operator sequence with semantically identical conditions, so a
+// MatchInput outcome computed for one pair of fingerprints holds for every
+// pair that encodes the same way. The encoding covers everything MatchInput
+// inspects — operator kinds in order, selection and filter predicate graphs
+// (via predicate.Graph.Fingerprint), projection Out/Ref paths, aggregation
+// op/element/window, and UDF name/params/window.
+//
+// The result is cached on the Input; callers must serialize the first call
+// with concurrent use of the same Input (the engine does so under its
+// control-plane lock). Inputs are treated as immutable once built.
+func (in *Input) Fingerprint() string {
+	if in.fp != "" {
+		return in.fp
+	}
+	var b strings.Builder
+	b.WriteString(in.Stream)
+	b.WriteByte('@')
+	b.WriteString(in.ItemPath.String())
+	for i := range in.Ops {
+		o := &in.Ops[i]
+		b.WriteByte(';')
+		switch o.Kind {
+		case OpSelect:
+			b.WriteString("s[")
+			b.WriteString(o.Sel.Fingerprint())
+			b.WriteByte(']')
+		case OpProject:
+			b.WriteString("p[")
+			writePaths(&b, o.Out)
+			b.WriteByte('|')
+			writePaths(&b, o.Ref)
+			b.WriteByte(']')
+		case OpAggregate:
+			b.WriteString("a[")
+			b.WriteString(o.Agg.Op.String())
+			b.WriteByte('(')
+			b.WriteString(o.Agg.Elem.String())
+			b.WriteByte(')')
+			writeWindow(&b, o)
+			b.WriteByte('|')
+			b.WriteString(o.Agg.Filter.Fingerprint())
+			b.WriteByte(']')
+		case OpWindow:
+			b.WriteString("w[")
+			writeWindow(&b, o)
+			b.WriteByte(']')
+		case OpUDF:
+			b.WriteString("u[")
+			b.WriteString(o.UDF.Name)
+			b.WriteByte('(')
+			b.WriteString(strings.Join(o.UDF.Params, ","))
+			b.WriteByte(')')
+			b.WriteString(o.UDF.Window.String())
+			b.WriteByte(']')
+		}
+	}
+	in.fp = b.String()
+	return in.fp
+}
+
+// fpIDs interns fingerprint strings into dense process-wide ids. The table
+// only grows — its size is the number of distinct input shapes the process
+// has built, which is bounded by the query workload's template diversity.
+var fpIDs = struct {
+	sync.Mutex
+	m map[string]uint32
+}{m: map[string]uint32{}}
+
+// FingerprintID returns a process-wide id for the input's canonical
+// fingerprint: two inputs have equal ids exactly when their fingerprints
+// are equal. Hashing a fingerprint string on every cache probe costs more
+// than the lookup it keys, so hot caches key on the id instead.
+//
+// Like Fingerprint, the result is cached on the Input and the first call
+// must be serialized with concurrent use of the same Input.
+func (in *Input) FingerprintID() uint32 {
+	if in.fpid != 0 {
+		return in.fpid
+	}
+	fp := in.Fingerprint()
+	fpIDs.Lock()
+	id, ok := fpIDs.m[fp]
+	if !ok {
+		id = uint32(len(fpIDs.m)) + 1
+		fpIDs.m[fp] = id
+	}
+	fpIDs.Unlock()
+	in.fpid = id
+	return id
+}
+
+// writePaths appends a comma-joined path list in declaration order. Paths
+// are recorded in canonical (sorted, deduplicated) order by the extractor,
+// so equal sets encode equally.
+func writePaths(b *strings.Builder, ps []xmlstream.Path) {
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.String())
+	}
+}
+
+// writeWindow appends the canonical window encoding of an aggregation or
+// window operator: kind, reference element, size, and step (all covered by
+// wxquery.Window.String).
+func writeWindow(b *strings.Builder, o *Op) {
+	b.WriteString(o.Agg.Window.String())
+}

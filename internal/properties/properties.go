@@ -118,6 +118,12 @@ type Input struct {
 	ItemPath xmlstream.Path
 	// Ops is the operator set applied to the input.
 	Ops []Op
+
+	// fp caches the canonical Fingerprint encoding and fpid its interned
+	// FingerprintID; both empty until first use. Clone deliberately does
+	// not copy them.
+	fp   string
+	fpid uint32
 }
 
 // Find returns the first operator of the given kind, or nil.
