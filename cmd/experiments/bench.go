@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"log"
+	grt "runtime"
 	"time"
 
 	"streamshare/internal/core"
@@ -15,7 +16,10 @@ import (
 // distributed runtime, before (BaselineOptions: serial, item-at-a-time,
 // std parser, no pooling) and after (DefaultOptions: batched, pooled,
 // parallel). Throughput counts source items fully processed per wall
-// second; Speedup is after/before.
+// second; Speedup is after/before. The Reliable columns re-run the batched
+// configuration over sequenced acked session channels (heartbeats, credits,
+// replay buffers) to price the reliability layer; AckCost is
+// reliable/batched wall time.
 type benchRow struct {
 	Config           string  `json:"config"`
 	Peers            int     `json:"peers"`
@@ -23,9 +27,12 @@ type benchRow struct {
 	Items            int     `json:"items"`
 	BaselineMs       float64 `json:"baselineMs"`
 	BatchedMs        float64 `json:"batchedMs"`
+	ReliableMs       float64 `json:"reliableMs"`
 	BaselineItemsSec float64 `json:"baselineItemsPerSec"`
 	BatchedItemsSec  float64 `json:"batchedItemsPerSec"`
+	ReliableItemsSec float64 `json:"reliableItemsPerSec"`
 	Speedup          float64 `json:"speedup"`
+	AckCost          float64 `json:"ackCost"`
 }
 
 // benchGridConfig is one point of the scale grid sweep.
@@ -37,9 +44,9 @@ type benchGridConfig struct {
 // returns it with the source feeds. Twin builds are byte-identical, so the
 // baseline and batched measurements execute identical plans (operator state
 // is consumed by execution, hence one engine per run).
-func buildGridEngine(cfg benchGridConfig) (*core.Engine, map[string][]*xmlstream.Element) {
+func buildGridEngine(cfg benchGridConfig, reliable bool) (*core.Engine, map[string][]*xmlstream.Element) {
 	s := scenario.ScaleGrid(cfg.n, cfg.queries, cfg.items)
-	eng := core.NewEngine(s.Net, core.Config{})
+	eng := core.NewEngine(s.Net, core.Config{Reliable: reliable})
 	for _, src := range s.Sources {
 		if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
 			log.Fatal(err)
@@ -59,22 +66,38 @@ func buildGridEngine(cfg benchGridConfig) (*core.Engine, map[string][]*xmlstream
 	return eng, feed
 }
 
-// timeRun measures one distributed run under the given options, returning
-// the best (fastest) of reps wall times and the per-run source item count.
+// timeOnce measures one distributed run under the given options, returning
+// the wall time and the source item count. When opts.Session is set a fresh
+// session (same options) is built, so replay buffers and heartbeat state
+// never carry across measurements. A forced GC isolates the measurement
+// from garbage the previous one left behind (the engine builds allocate
+// heavily, and uncollected heap skews GC pacing against whichever variant
+// happens to run later).
+func timeOnce(cfg benchGridConfig, opts runtime.Options) (time.Duration, int) {
+	reliable := opts.Session != nil
+	eng, feed := buildGridEngine(cfg, reliable)
+	if reliable {
+		opts.Session = runtime.NewSession(runtime.SessionOptions{})
+	}
+	items := 0
+	for _, f := range feed {
+		items += len(f)
+	}
+	grt.GC()
+	start := time.Now()
+	if _, err := runtime.NewWith(eng, false, opts).Run(feed); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start), items
+}
+
+// timeRun returns the best (fastest) of reps timeOnce measurements.
 func timeRun(cfg benchGridConfig, opts runtime.Options, reps int) (time.Duration, int) {
 	best := time.Duration(0)
 	items := 0
 	for i := 0; i < reps; i++ {
-		eng, feed := buildGridEngine(cfg)
-		items = 0
-		for _, f := range feed {
-			items += len(f)
-		}
-		start := time.Now()
-		if _, err := runtime.NewWith(eng, false, opts).Run(feed); err != nil {
-			log.Fatal(err)
-		}
-		el := time.Since(start)
+		el, n := timeOnce(cfg, opts)
+		items = n
 		if best == 0 || el < best {
 			best = el
 		}
@@ -208,12 +231,33 @@ func benchDataPath(items int, short bool) []benchRow {
 		configs = []benchGridConfig{{2, 8, items}}
 		reps = 1
 	}
-	fmt.Printf("%-14s %7s %8s %8s %12s %12s %14s %14s %8s\n", "Config", "Peers", "Queries",
-		"Items", "Base ms", "Batch ms", "Base items/s", "Batch items/s", "Speedup")
+	fmt.Printf("%-14s %7s %8s %8s %10s %10s %10s %13s %13s %13s %8s %8s\n", "Config", "Peers", "Queries",
+		"Items", "Base ms", "Batch ms", "Rel ms", "Base items/s", "Batch items/s", "Rel items/s", "Speedup", "AckCost")
 	var rows []benchRow
 	for _, cfg := range configs {
-		baseD, n := timeRun(cfg, runtime.BaselineOptions(), reps)
-		batchD, _ := timeRun(cfg, runtime.DefaultOptions(), reps)
+		// Interleave the variants across reps (taking the best of each)
+		// instead of measuring them back to back: on a shared machine the
+		// later block would otherwise systematically pay for whatever the
+		// earlier blocks did to the heap and the CPU's thermal state.
+		relOpts := runtime.DefaultOptions()
+		relOpts.Session = runtime.NewSession(runtime.SessionOptions{})
+		var baseD, batchD, relD time.Duration
+		var n int
+		for i := 0; i < reps; i++ {
+			bd, bn := timeOnce(cfg, runtime.BaselineOptions())
+			td, _ := timeOnce(cfg, runtime.DefaultOptions())
+			rd, _ := timeOnce(cfg, relOpts)
+			n = bn
+			if baseD == 0 || bd < baseD {
+				baseD = bd
+			}
+			if batchD == 0 || td < batchD {
+				batchD = td
+			}
+			if relD == 0 || rd < relD {
+				relD = rd
+			}
+		}
 		row := benchRow{
 			Config:           fmt.Sprintf("grid%dx%d-q%d", cfg.n, cfg.n, cfg.queries),
 			Peers:            cfg.n * cfg.n,
@@ -221,16 +265,20 @@ func benchDataPath(items int, short bool) []benchRow {
 			Items:            n,
 			BaselineMs:       ms(baseD),
 			BatchedMs:        ms(batchD),
+			ReliableMs:       ms(relD),
 			BaselineItemsSec: float64(n) / baseD.Seconds(),
 			BatchedItemsSec:  float64(n) / batchD.Seconds(),
+			ReliableItemsSec: float64(n) / relD.Seconds(),
 		}
 		row.Speedup = row.BatchedItemsSec / row.BaselineItemsSec
+		row.AckCost = relD.Seconds() / batchD.Seconds()
 		rows = append(rows, row)
-		fmt.Printf("%-14s %7d %8d %8d %12.1f %12.1f %14.0f %14.0f %7.2fx\n",
-			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs,
-			row.BaselineItemsSec, row.BatchedItemsSec, row.Speedup)
+		fmt.Printf("%-14s %7d %8d %8d %10.1f %10.1f %10.1f %13.0f %13.0f %13.0f %7.2fx %7.2fx\n",
+			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs, row.ReliableMs,
+			row.BaselineItemsSec, row.BatchedItemsSec, row.ReliableItemsSec, row.Speedup, row.AckCost)
 	}
 	fmt.Println("(source items fully processed per wall second through the distributed")
-	fmt.Println(" runtime; baseline = pre-batching data path inside the same binary)")
+	fmt.Println(" runtime; baseline = pre-batching data path inside the same binary;")
+	fmt.Println(" reliable = batched options over sequenced acked session channels)")
 	return rows
 }

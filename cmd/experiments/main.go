@@ -8,6 +8,10 @@
 //	experiments -churn      the churn/adaptation experiment: scenario 2 under
 //	                        the scripted failure schedule, with repair and
 //	                        rejection counts and the repair-latency series
+//	experiments -recovery   the recovery experiment: scenario 2 on reliable
+//	                        session channels with a severed link, sweeping
+//	                        the heartbeat interval and reporting detection
+//	                        latency and redelivery volume
 //	experiments -bench      the data-path benchmark: the scale grid through
 //	                        the distributed runtime, baseline vs batched
 //	                        options, always writing BENCH_<rev>.json
@@ -96,16 +100,17 @@ type churnRow struct {
 // benchReport is the -json output: everything the run measured, keyed the
 // way EXPERIMENTS.md discusses it.
 type benchReport struct {
-	Rev          string      `json:"rev"`
-	Items        int         `json:"items"`
-	Seed         int64       `json:"seed"`
-	Fig6         *figData    `json:"fig6,omitempty"`
-	Fig7         *figData    `json:"fig7,omitempty"`
-	Table1       []table1Row `json:"table1,omitempty"`
-	Rejection    []rejRow    `json:"rejection,omitempty"`
-	Churn        []churnRow  `json:"churn,omitempty"`
-	DataPath     []benchRow  `json:"dataPath,omitempty"`
-	ControlPlane []ctrlRow   `json:"controlPlane,omitempty"`
+	Rev          string        `json:"rev"`
+	Items        int           `json:"items"`
+	Seed         int64         `json:"seed"`
+	Fig6         *figData      `json:"fig6,omitempty"`
+	Fig7         *figData      `json:"fig7,omitempty"`
+	Table1       []table1Row   `json:"table1,omitempty"`
+	Rejection    []rejRow      `json:"rejection,omitempty"`
+	Churn        []churnRow    `json:"churn,omitempty"`
+	DataPath     []benchRow    `json:"dataPath,omitempty"`
+	ControlPlane []ctrlRow     `json:"controlPlane,omitempty"`
+	Recovery     []recoveryRow `json:"recovery,omitempty"`
 }
 
 func main() {
@@ -113,6 +118,7 @@ func main() {
 	table := flag.Int("table", 0, "reproduce table 1")
 	rejection := flag.Bool("rejection", false, "run the rejection experiment")
 	churn := flag.Bool("churn", false, "run the churn/adaptation experiment")
+	recovery := flag.Bool("recovery", false, "run the recovery experiment (detection latency and redelivery vs heartbeat interval)")
 	bench := flag.Bool("bench", false, "run the data-path benchmark (scale grid, baseline vs batched runtime)")
 	short := flag.Bool("short", false, "with -bench: one small configuration (CI smoke)")
 	all := flag.Bool("all", false, "run everything except -bench")
@@ -120,7 +126,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write BENCH_<rev>.json with the measured series")
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*rejection && !*churn && !*bench {
+	if !*all && *fig == 0 && *table == 0 && !*rejection && !*churn && !*recovery && !*bench {
 		*all = true
 	}
 	report := &benchReport{Rev: gitRev(), Items: *items, Seed: *seed}
@@ -139,6 +145,9 @@ func main() {
 	}
 	if *all || *churn {
 		report.Churn = churnExperiment(*items)
+	}
+	if *all || *recovery {
+		report.Recovery = recoveryExperiment(*items)
 	}
 	if *bench {
 		report.DataPath = benchDataPath(*items, *short)

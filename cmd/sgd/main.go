@@ -18,6 +18,12 @@
 // With -http an introspection endpoint is served alongside: /metricz dumps
 // the engine's metrics registry as text, /debug/vars (expvar) exposes the
 // same snapshot as JSON, and /debug/pprof/* provides the usual profiles.
+//
+// With -reliable the engine runs the reliability layer: RUN and FEED execute
+// on the distributed runtime over sequenced acked channels with heartbeat
+// failure detection and credit-based backpressure, repairs transplant
+// operator state, the HEALTH command reports detector and channel state, and
+// /metricz gains a channel-state section.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"streamshare/internal/core"
 	"streamshare/internal/network"
 	"streamshare/internal/photons"
+	"streamshare/internal/runtime"
 	"streamshare/internal/server"
 	"streamshare/internal/xmlstream"
 )
@@ -43,6 +50,7 @@ func main() {
 	capacity := flag.Float64("capacity", 50000, "peer capacity (work units/s)")
 	bandwidth := flag.Float64("bandwidth", 12_500_000, "link bandwidth (bytes/s)")
 	admission := flag.Bool("admission", false, "reject overloading subscriptions")
+	reliable := flag.Bool("reliable", false, "reliable delivery: acked channels, heartbeats, credit backpressure")
 	widening := flag.Bool("widening", false, "enable stream widening")
 	sample := flag.Int("sample", 2000, "photons sampled for stream statistics")
 	flag.Parse()
@@ -66,7 +74,11 @@ func main() {
 		}
 	}
 
-	eng := core.NewEngine(n, core.Config{Admission: *admission, Widening: *widening})
+	eng := core.NewEngine(n, core.Config{Admission: *admission, Widening: *widening, Reliable: *reliable})
+	var sess *runtime.Session
+	if *reliable {
+		sess = runtime.NewSession(runtime.SessionOptions{})
+	}
 	cfg := photons.DefaultConfig()
 	_, st := photons.Stream("photons", cfg, 42, *sample)
 	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
@@ -74,7 +86,7 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		go serveHTTP(*httpAddr, eng)
+		go serveHTTP(*httpAddr, eng, sess)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -82,12 +94,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("sgd: %d super-peers, stream photons at SP0, listening on %s", *grid**grid, ln.Addr())
-	server.New(eng, cfg).Serve(ln)
+	srv := server.New(eng, cfg)
+	if sess != nil {
+		srv = srv.WithSession(sess)
+	}
+	srv.Serve(ln)
 }
 
 // serveHTTP exposes the engine's metrics registry and the standard Go
 // introspection handlers on a side port.
-func serveHTTP(addr string, eng *core.Engine) {
+func serveHTTP(addr string, eng *core.Engine, sess *runtime.Session) {
 	expvar.Publish("streamshare", expvar.Func(func() any {
 		return eng.Obs().Metrics.Snapshot()
 	}))
@@ -101,6 +117,23 @@ func serveHTTP(addr string, eng *core.Engine) {
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		eng.Obs().Metrics.Snapshot().WriteText(w)
+		if sess == nil {
+			return
+		}
+		// Reliability section: one row per channel (next seq, cumulative
+		// ack, replay depth, credits) and per detector target.
+		fmt.Fprintln(w, "# channels")
+		for _, cs := range sess.ChannelStates() {
+			fmt.Fprintln(w, cs)
+		}
+		fmt.Fprintln(w, "# health")
+		for _, ts := range sess.HealthSnapshot() {
+			state := "ok"
+			if ts.Suspected {
+				state = "suspected"
+			}
+			fmt.Fprintf(w, "%s %s flaps=%d threshold=%d\n", ts.Target, state, ts.Flaps, ts.Threshold)
+		}
 	})
 	log.Printf("sgd: introspection on http://%s/metricz", addr)
 	log.Println(http.ListenAndServe(addr, mux))

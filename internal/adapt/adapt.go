@@ -230,3 +230,40 @@ func (m *Manager) reoptimize(ev Event) {
 		})
 	}
 }
+
+// ApplyDetected converts failure-detector observations (the changes a
+// runtime session's heartbeat monitor queued — see the health package and
+// runtime.Session.TakeDetected) into adaptation events and applies them
+// through the same repair cycle scripted schedules use. Changes the
+// topology already reflects are skipped: a detected peer failure implies
+// link suspicions for every link the peer silenced, and FailPeer has
+// already taken those links down. It returns the reports the applied
+// events produced.
+func (m *Manager) ApplyDetected(changes []network.Change) ([]Report, error) {
+	reg := m.Eng.Obs().Metrics
+	start := len(m.reports)
+	for _, c := range changes {
+		var ev Event
+		switch c.Kind {
+		case network.PeerFailed:
+			if !m.Eng.Net.PeerUp(c.Peer) {
+				continue
+			}
+			ev = Event{Kind: FailPeer, Peer: c.Peer}
+		case network.LinkFailed:
+			if !m.Eng.Net.LinkUp(c.Link.A, c.Link.B) {
+				continue
+			}
+			ev = Event{Kind: FailLink, A: c.Link.A, B: c.Link.B}
+		default:
+			// The detector only infers failures; other change kinds are
+			// not its to report.
+			continue
+		}
+		reg.Counter("adapt.detected.applied").Inc()
+		if _, err := m.Apply(ev); err != nil {
+			return m.reports[start:], fmt.Errorf("adapt: detected %s: %w", ev, err)
+		}
+	}
+	return m.reports[start:], nil
+}

@@ -141,6 +141,14 @@ type Config struct {
 	ValidatePaths bool
 	// NoMinimize skips predicate-graph minimization (ablation).
 	NoMinimize bool
+	// Reliable turns on the reliability contract for plan changes: repairs
+	// and migrations rebuild affected subscriptions as private chains derived
+	// directly from original streams (live shared stateful streams are hidden
+	// from the re-planning discovery, so recovery replay never drives a live
+	// operator), and the stateful operators of a replacement chain adopt the
+	// retired chain's accumulated state (exec.Transplant) instead of starting
+	// cold. TryMigrate aborts a migration whose state cannot be transplanted.
+	Reliable bool
 	// ReferencePlanner disables the planner's deployed-stream index, route
 	// and match caches, and parallel costing, restoring the brute-force
 	// sequential search. Decisions are identical either way (the equivalence
@@ -175,6 +183,10 @@ type Engine struct {
 	deployed  []*Deployed
 	subs      []*Subscription
 	nextID    int
+	// epoch counts installs; every (re)installed stream is stamped with a
+	// fresh epoch so the reliable runtime can fence stale in-flight messages
+	// across repairs and migrations.
+	epoch uint64
 	// subSeq issues subscription ids ("q1", "q2", …) monotonically: ids are
 	// never reused after Unsubscribe or a failed repair. Failed registration
 	// attempts do not consume an id — the tentative id appears only in their
@@ -249,6 +261,8 @@ func (e *Engine) RegisterStream(name string, itemPath xmlstream.Path, at network
 		Freq:     st.Freq,
 		Original: true,
 	}
+	e.epoch++
+	d.Epoch = e.epoch
 	e.originals[name] = d
 	e.origStats[name] = st
 	e.Est.Stats[name] = st

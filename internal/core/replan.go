@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"streamshare/internal/cost"
+	"streamshare/internal/exec"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
 	"streamshare/internal/plan"
@@ -121,6 +122,58 @@ func (e *Engine) Affected() []*Subscription {
 	return out
 }
 
+// hideLiveShared transiently hides every live derived stream from discovery
+// while a reliable repair or migration re-plans, forcing the replacement
+// chain to derive directly from original streams. This is what makes
+// recovery replay safe: re-delivered items only ever drive the replacement's
+// own freshly built (and transplanted) operators, never a live shared
+// stateful operator serving other subscriptions. The returned func restores
+// exactly the streams this call hid.
+func (e *Engine) hideLiveShared() (restore func()) {
+	if !e.Cfg.Reliable {
+		return func() {}
+	}
+	var hidden []*Deployed
+	for _, d := range e.deployed {
+		if d.Original || d.Broken || d.Hidden {
+			continue
+		}
+		d.Hidden = true
+		hidden = append(hidden, d)
+	}
+	return func() {
+		for _, d := range hidden {
+			d.Hidden = false
+		}
+	}
+}
+
+// chainPipelines returns the operator pipelines along a stream's derivation
+// chain, upstream first (original's residual down to the stream's own).
+func chainPipelines(d *Deployed) []*exec.Pipeline {
+	var out []*exec.Pipeline
+	for x := d; x != nil; x = x.Parent {
+		out = append([]*exec.Pipeline{x.Residual}, out...)
+	}
+	return out
+}
+
+// transplantInput moves the accumulated operator state of a retired
+// (feed, local) pair into its freshly installed replacement, and accounts the
+// outcome. Shared ancestors of the new feed keep running and are excluded on
+// both sides.
+func (e *Engine) transplantInput(oldFeed *Deployed, oldLocal *exec.Pipeline, si *SubInput) bool {
+	oldChain := append(chainPipelines(oldFeed), oldLocal)
+	shared := chainPipelines(si.Feed.Parent)
+	fresh := []*exec.Pipeline{si.Feed.Residual, si.Local}
+	if exec.Transplant(oldChain, shared, fresh) {
+		e.obs.Metrics.Counter("core.replan.transplanted").Inc()
+		return true
+	}
+	e.obs.Metrics.Counter("core.replan.fresh_state").Inc()
+	return false
+}
+
 // Replan repairs a subscription whose feeds were severed by a topology
 // change: it re-runs discovery and plan generation for every broken input
 // against the surviving topology — reusing still-flowing shared streams
@@ -168,6 +221,7 @@ func (e *Engine) Replan(sub *Subscription, event string) error {
 		cand  *plan.Candidate
 	}
 	var plans []planned
+	unhide := e.hideLiveShared()
 	for _, si := range sub.Inputs {
 		if !si.Feed.Broken && !e.streamBroken(si.Feed) {
 			continue // still flowing; keep it
@@ -177,10 +231,12 @@ func (e *Engine) Replan(sub *Subscription, event string) error {
 		it := dt.Input(in.Stream)
 		c, err := e.planner.PlanInput(sub.Query, in, sub.Target, sub.Strategy, &rs, it)
 		if err != nil {
+			unhide()
 			return fail(err)
 		}
 		plans = append(plans, planned{si: si, in: in, resIn: result.Input(in.Stream), cand: c})
 	}
+	unhide()
 	if len(plans) == 0 {
 		return nil // nothing broken
 	}
@@ -190,8 +246,11 @@ func (e *Engine) Replan(sub *Subscription, event string) error {
 		if err != nil {
 			return fail(err)
 		}
-		old := p.si.Feed
+		old, oldLocal := p.si.Feed, p.si.Local
 		p.si.Feed, p.si.Local = si.Feed, si.Local
+		if e.Cfg.Reliable {
+			e.transplantInput(old, oldLocal, si)
+		}
 		e.sweepBroken(old)
 	}
 	dt.Duration = time.Since(started)
@@ -349,17 +408,20 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 	}
 	var plans []planned
 	newCost := 0.0
+	unhide := e.hideLiveShared()
 	for _, si := range sub.Inputs {
 		in := si.In
 		it := dt.Input(in.Stream)
 		c, err := e.planner.PlanInput(sub.Query, in, sub.Target, sub.Strategy, &rs, it)
 		if err != nil {
+			unhide()
 			restore()
 			return false, nil // no feasible alternative; keep the current plan
 		}
 		newCost += c.Cost
 		plans = append(plans, planned{in: in, resIn: result.Input(in.Stream), cand: c})
 	}
+	unhide()
 
 	if newCost >= oldCost*(1-hysteresis) {
 		restore()
@@ -379,6 +441,21 @@ func (e *Engine) TryMigrate(sub *Subscription, hysteresis float64, event string)
 			return false, err
 		}
 		installed = append(installed, si)
+	}
+	if e.Cfg.Reliable {
+		// A migration may not lose operator state: every stateful operator of
+		// the current chains must transplant into the replacement, or the
+		// migration is abandoned (keeping the current, still-healthy plan).
+		for i, si := range sub.Inputs {
+			if !e.transplantInput(si.Feed, si.Local, installed[i]) {
+				for _, done := range installed {
+					e.uninstallFeed(done.Feed)
+				}
+				restore()
+				e.obs.Metrics.Counter("core.migrate.transplant_aborted").Inc()
+				return false, nil
+			}
+		}
 	}
 	for i, si := range sub.Inputs {
 		old := si.Feed

@@ -253,6 +253,8 @@ func (e *Engine) install(sub *Subscription, q *wxquery.Query, in, resIn *propert
 	}
 	si.Feed.Residual = exec.Instrument(si.Feed.Residual, e.obs.Metrics, "exec.op")
 	si.Local = exec.Instrument(si.Local, e.obs.Metrics, "exec.op")
+	e.epoch++
+	si.Feed.Epoch = e.epoch
 
 	// Query-shipping results are restructured and private; data-shipping raw
 	// copies are per-subscription by definition. Only stream sharing

@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"streamshare/internal/decimal"
+	"streamshare/internal/wxquery"
+	"streamshare/internal/xmlstream"
+)
+
+// tpItem builds a stream item <it><t>..</t><v>..</v></it>.
+func tpItem(tv, vv string) *xmlstream.Element {
+	return xmlstream.E("it", xmlstream.T("t", tv), xmlstream.T("v", vv))
+}
+
+// runSplit evaluates items through oldChain up to split, transplants into
+// fresh, and evaluates the rest there, returning the concatenated outputs.
+func runSplit(t *testing.T, items []*xmlstream.Element, split int, oldChain, shared, fresh []*Pipeline) []*xmlstream.Element {
+	t.Helper()
+	composedOld := composeAll(oldChain)
+	var out []*xmlstream.Element
+	for _, it := range items[:split] {
+		out = append(out, clones(composedOld.Process(it))...)
+	}
+	if !Transplant(oldChain, shared, fresh) {
+		t.Fatal("Transplant refused a matching chain")
+	}
+	composedNew := composeAll(fresh)
+	for _, it := range items[split:] {
+		out = append(out, clones(composedNew.Process(it))...)
+	}
+	return append(out, clones(composedNew.Flush())...)
+}
+
+func composeAll(chain []*Pipeline) *Pipeline {
+	var ops []Operator
+	for _, p := range chain {
+		ops = append(ops, p.Ops...)
+	}
+	return NewPipeline(ops...)
+}
+
+func clones(items []*xmlstream.Element) []*xmlstream.Element {
+	out := make([]*xmlstream.Element, len(items))
+	for i, it := range items {
+		out[i] = it.Clone()
+	}
+	return out
+}
+
+func diffOutputs(t *testing.T, got, want []*xmlstream.Element) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output count %d, want %d\ngot:  %s\nwant: %s",
+			len(got), len(want), renderAll(got), renderAll(want))
+	}
+	for i := range got {
+		g, w := xmlstream.Marshal(got[i]), xmlstream.Marshal(want[i])
+		if g != w {
+			t.Fatalf("output %d:\ngot:  %s\nwant: %s", i, g, w)
+		}
+	}
+}
+
+func renderAll(items []*xmlstream.Element) string {
+	s := ""
+	for _, it := range items {
+		s += xmlstream.Marshal(it) + " "
+	}
+	return s
+}
+
+func sumAggs() []AggSpec {
+	return []AggSpec{{Op: wxquery.AggSum, Elem: xmlstream.Path{"v"}}}
+}
+
+// TestTransplantWindowAggMidStream swaps a diff-window aggregator for a
+// fresh instance mid-stream: the transplanted run must emit exactly what an
+// uninterrupted run emits, including windows that straddle the swap point.
+func TestTransplantWindowAggMidStream(t *testing.T) {
+	win := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("4"), Step: dec("2")}
+	var items []*xmlstream.Element
+	for i := 0; i < 16; i++ {
+		items = append(items, tpItem(fmt.Sprint(i), fmt.Sprintf("%d.5", i)))
+	}
+	for split := 1; split < len(items); split += 3 {
+		oldAgg := NewWindowAgg(win, sumAggs(), nil)
+		freshAgg := NewWindowAgg(win, sumAggs(), nil)
+		got := runSplit(t, items, split,
+			[]*Pipeline{NewPipeline(oldAgg)}, nil, []*Pipeline{NewPipeline(freshAgg)})
+		want := NewPipeline(NewWindowAgg(win, sumAggs(), nil)).Run(items)
+		diffOutputs(t, got, want)
+	}
+}
+
+// TestTransplantCountWindowAgg covers count-based windows, whose position is
+// the aggregator's internal item index — lost entirely without a transplant.
+func TestTransplantCountWindowAgg(t *testing.T) {
+	win := wxquery.Window{Kind: wxquery.WindowCount, Size: dec("6"), Step: dec("3")}
+	aggs := []AggSpec{
+		{Op: wxquery.AggMin, Elem: xmlstream.Path{"v"}},
+		{Op: wxquery.AggCount, Elem: xmlstream.Path{"v"}},
+	}
+	var items []*xmlstream.Element
+	for i := 0; i < 20; i++ {
+		items = append(items, tpItem(fmt.Sprint(i), fmt.Sprint((i*7)%13)))
+	}
+	oldAgg := NewWindowAgg(win, aggs, nil)
+	freshAgg := NewWindowAgg(win, aggs, nil)
+	got := runSplit(t, items, 10,
+		[]*Pipeline{NewPipeline(oldAgg)}, nil, []*Pipeline{NewPipeline(freshAgg)})
+	want := NewPipeline(NewWindowAgg(win, aggs, nil)).Run(items)
+	diffOutputs(t, got, want)
+}
+
+// TestTransplantSortBuffer swaps an order-repair buffer mid-stream without
+// losing the held-back items or the release watermark.
+func TestTransplantSortBuffer(t *testing.T) {
+	refs := []string{"1", "3", "2", "5", "4", "7", "6", "9", "8", "10"}
+	var items []*xmlstream.Element
+	for _, r := range refs {
+		items = append(items, tpItem(r, r))
+	}
+	oldSB := NewSortBuffer(xmlstream.Path{"t"}, 2)
+	freshSB := NewSortBuffer(xmlstream.Path{"t"}, 2)
+	got := runSplit(t, items, 5,
+		[]*Pipeline{NewPipeline(oldSB)}, nil, []*Pipeline{NewPipeline(freshSB)})
+	want := NewPipeline(NewSortBuffer(xmlstream.Path{"t"}, 2)).Run(items)
+	diffOutputs(t, got, want)
+	if freshSB.Dropped != oldSB.Dropped {
+		t.Fatalf("dropped counter not carried: %d vs %d", freshSB.Dropped, oldSB.Dropped)
+	}
+}
+
+// TestTransplantWindowContents swaps a window-content grouping operator.
+func TestTransplantWindowContents(t *testing.T) {
+	win := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("3"), Step: dec("3")}
+	var items []*xmlstream.Element
+	for i := 0; i < 12; i++ {
+		items = append(items, tpItem(fmt.Sprint(i), fmt.Sprint(i)))
+	}
+	oldWC := NewWindowContents(win)
+	freshWC := NewWindowContents(win)
+	got := runSplit(t, items, 7,
+		[]*Pipeline{NewPipeline(oldWC)}, nil, []*Pipeline{NewPipeline(freshWC)})
+	want := NewPipeline(NewWindowContents(win)).Run(items)
+	diffOutputs(t, got, want)
+}
+
+// TestTransplantAbsorbFine is the repair-path case: a subscription that was
+// served by a shared fine aggregate stream plus a WindowMerge recomposition
+// is rebuilt as a single coarse aggregator over the original stream. The
+// merge operator's buffered tiles and the fine aggregator's open partial
+// windows must reconstruct the coarse windows exactly.
+func TestTransplantAbsorbFine(t *testing.T) {
+	fine := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("2"), Step: dec("2")}
+	for _, coarse := range []wxquery.Window{
+		{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("8"), Step: dec("4")},
+		{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("6"), Step: dec("2")},
+	} {
+		var items []*xmlstream.Element
+		for i := 0; i < 30; i++ {
+			items = append(items, tpItem(fmt.Sprint(i), fmt.Sprintf("%d.25", i%9)))
+		}
+		want := NewPipeline(NewWindowAgg(coarse, sumAggs(), nil)).Run(items)
+		for split := 2; split < len(items); split += 5 {
+			fineAgg := NewWindowAgg(fine, sumAggs(), nil)
+			merge := NewWindowMerge(fine, coarse, sumAggs(), []int{0}, []wxquery.AggOp{wxquery.AggSum})
+			coarseAgg := NewWindowAgg(coarse, sumAggs(), nil)
+			got := runSplit(t, items, split,
+				[]*Pipeline{NewPipeline(fineAgg), NewPipeline(merge)}, nil,
+				[]*Pipeline{NewPipeline(coarseAgg)})
+			diffOutputs(t, got, want)
+		}
+	}
+}
+
+// TestTransplantAbsorbFineCount covers count-window absorption, where the
+// coarse item index must continue from the fine aggregator's.
+func TestTransplantAbsorbFineCount(t *testing.T) {
+	fine := wxquery.Window{Kind: wxquery.WindowCount, Size: dec("3"), Step: dec("3")}
+	coarse := wxquery.Window{Kind: wxquery.WindowCount, Size: dec("9"), Step: dec("3")}
+	var items []*xmlstream.Element
+	for i := 0; i < 25; i++ {
+		items = append(items, tpItem(fmt.Sprint(i), fmt.Sprint(i%5)))
+	}
+	want := NewPipeline(NewWindowAgg(coarse, sumAggs(), nil)).Run(items)
+	for split := 1; split < len(items); split += 4 {
+		fineAgg := NewWindowAgg(fine, sumAggs(), nil)
+		merge := NewWindowMerge(fine, coarse, sumAggs(), []int{0}, []wxquery.AggOp{wxquery.AggSum})
+		coarseAgg := NewWindowAgg(coarse, sumAggs(), nil)
+		got := runSplit(t, items, split,
+			[]*Pipeline{NewPipeline(fineAgg), NewPipeline(merge)}, nil,
+			[]*Pipeline{NewPipeline(coarseAgg)})
+		diffOutputs(t, got, want)
+	}
+}
+
+// TestTransplantMergeToMerge swaps a recomposition operator whose fine feed
+// survives: buffered tiles and the emission cursor carry over.
+func TestTransplantMergeToMerge(t *testing.T) {
+	fine := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("2"), Step: dec("2")}
+	coarse := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("6"), Step: dec("2")}
+	var items []*xmlstream.Element
+	for i := 0; i < 24; i++ {
+		items = append(items, tpItem(fmt.Sprint(i), "1"))
+	}
+	// The shared fine aggregator keeps running across the swap; only the
+	// merge operator is rebuilt.
+	shared := NewPipeline(NewWindowAgg(fine, sumAggs(), nil))
+	oldMerge := NewWindowMerge(fine, coarse, sumAggs(), []int{0}, []wxquery.AggOp{wxquery.AggSum})
+	freshMerge := NewWindowMerge(fine, coarse, sumAggs(), []int{0}, []wxquery.AggOp{wxquery.AggSum})
+
+	composedOld := composeAll([]*Pipeline{shared, NewPipeline(oldMerge)})
+	var got []*xmlstream.Element
+	for _, it := range items[:11] {
+		got = append(got, clones(composedOld.Process(it))...)
+	}
+	if !Transplant([]*Pipeline{shared, NewPipeline(oldMerge)}, []*Pipeline{shared},
+		[]*Pipeline{shared, NewPipeline(freshMerge)}) {
+		t.Fatal("Transplant refused merge→merge")
+	}
+	composedNew := composeAll([]*Pipeline{shared, NewPipeline(freshMerge)})
+	for _, it := range items[11:] {
+		got = append(got, clones(composedNew.Process(it))...)
+	}
+	got = append(got, clones(composedNew.Flush())...)
+
+	want := NewPipeline(NewWindowAgg(coarse, sumAggs(), nil)).Run(items)
+	diffOutputs(t, got, want)
+}
+
+// TestTransplantRefusals: mismatched specs and leftover state refuse rather
+// than half-copy.
+func TestTransplantRefusals(t *testing.T) {
+	winA := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("4"), Step: dec("2")}
+	winB := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("6"), Step: dec("2")}
+	if Transplant(
+		[]*Pipeline{NewPipeline(NewWindowAgg(winA, sumAggs(), nil))}, nil,
+		[]*Pipeline{NewPipeline(NewWindowAgg(winB, sumAggs(), nil))}) {
+		t.Fatal("accepted mismatched windows")
+	}
+	if Transplant(
+		[]*Pipeline{NewPipeline(NewWindowAgg(winA, sumAggs(), nil))}, nil,
+		[]*Pipeline{NewPipeline()}) {
+		t.Fatal("accepted leftover old state")
+	}
+	if Transplant(
+		[]*Pipeline{NewPipeline()}, nil,
+		[]*Pipeline{NewPipeline(NewWindowAgg(winA, sumAggs(), nil))}) {
+		t.Fatal("accepted an unfed fresh stateful operator")
+	}
+	if Transplant(
+		[]*Pipeline{NewPipeline(NewSortBuffer(xmlstream.Path{"t"}, 4))}, nil,
+		[]*Pipeline{NewPipeline(NewSortBuffer(xmlstream.Path{"t"}, 8))}) {
+		t.Fatal("accepted mismatched sort buffers")
+	}
+	// UDF aggregations cannot be absorbed from closed tiles.
+	udfAggs := []AggSpec{{UDF: "f", Elem: xmlstream.Path{"v"}}}
+	fineAgg := NewWindowAgg(winA, udfAggs, UDFRegistry{"f": func(vs, _ []decimal.D) decimal.D { return vs[0] }})
+	merge := NewWindowMerge(winA, winB, udfAggs, []int{0}, []wxquery.AggOp{wxquery.AggSum})
+	if Transplant(
+		[]*Pipeline{NewPipeline(fineAgg), NewPipeline(merge)}, nil,
+		[]*Pipeline{NewPipeline(NewWindowAgg(winB, udfAggs, nil))}) {
+		t.Fatal("absorbed a UDF aggregation")
+	}
+	// Stateless chains transplant trivially.
+	if !Transplant(nil, nil, nil) {
+		t.Fatal("empty chains must transplant")
+	}
+}
+
+// TestTransplantInstrumented: transplant must see through the counting
+// decorators the runtime wraps operators in.
+func TestTransplantInstrumented(t *testing.T) {
+	win := wxquery.Window{Kind: wxquery.WindowDiff, Ref: xmlstream.Path{"t"}, Size: dec("4"), Step: dec("2")}
+	oldAgg := NewWindowAgg(win, sumAggs(), nil)
+	freshAgg := NewWindowAgg(win, sumAggs(), nil)
+	wrapped := &Pipeline{Ops: []Operator{counted{op: oldAgg}}}
+	_ = wrapped // construct directly: Instrument needs a registry
+	oldAgg.itemIndex = 7
+	if !Transplant([]*Pipeline{wrapped}, nil, []*Pipeline{NewPipeline(freshAgg)}) {
+		t.Fatal("refused instrumented chain")
+	}
+	if freshAgg.itemIndex != 7 {
+		t.Fatalf("state not copied through the decorator: %d", freshAgg.itemIndex)
+	}
+}

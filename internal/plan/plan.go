@@ -102,6 +102,10 @@ type Deployed struct {
 	// Hidden transiently excludes the stream from discovery while a
 	// migration re-plans its subscription (TryMigrate).
 	Hidden bool
+	// Epoch is the engine's install epoch when the stream was (re)installed.
+	// The reliable runtime stamps every message with it so receivers can
+	// discard stale-epoch stragglers across a repair or migration.
+	Epoch uint64
 
 	// LinkAdd and PeerAdd record the analytic usage the stream's
 	// installation added, so the engine can release it on teardown.

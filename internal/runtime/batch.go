@@ -28,6 +28,10 @@ type batcher struct {
 	// first is when the oldest buffered item was added; used by the
 	// flush-interval check.
 	first time.Time
+	// gate, in worker context (tap emissions under a reliable session),
+	// is the ack gate parked batches hold open; nil in source context,
+	// where the goroutine blocks on the channel window instead.
+	gate *ackGate
 }
 
 // add serializes one item into the current batch, flushing it when it
@@ -67,5 +71,5 @@ func (b *batcher) flush(eos bool) {
 		m.buf = b.buf
 	}
 	b.buf, b.data, b.items = nil, nil, nil
-	b.r.send(m)
+	b.r.dispatch(m, b.gate)
 }

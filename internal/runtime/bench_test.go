@@ -10,12 +10,14 @@ import (
 
 // benchGrid builds a fresh ScaleGrid engine per iteration (operator state
 // is consumed by execution) and runs it under opts, timing only the run.
-func benchGrid(b *testing.B, opts Options) {
+// reliable builds the engine for session channels and attaches a fresh
+// session per iteration.
+func benchGrid(b *testing.B, opts Options, reliable bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s := scenario.ScaleGrid(3, 16, 400)
-		eng := core.NewEngine(s.Net, core.Config{})
+		eng := core.NewEngine(s.Net, core.Config{Reliable: reliable})
 		for _, src := range s.Sources {
 			if _, err := eng.RegisterStream(src.Name, xmlstream.ParsePath("photons/photon"), src.At, src.Stats); err != nil {
 				b.Fatal(err)
@@ -30,6 +32,9 @@ func benchGrid(b *testing.B, opts Options) {
 		for _, src := range s.Sources {
 			feed[src.Name] = src.Items
 		}
+		if reliable {
+			opts.Session = NewSession(SessionOptions{})
+		}
 		rt := NewWith(eng, false, opts)
 		b.StartTimer()
 		if _, err := rt.Run(feed); err != nil {
@@ -40,7 +45,12 @@ func benchGrid(b *testing.B, opts Options) {
 
 // BenchmarkScaleGridBaseline is the pre-batching data path: serial peers,
 // one message per item, standard-library parsing, no pooling.
-func BenchmarkScaleGridBaseline(b *testing.B) { benchGrid(b, BaselineOptions()) }
+func BenchmarkScaleGridBaseline(b *testing.B) { benchGrid(b, BaselineOptions(), false) }
 
 // BenchmarkScaleGridBatched is the tuned data path (DefaultOptions).
-func BenchmarkScaleGridBatched(b *testing.B) { benchGrid(b, DefaultOptions()) }
+func BenchmarkScaleGridBatched(b *testing.B) { benchGrid(b, DefaultOptions(), false) }
+
+// BenchmarkScaleGridReliable is the tuned data path over sequenced acked
+// session channels; the delta to BenchmarkScaleGridBatched prices the
+// reliability layer (sequencing, replay copies, acks, heartbeats).
+func BenchmarkScaleGridReliable(b *testing.B) { benchGrid(b, DefaultOptions(), true) }

@@ -1,0 +1,131 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestChannelSeqAckTrim(t *testing.T) {
+	c := newChanState(1, 0)
+	c.addConsumer("r1")
+	c.addConsumer("r2")
+	for i := 0; i < 5; i++ {
+		seq := c.emit([]byte(fmt.Sprintf("it%d", i)), false)
+		if seq != uint64(i+1) {
+			t.Fatalf("emit %d: seq %d", i, seq)
+		}
+	}
+	if c.depth() != 5 {
+		t.Fatalf("depth %d", c.depth())
+	}
+	// One consumer acking does not trim: the other pins the buffer.
+	if freed := c.ack("r1", 3); freed != 0 {
+		t.Fatalf("freed %d with a lagging consumer", freed)
+	}
+	if c.depth() != 5 {
+		t.Fatalf("trimmed past the slow consumer: depth %d", c.depth())
+	}
+	if freed := c.ack("r2", 2); freed != 2 {
+		t.Fatalf("freed %d, want 2", freed)
+	}
+	if c.depth() != 3 || c.cumAck != 2 {
+		t.Fatalf("depth %d cumAck %d", c.depth(), c.cumAck)
+	}
+	// Stale and duplicate acks are no-ops.
+	if freed := c.ack("r2", 2); freed != 0 {
+		t.Fatalf("duplicate ack freed %d", freed)
+	}
+	if freed := c.ack("r2", 1); freed != 0 {
+		t.Fatalf("stale ack freed %d", freed)
+	}
+	// Remaining unacked entries for each consumer.
+	if got := len(c.unackedAfter(c.cursor("r1"))); got != 2 {
+		t.Fatalf("r1 pending %d, want 2", got)
+	}
+	if got := len(c.unackedAfter(c.cursor("r2"))); got != 3 {
+		t.Fatalf("r2 pending %d, want 3", got)
+	}
+}
+
+func TestChannelCredits(t *testing.T) {
+	c := newChanState(1, 4)
+	c.addConsumer("r")
+	for i := 0; i < 4; i++ {
+		if !c.admit(1) {
+			t.Fatalf("emit %d: admission refused under window", i)
+		}
+		c.emit(nil, false)
+	}
+	if c.admit(1) {
+		t.Fatal("admitted past the window")
+	}
+	if freed := c.ack("r", 2); freed != 2 {
+		t.Fatalf("freed %d", freed)
+	}
+	if !c.admit(2) {
+		t.Fatal("credits not granted back after ack")
+	}
+	if c.admit(3) {
+		t.Fatal("over-granted credits")
+	}
+	// Breaking the channel bypasses admission: producers must never block
+	// on a dead route. Emissions are recorded and counted as retained.
+	c.broken = true
+	if !c.admit(100) {
+		t.Fatal("broken channel refused admission")
+	}
+	c.emit(nil, true)
+	if c.retained != 1 {
+		t.Fatalf("retained %d", c.retained)
+	}
+}
+
+func TestChannelZeroConsumersAdmitsAll(t *testing.T) {
+	c := newChanState(1, 2)
+	for i := 0; i < 10; i++ {
+		if !c.admit(1) {
+			t.Fatal("a stream nobody consumes must not block its producer")
+		}
+		c.emit(nil, false)
+	}
+}
+
+func TestRecvStateDedup(t *testing.T) {
+	var r recvState
+	if skip, ok := r.accept(1, 1, 4); skip != 0 || !ok {
+		t.Fatalf("first delivery: skip %d ok %v", skip, ok)
+	}
+	// Full duplicate.
+	if _, ok := r.accept(1, 3, 4); ok {
+		t.Fatal("duplicate batch accepted")
+	}
+	// Overlap: items 4..6 where 4 was delivered.
+	if skip, ok := r.accept(1, 4, 6); skip != 1 || !ok {
+		t.Fatalf("overlap: skip %d ok %v", skip, ok)
+	}
+	// Stale epoch dropped wholesale, state unchanged.
+	if _, ok := r.accept(0, 7, 9); ok {
+		t.Fatal("stale epoch accepted")
+	}
+	// New epoch resets the sequence space.
+	if skip, ok := r.accept(2, 1, 2); skip != 0 || !ok {
+		t.Fatalf("new epoch: skip %d ok %v", skip, ok)
+	}
+	if skip, ok := r.accept(2, 3, 3); skip != 0 || !ok {
+		t.Fatalf("epoch continuation: skip %d ok %v", skip, ok)
+	}
+}
+
+func TestChannelSnapshot(t *testing.T) {
+	c := newChanState(7, 8)
+	c.addConsumer("r")
+	c.emit([]byte("x"), false)
+	c.emit([]byte("y"), false)
+	s := c.snapshot("s1")
+	if s.Epoch != 7 || s.NextSeq != 3 || s.CumAck != 0 || s.ReplayDepth != 2 || s.Credits != 6 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzChannel drives the replay-buffer/ack/dedup state machine with random
+// emit/ack/duplicate/reorder operations and diffs every observable against a
+// map-based model: the replay buffer must hold exactly the emitted-but-not-
+// min-acked suffix, credits must never over- or under-admit, and the
+// receiver must deliver every (epoch, seq) exactly once regardless of
+// duplication and stale-epoch replays.
+func FuzzChannel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 3, 0, 0, 4, 1})
+	f.Add([]byte{1, 5, 2, 9, 0, 0, 3, 3, 3, 3, 0, 1, 2})
+	f.Add([]byte{4, 4, 4, 0, 1, 5, 0, 2, 6})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const window = 6
+		c := newChanState(1, window)
+		consumers := []string{"a", "b"}
+		for _, cn := range consumers {
+			c.addConsumer(cn)
+		}
+
+		// Model state.
+		emitted := map[uint64][]byte{} // seq → payload
+		var lastSeq uint64
+		acked := map[string]uint64{"a": 0, "b": 0}
+		minAck := func() uint64 {
+			m := acked["a"]
+			if acked["b"] < m {
+				m = acked["b"]
+			}
+			return m
+		}
+
+		// Receiver model: delivered seqs per epoch for the dedup lane.
+		var rs recvState
+		delivered := map[string]bool{}
+		var recvEpoch, recvHi uint64 = 1, 0
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%5, uint64(ops[i+1])
+			switch op {
+			case 0: // emit one unit, respecting admission like the runtime does
+				if !c.admit(1) {
+					// The model agrees the window is exhausted.
+					if int(lastSeq-minAck()) < window {
+						t.Fatalf("op %d: admission refused with %d unacked (window %d)",
+							i, lastSeq-minAck(), window)
+					}
+					continue
+				}
+				data := []byte(fmt.Sprintf("p%d", arg))
+				seq := c.emit(data, false)
+				lastSeq++
+				if seq != lastSeq {
+					t.Fatalf("op %d: emit seq %d, model %d", i, seq, lastSeq)
+				}
+				emitted[seq] = data
+			case 1: // cumulative ack by one consumer
+				cn := consumers[int(arg)%2]
+				seq := arg % (lastSeq + 2) // may exceed frontier or be stale
+				if seq > lastSeq {
+					seq = lastSeq
+				}
+				before := minAck()
+				freed := c.ack(cn, seq)
+				if seq > acked[cn] {
+					acked[cn] = seq
+				}
+				if want := int(minAck() - before); freed != want {
+					t.Fatalf("op %d: ack freed %d, model %d", i, freed, want)
+				}
+			case 2: // receiver: in-order delivery of the next pending batch
+				if recvHi >= lastSeq {
+					continue
+				}
+				lo := recvHi + 1
+				hi := lo + arg%3
+				if hi > lastSeq {
+					hi = lastSeq
+				}
+				skip, ok := rs.accept(recvEpoch, lo, hi)
+				if !ok || skip != 0 {
+					t.Fatalf("op %d: fresh delivery [%d,%d] skip=%d ok=%v", i, lo, hi, skip, ok)
+				}
+				for s := lo; s <= hi; s++ {
+					key := fmt.Sprintf("%d/%d", recvEpoch, s)
+					if delivered[key] {
+						t.Fatalf("op %d: seq %d delivered twice", i, s)
+					}
+					delivered[key] = true
+				}
+				recvHi = hi
+			case 3: // receiver: duplicate/overlapping replay of an old range
+				if recvHi == 0 {
+					continue
+				}
+				lo := 1 + arg%recvHi
+				hi := lo + arg%2
+				skip, ok := rs.accept(recvEpoch, lo, hi)
+				if hi <= recvHi {
+					if ok {
+						t.Fatalf("op %d: full duplicate [%d,%d] accepted", i, lo, hi)
+					}
+				} else {
+					// Overlap: only the unseen suffix may be delivered.
+					if !ok || uint64(skip) != recvHi-lo+1 {
+						t.Fatalf("op %d: overlap [%d,%d] skip=%d ok=%v hi=%d", i, lo, hi, skip, ok, recvHi)
+					}
+					for s := recvHi + 1; s <= hi; s++ {
+						delivered[fmt.Sprintf("%d/%d", recvEpoch, s)] = true
+					}
+					recvHi = hi
+				}
+			case 4: // stale-epoch replay must be dropped wholesale
+				if recvHi == 0 {
+					continue // lane not primed: epoch 0 is still current
+				}
+				if _, ok := rs.accept(recvEpoch-1, 1, 1+arg%5); ok {
+					t.Fatalf("op %d: stale epoch accepted", i)
+				}
+			}
+
+			// Invariants after every op.
+			if got, want := c.depth(), int(lastSeq-minAck()); got != want {
+				t.Fatalf("op %d: buffer depth %d, model %d", i, got, want)
+			}
+			if c.cumAck != minAck() {
+				t.Fatalf("op %d: cumAck %d, model %d", i, c.cumAck, minAck())
+			}
+			for _, e := range c.buffer {
+				if string(emitted[e.seq]) != string(e.data) {
+					t.Fatalf("op %d: buffer seq %d holds %q, model %q", i, e.seq, e.data, emitted[e.seq])
+				}
+			}
+			if int(lastSeq-minAck()) > window {
+				t.Fatalf("op %d: window violated: %d unacked", i, lastSeq-minAck())
+			}
+		}
+	})
+}

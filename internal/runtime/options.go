@@ -38,6 +38,15 @@ type Options struct {
 	// fast parser, decoding each batch once per peer and sharing the
 	// read-only items across that peer's consumers.
 	StdParser bool
+
+	// Session, when set, turns on reliable delivery: every consumed
+	// stream flows through a sequenced, acked, credit-windowed channel
+	// whose replay buffer doubles as the recovery journal, and a
+	// heartbeat failure detector runs alongside the data path. The
+	// session outlives the (single-use) runtime, carrying journals and
+	// ack cursors across failure, re-plan and recovery. Nil (the
+	// default) keeps the unsequenced data path bit-for-bit unchanged.
+	Session *Session
 }
 
 // DefaultOptions is the tuned data path: batched transfers, pooled buffers,

@@ -1,0 +1,301 @@
+package runtime
+
+import (
+	"fmt"
+
+	"streamshare/internal/core"
+	"streamshare/internal/exec"
+	"streamshare/internal/network"
+	"streamshare/internal/xmlstream"
+)
+
+// This file is the replay half of the reliability layer. After a failure
+// breaks channels (their buffers keep journaling retained emissions) and
+// the engine re-plans the affected subscriptions (with Config.Reliable the
+// re-plan rebuilds private chains from originals and transplants operator
+// state), Recover diffs the session's bind records against the engine's
+// current wiring and replays, per re-bound input, every journaled unit its
+// reader never acknowledged — deepest journal first, each entry entering
+// the new operator chain at the offset matching how far it had travelled
+// through the old one. Transplanted state makes the replay exact: an op's
+// state already reflects precisely the items that passed it, so re-running
+// only the unacknowledged suffix neither drops nor duplicates.
+
+// RecoveryReport summarizes one Recover pass.
+type RecoveryReport struct {
+	// Inputs is the number of subscription inputs that were re-bound and
+	// replayed.
+	Inputs int
+	// Items counts redelivered result items across all subscriptions.
+	Items int
+	// Bytes counts feed-level bytes re-sent over the new routes.
+	Bytes int
+	// Results counts redelivered result items per subscription id — add
+	// them to the interrupted run's counts for the complete delivery.
+	Results map[string]int
+	// Collected holds the redelivered items per subscription id.
+	Collected map[string][]*xmlstream.Element
+	// Skipped lists journal levels that could not be replayed (operator
+	// chains whose shapes did not line up), as "subID/stream@level".
+	Skipped []string
+}
+
+// String renders the report in one line.
+func (rp *RecoveryReport) String() string {
+	return fmt.Sprintf("recovered %d inputs, %d items, %d bytes, %d skipped",
+		rp.Inputs, rp.Items, rp.Bytes, len(rp.Skipped))
+}
+
+// Recover replays journaled, unacknowledged units into the engine's
+// repaired plans and returns what was redelivered. Call it after the
+// engine (or adapt.Manager) re-planned around the failure and before the
+// next Runtime attaches. It is idempotent per repair: bind records update
+// as inputs are replayed, so a second call finds nothing re-bound.
+func (s *Session) Recover(eng *core.Engine) (*RecoveryReport, error) {
+	rp := &RecoveryReport{
+		Results:   map[string]int{},
+		Collected: map[string][]*xmlstream.Element{},
+	}
+	reg := eng.Obs().Metrics
+	nm := network.NewMetrics()
+	// Journal segments already replayed through retired operators this
+	// pass: a second subscription replaying the same segment would advance
+	// the same retired stateful operators twice, so it is skipped instead.
+	replayedOld := map[oldReplayKey]bool{}
+	for _, sub := range eng.Subscriptions() {
+		for _, si := range sub.Inputs {
+			key := bindKey{sub.ID, si.In.Stream}
+			s.mu.Lock()
+			old := s.binds[key]
+			s.mu.Unlock()
+			if old == nil || old == si.Feed {
+				continue
+			}
+			if err := s.recoverInput(sub, si, old, rp, nm, replayedOld); err != nil {
+				return nil, err
+			}
+			s.mu.Lock()
+			s.binds[key] = si.Feed
+			s.mu.Unlock()
+			rp.Inputs++
+		}
+	}
+	if rp.Items > 0 {
+		reg.Counter("runtime.redelivered.items").Add(float64(rp.Items))
+		reg.Counter("runtime.redelivered.bytes").Add(float64(rp.Bytes))
+	}
+	if rp.Inputs > 0 {
+		reg.Counter("runtime.recovered.inputs").Add(float64(rp.Inputs))
+		nm.Publish(reg, "recover")
+	}
+	return rp, nil
+}
+
+// journalLevel is one level of an old derivation chain during replay.
+type journalLevel struct {
+	d *core.Deployed
+	// offset is where this level's items enter the new operator chain.
+	offset int
+	// consumer is the cursor that says how far this level was consumed.
+	consumer string
+	// oldOps, when non-nil, replaces the new chain for this level: the
+	// retired chain's remaining residual operators, flattened in stream
+	// order. Used when the level's items already passed a stateful operator
+	// and the chains do not tile — the retired operators are the only ones
+	// whose state matches the items' frontier (transplant copies state, it
+	// never steals, so they still hold it). The replacement chain's own
+	// stateful state does not learn of these items; windows still open
+	// across the failure undercount them in later runs — delivering the
+	// items at all takes priority over that sliver.
+	oldOps []exec.Operator
+}
+
+// oldReplayKey identifies one journal segment — a channel and the consumer
+// cursor it is replayed beyond — routed through retired operators.
+type oldReplayKey struct {
+	d        *core.Deployed
+	consumer string
+}
+
+// recoverInput replays one re-bound subscription input from the old
+// chain's journals through the new chain.
+func (s *Session) recoverInput(sub *core.Subscription, si *core.SubInput, old *core.Deployed, rp *RecoveryReport, nm *network.Metrics, replayedOld map[oldReplayKey]bool) error {
+	// Old derivation chain, original first.
+	var chain []*core.Deployed
+	for d := old; d != nil; d = d.Parent {
+		chain = append([]*core.Deployed{d}, chain...)
+	}
+	newOps := si.Feed.Residual.Ops
+	// Entry offsets into the new chain per level: level i's items already
+	// passed the residuals of chain[1..i]. The deepest level (the old
+	// feed) and the original are always safe — all ops or none. Middle
+	// levels enter by op-count tiling when the old chain's residuals tile
+	// the new one exactly; when minimization merged ops and the counts do
+	// not tile, a level whose traversed prefix is entirely stateless can
+	// still re-enter at offset 0 — re-applying an already-satisfied select
+	// or an already-narrowed projection is idempotent, and every stateful
+	// op in the new chain sees the item exactly once (its old counterpart
+	// sat below the item's death point, so the transplanted state excludes
+	// it). Only a mid-level item that already passed a stateful op in a
+	// misaligned chain has no safe entry and is skipped.
+	offsets := make([]int, len(chain))
+	stateless := make([]bool, len(chain)) // chain[1..i] residuals all pure?
+	sum, pure := 0, true
+	for i := 1; i < len(chain); i++ {
+		sum += len(chain[i].Residual.Ops)
+		offsets[i] = sum
+		for _, op := range chain[i].Residual.Ops {
+			if exec.Stateful(op) {
+				pure = false
+				break
+			}
+		}
+		stateless[i] = pure
+	}
+	aligned := sum == len(newOps)
+	levels := make([]journalLevel, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		lv := journalLevel{d: chain[i], offset: offsets[i]}
+		switch {
+		case i == len(chain)-1:
+			lv.offset = len(newOps) // feed-level items: local pipeline only
+			lv.consumer = readerConsumer(sub, si)
+		case i == 0:
+			lv.offset = 0 // raw original items: the full new chain
+			lv.consumer = chain[1].ID
+		default:
+			lv.consumer = chain[i+1].ID
+			if !aligned {
+				switch {
+				case stateless[i]:
+					lv.offset = 0 // pure prefix: re-enter from the top
+				case !replayedOld[oldReplayKey{chain[i], lv.consumer}]:
+					// The items already passed a stateful operator: finish
+					// their journey through the retired chain's remaining
+					// residuals, whose state still matches their frontier.
+					replayedOld[oldReplayKey{chain[i], lv.consumer}] = true
+					for j := i + 1; j < len(chain); j++ {
+						lv.oldOps = append(lv.oldOps, chain[j].Residual.Ops...)
+					}
+				default:
+					rp.Skipped = append(rp.Skipped,
+						fmt.Sprintf("%s/%s@%s", sub.ID, si.In.Stream, chain[i].ID))
+					continue
+				}
+			}
+		}
+		levels = append(levels, lv)
+	}
+
+	var outs []*xmlstream.Element
+	feedBytes := 0
+	flushOff := -1
+	var flushOld []exec.Operator
+	for _, lv := range levels {
+		c := s.chanFor(lv.d)
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		pend := c.st.unackedAfter(c.st.cursor(lv.consumer))
+		entries := make([]chanEntry, len(pend))
+		copy(entries, pend)
+		c.mu.Unlock()
+		for _, e := range entries {
+			if e.eos {
+				// A pending end-of-stream exists at exactly one level per
+				// chain: a child that never processed it never emitted one
+				// into the deeper journals.
+				if lv.oldOps != nil {
+					flushOld = lv.oldOps
+				} else if flushOff < 0 || lv.offset < flushOff {
+					flushOff = lv.offset
+				}
+				continue
+			}
+			el, err := xmlstream.UnmarshalBytes(e.data)
+			if err != nil {
+				return fmt.Errorf("runtime: recover %s/%s: %w", sub.ID, si.In.Stream, err)
+			}
+			ops, off := newOps, lv.offset
+			if lv.oldOps != nil {
+				ops, off = lv.oldOps, 0
+			}
+			for _, f := range runOpsFrom(ops, off, el) {
+				feedBytes += marshalLen(f, lv.oldOps == nil && lv.offset == len(newOps), e.data)
+				outs = append(outs, si.Local.Process(f)...)
+			}
+		}
+	}
+	if flushOld != nil {
+		for _, f := range flushFrom(flushOld, 0) {
+			feedBytes += marshalLen(f, false, nil)
+			outs = append(outs, si.Local.Process(f)...)
+		}
+		outs = append(outs, si.Local.Flush()...)
+	} else if flushOff >= 0 {
+		for _, f := range flushFrom(newOps, flushOff) {
+			feedBytes += marshalLen(f, false, nil)
+			outs = append(outs, si.Local.Process(f)...)
+		}
+		outs = append(outs, si.Local.Flush()...)
+	}
+
+	if len(outs) > 0 {
+		rp.Results[sub.ID] += len(outs)
+		rp.Collected[sub.ID] = append(rp.Collected[sub.ID], outs...)
+		rp.Items += len(outs)
+	}
+	// Redelivery traffic travels the new feed's route.
+	if feedBytes > 0 {
+		rp.Bytes += feedBytes
+		route := si.Feed.Route
+		for h := 1; h < len(route); h++ {
+			nm.AddTraffic(network.MakeLinkID(route[h-1], route[h]), float64(feedBytes))
+		}
+	}
+	return nil
+}
+
+// marshalLen returns the serialized size of a replayed feed item. When the
+// item came straight from the feed-level journal its stored bytes are
+// authoritative (and free); otherwise it is re-marshalled to measure.
+func marshalLen(e *xmlstream.Element, stored bool, data []byte) int {
+	if stored {
+		return len(data)
+	}
+	return len(xmlstream.AppendMarshal(nil, e))
+}
+
+// runOpsFrom pushes one item through the tail of an operator chain,
+// starting at the given offset.
+func runOpsFrom(ops []exec.Operator, off int, item *xmlstream.Element) []*xmlstream.Element {
+	cur := []*xmlstream.Element{item}
+	for i := off; i < len(ops); i++ {
+		var next []*xmlstream.Element
+		for _, it := range cur {
+			next = append(next, ops[i].Process(it)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// flushFrom cascades an end-of-stream flush through the tail of an
+// operator chain: each op's flush output feeds the ops after it, exactly
+// as Pipeline.Flush does from the head.
+func flushFrom(ops []exec.Operator, off int) []*xmlstream.Element {
+	var cur []*xmlstream.Element
+	for i := off; i < len(ops); i++ {
+		var next []*xmlstream.Element
+		for _, it := range cur {
+			next = append(next, ops[i].Process(it)...)
+		}
+		next = append(next, ops[i].Flush()...)
+		cur = next
+	}
+	return cur
+}

@@ -34,9 +34,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"streamshare/internal/core"
 	"streamshare/internal/exec"
+	"streamshare/internal/health"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
 	"streamshare/internal/xmlstream"
@@ -58,6 +60,12 @@ type message struct {
 	buf *xmlstream.Buffer
 	// eos marks end of stream, logically ordered after items.
 	eos bool
+	// seqLo is the channel sequence of the first carried unit when the
+	// stream flows through a reliable session channel; 0 means unsequenced.
+	seqLo uint64
+	// epoch is the plan epoch the message was emitted under (reliable
+	// sessions only); receivers drop stale-epoch stragglers.
+	epoch uint64
 }
 
 // units is the item-granular size of the message, the unit of depth,
@@ -131,6 +139,19 @@ type Runtime struct {
 	sevMu   sync.RWMutex
 	severed map[network.LinkID]bool
 	dropped int
+
+	// Reliability (Options.Session): channels and receive lanes are
+	// per-run views into the session's durable maps, read-only while the
+	// run executes. retained counts units journaled on broken channels
+	// instead of sent; dedupDropped counts duplicate units receivers
+	// skipped (both under mu).
+	sess         *Session
+	chans        map[*core.Deployed]*streamChan
+	recvs        map[recvKey]*recvState
+	peerIDs      []network.PeerID
+	linkIDs      []network.LinkID
+	retained     int
+	dedupDropped int
 }
 
 // node is one peer actor.
@@ -145,6 +166,10 @@ type node struct {
 	taps map[*core.Deployed][]*core.Deployed
 	// readers lists subscription inputs consuming a stream at this target.
 	readers map[*core.Deployed][]readerEntry
+	// readerNames holds the readers' channel-consumer names in the same
+	// order, precomputed so the reliable path neither concatenates strings
+	// nor locks the channel per reader on every batch.
+	readerNames map[*core.Deployed][]string
 }
 
 type readerEntry struct {
@@ -187,10 +212,11 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 		ib := newInbox()
 		ib.owner = id
 		r.nodes[id] = &node{
-			id:      id,
-			inbox:   ib,
-			taps:    map[*core.Deployed][]*core.Deployed{},
-			readers: map[*core.Deployed][]readerEntry{},
+			id:          id,
+			inbox:       ib,
+			taps:        map[*core.Deployed][]*core.Deployed{},
+			readers:     map[*core.Deployed][]readerEntry{},
+			readerNames: map[*core.Deployed][]string{},
 		}
 	}
 	for _, d := range eng.Streams() {
@@ -202,7 +228,16 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 		for _, si := range sub.Inputs {
 			tgt := si.Feed.Target()
 			r.nodes[tgt].readers[si.Feed] = append(r.nodes[tgt].readers[si.Feed], readerEntry{sub: sub, si: si})
+			r.nodes[tgt].readerNames[si.Feed] = append(r.nodes[tgt].readerNames[si.Feed], readerConsumer(sub, si))
 		}
+	}
+	r.peerIDs = eng.Net.Peers()
+	r.linkIDs = eng.Net.Links()
+	if opts.Session != nil {
+		r.sess = opts.Session
+		r.chans = map[*core.Deployed]*streamChan{}
+		r.recvs = map[recvKey]*recvState{}
+		r.sess.attach(r)
 	}
 	return r
 }
@@ -212,6 +247,18 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 	r.bufHits0, r.bufMiss0 = xmlstream.PoolStats()
 	r.execHits0, r.execMiss0 = exec.PoolStats()
+
+	// Heartbeat monitor: beats live targets and ticks the detector on the
+	// wall clock while the data path runs; a virtual-time drain after
+	// quiescence guarantees every injected fault is suspected by return.
+	var monWG sync.WaitGroup
+	var monStop chan struct{}
+	if r.sess != nil && !r.sess.opts.DisableHeartbeat {
+		r.registerTargets(time.Now())
+		monStop = make(chan struct{})
+		monWG.Add(1)
+		go r.monitor(monStop, &monWG)
+	}
 
 	var wg sync.WaitGroup
 	for _, n := range r.nodes {
@@ -245,11 +292,37 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 	sources.Wait()
 
 	// Quiescence: every queued or in-processing message has completed.
-	r.qmu.Lock()
-	for r.inflight > 0 {
-		r.qcond.Wait()
+	// With a session attached, a late channel break can release parked
+	// batches after the count first reaches zero, so settle and re-wait
+	// until a full pass releases nothing.
+	for {
+		r.qmu.Lock()
+		for r.inflight > 0 {
+			r.qcond.Wait()
+		}
+		r.qmu.Unlock()
+		if r.sess == nil || !r.sess.settle(r) {
+			break
+		}
 	}
-	r.qmu.Unlock()
+
+	if monStop != nil {
+		close(monStop)
+		monWG.Wait()
+		r.drainDetector()
+		for r.sess.settle(r) {
+			r.qmu.Lock()
+			for r.inflight > 0 {
+				r.qcond.Wait()
+			}
+			r.qmu.Unlock()
+		}
+		r.qmu.Lock()
+		for r.inflight > 0 {
+			r.qcond.Wait()
+		}
+		r.qmu.Unlock()
+	}
 
 	for _, n := range r.nodes {
 		n.inbox.close()
@@ -300,6 +373,9 @@ func (r *Runtime) KillPeer(id network.PeerID) error {
 		return fmt.Errorf("runtime: kill unknown peer %s", id)
 	}
 	n.dead.Store(true)
+	if r.sess != nil {
+		r.sess.noteFault(r, health.PeerTarget(id))
+	}
 	return nil
 }
 
@@ -313,6 +389,9 @@ func (r *Runtime) SeverLink(a, b network.PeerID) error {
 	r.sevMu.Lock()
 	r.severed[network.MakeLinkID(a, b)] = true
 	r.sevMu.Unlock()
+	if r.sess != nil {
+		r.sess.noteFault(r, health.LinkTarget(network.MakeLinkID(a, b)))
+	}
 	return nil
 }
 
@@ -351,6 +430,30 @@ func (r *Runtime) publish() {
 	if overflow > 0 {
 		reg.Counter("runtime.mailbox.overflow").Add(float64(overflow))
 	}
+	if r.sess != nil {
+		r.mu.Lock()
+		retained, dedup := r.retained, r.dedupDropped
+		r.mu.Unlock()
+		if retained > 0 {
+			reg.Counter("runtime.retained.items").Add(float64(retained))
+		}
+		if dedup > 0 {
+			reg.Counter("runtime.dedup.dropped").Add(float64(dedup))
+		}
+		stalls := 0
+		for _, c := range r.chans {
+			stalls += c.takeStalls()
+		}
+		if stalls > 0 {
+			reg.Counter("runtime.credit.stalls").Add(float64(stalls))
+		}
+		for d, c := range r.chans {
+			c.mu.Lock()
+			depth := c.st.maxDepth
+			c.mu.Unlock()
+			reg.Gauge("runtime.channel.replay.hwm." + d.ID).SetMax(float64(depth))
+		}
+	}
 	// Pool deltas are best-effort: the pools are process-global, so
 	// concurrent runtimes in one process fold into each other's deltas.
 	bh, bm := xmlstream.PoolStats()
@@ -368,6 +471,18 @@ func (r *Runtime) publish() {
 			reg.Counter(c.name).Add(float64(d))
 		}
 	}
+}
+
+// dispatch routes a hop-0 emission: through the stream's session channel
+// when one exists (sequencing, journaling, credit admission), else
+// straight to send. Channel-less streams — no session, or no consumers —
+// keep the original unsequenced path.
+func (r *Runtime) dispatch(m message, gate *ackGate) {
+	if c := r.chans[m.stream]; c != nil {
+		c.submit(r, m, gate)
+		return
+	}
+	r.send(m)
 }
 
 // send enqueues a message for the peer at the given hop of the stream's
@@ -420,8 +535,9 @@ func (r *Runtime) dropMsg(m *message) {
 }
 
 // recycle returns a message's pooled buffer, ending the message's life.
-// Only three sites may call it — last-hop completion, a fault-injection
-// drop, and a dead peer's drain; forwarded messages keep their buffer.
+// Only four sites may call it — last-hop completion, a fault-injection
+// drop (which covers a dead peer's drain), a broken-channel retention,
+// and a receive-side dedup discard; forwarded messages keep their buffer.
 // After recycle the message's items must not be touched.
 func (r *Runtime) recycle(m *message) {
 	if m.buf != nil {
@@ -466,15 +582,39 @@ func (r *Runtime) workerLoop(n *node) {
 // handle processes one message at one peer: derived streams tapping here,
 // readers at the route end, and forwarding along the route. All downstream
 // sends happen before the in-flight counter is released, so quiescence is
-// exact.
+// exact. Sequenced messages (reliable sessions) are deduplicated against
+// the lane's receive state first, and every consumer fed here acks its
+// cumulative cursor on the stream's channel — a tap's ack is gated on its
+// own downstream batches being admitted.
 func (r *Runtime) handle(n *node, w *worker, m *message) {
 	d := m.stream
+	var hi uint64
+	if m.seqLo > 0 {
+		hi = m.seqLo + uint64(m.units()) - 1
+		rs := r.recvs[recvKey{d, m.hop}]
+		if rs != nil {
+			skip, deliver := rs.accept(m.epoch, m.seqLo, hi)
+			if !deliver {
+				r.dedupDrop(m, m.units())
+				return
+			}
+			if skip > 0 {
+				if skip > len(m.items) {
+					skip = len(m.items)
+				}
+				r.dedupCount(skip)
+				m.items = m.items[skip:]
+				m.seqLo += uint64(skip)
+			}
+		}
+	}
 	last := m.hop == len(d.Route)-1
 	taps := n.taps[d]
 	var readers []readerEntry
 	if last {
 		readers = n.readers[d]
 	}
+	ch := r.chans[d]
 	if len(taps) > 0 || len(readers) > 0 {
 		// Decode the batch once per peer and share the read-only items
 		// across every consumer here — the simulator does the same, handing
@@ -492,13 +632,24 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 			if r.opts.StdParser {
 				its = r.parseStd(n, m.items)
 			}
-			r.feedChild(n, child, its, m.eos)
+			var gate *ackGate
+			if ch != nil && m.seqLo > 0 {
+				c, name, seq := ch, child.ID, hi
+				gate = newAckGate(func() { c.ack(r, name, seq) })
+			}
+			r.feedChild(n, child, its, m.eos, gate)
+			if gate != nil {
+				gate.done()
+			}
 		}
 		for _, re := range readers {
 			if r.opts.StdParser {
 				its = r.parseStd(n, m.items)
 			}
 			r.feedReader(re, its, m.eos)
+		}
+		if len(readers) > 0 && ch != nil && m.seqLo > 0 {
+			ch.ackAll(r, n.readerNames[d], hi)
 		}
 	}
 	if !last {
@@ -546,16 +697,33 @@ func (r *Runtime) parseStd(n *node, raw [][]byte) []*xmlstream.Element {
 	return its
 }
 
+// dedupDrop discards a duplicate or stale-epoch message wholesale: its
+// units are counted and the message dies here (no forwarding — receivers
+// past this hop fence it identically).
+func (r *Runtime) dedupDrop(m *message, units int) {
+	r.dedupCount(units)
+	r.recycle(m)
+}
+
+// dedupCount counts duplicate units skipped by receive-side dedup.
+func (r *Runtime) dedupCount(units int) {
+	r.mu.Lock()
+	r.dedupDropped += units
+	r.mu.Unlock()
+}
+
 // feedChild runs a derived stream's residual at its tap over a batch of
 // parent items and emits the results, re-batched, at hop 0 of the child's
 // route. Work is charged per item per stage, exactly as the simulator
 // charges it; the EOS flush itself is uncharged (matching both backends).
-func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Element, eos bool) {
+// With a reliable session, gate holds the tap's upstream ack open until
+// every emitted batch is admitted by the child's channel.
+func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Element, eos bool, gate *ackGate) {
 	bl := r.eng.Cfg.Model.BLoad
 	dup := bl["duplicate"]
 	var wk float64
 	charge := func(op exec.Operator, items int) { wk += bl[op.Name()] * float64(items) }
-	ob := batcher{r: r, stream: child}
+	ob := batcher{r: r, stream: child, gate: gate}
 	for _, it := range its {
 		wk += dup
 		for _, out := range child.Residual.ProcessWith(it, charge) {

@@ -8,6 +8,7 @@ import (
 
 	"streamshare/internal/core"
 	"streamshare/internal/scenario"
+	"streamshare/internal/testutil"
 	"streamshare/internal/xmlstream"
 )
 
@@ -81,6 +82,7 @@ func TestOptionsEquivalence(t *testing.T) {
 // chiefly to run under -race: any locking mistake in the batched,
 // multi-worker data path shows up here.
 func TestStressChurnRaceClean(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
 	eng, feed := gridBuild(t, 4, 24, 200)
 	r := NewWith(eng, false, Options{BatchSize: 4, Workers: 4})
 

@@ -29,6 +29,10 @@
 //	ADAPT <schedule>   → apply a whole adaptation schedule (adapt.ParseSchedule
 //	                     syntax, e.g. "fail:SP1-SP2; restore:SP1-SP2; reopt");
 //	                     reports follow, one line per affected subscription
+//	HEALTH             → reliability introspection: failure-detector state per
+//	                     peer/link (suspicion, flaps, threshold) and one line
+//	                     per reliable channel (next seq, cum ack, replay depth,
+//	                     credits); requires a session (sgd -reliable)
 //	QUIT               → close the connection
 //
 // Every reply is a single "OK …"/"ERR …" line, optionally followed by
@@ -49,14 +53,16 @@ import (
 	"streamshare/internal/core"
 	"streamshare/internal/network"
 	"streamshare/internal/photons"
+	"streamshare/internal/runtime"
 	"streamshare/internal/xmlstream"
 )
 
 // Server hosts one engine behind a listener.
 type Server struct {
-	eng *core.Engine
-	adm *adapt.Manager
-	cfg photons.Config
+	eng  *core.Engine
+	adm  *adapt.Manager
+	cfg  photons.Config
+	sess *runtime.Session
 
 	mu      sync.Mutex
 	seed    int64
@@ -72,6 +78,16 @@ type Server struct {
 // count with stream-specific seeds.
 func New(eng *core.Engine, cfg photons.Config) *Server {
 	return &Server{eng: eng, adm: adapt.NewManager(eng), cfg: cfg, seed: 1, conns: map[net.Conn]struct{}{}}
+}
+
+// WithSession attaches a reliability session: RUN and FEED execute on the
+// session-backed distributed runtime (sequenced acked channels, heartbeat
+// failure detection, credit-based backpressure) instead of the simulator,
+// and HEALTH reports the detector and per-channel state. The engine should
+// be built with core.Config{Reliable: true} so repairs transplant state.
+func (s *Server) WithSession(sess *runtime.Session) *Server {
+	s.sess = sess
+	return s
 }
 
 // Serve accepts connections until the listener closes.
@@ -187,6 +203,8 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, cmd string, args []strin
 		s.failRestore(w, "restore", args)
 	case "ADAPT":
 		s.adaptCmd(w, args)
+	case "HEALTH":
+		s.health(w)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %s\n", cmd)
 	}
@@ -347,16 +365,36 @@ func (s *Server) run(w io.Writer, args []string) {
 		seed++
 	}
 	s.seed = seed
-	res, err := s.eng.Simulate(feed, false)
+	counts, err := s.execute(feed)
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	s.lastSim = res
 	fmt.Fprintf(w, "OK %d streams fed %d items\n", len(feed), n)
 	for _, sub := range s.eng.Subscriptions() {
-		fmt.Fprintf(w, "  %s %d\n", sub.ID, res.Results[sub.ID])
+		fmt.Fprintf(w, "  %s %d\n", sub.ID, counts[sub.ID])
 	}
+}
+
+// execute pushes a feed through the installed plans: on the simulator by
+// default, on the session-backed distributed runtime when a reliability
+// session is attached (filling its channels and heartbeat state for
+// HEALTH). The caller must hold s.mu.
+func (s *Server) execute(feed map[string][]*xmlstream.Element) (map[string]int, error) {
+	if s.sess != nil {
+		res, err := runtime.NewWith(s.eng, false, runtime.Options{Session: s.sess}).Run(feed)
+		if err != nil {
+			return nil, err
+		}
+		s.lastSim = &core.SimResult{Metrics: res.Metrics, Results: res.Results}
+		return res.Results, nil
+	}
+	res, err := s.eng.Simulate(feed, false)
+	if err != nil {
+		return nil, err
+	}
+	s.lastSim = res
+	return res.Results, nil
 }
 
 // feed parses a client-supplied stream document and pushes its items
@@ -387,15 +425,39 @@ func (s *Server) feed(w io.Writer, r *bufio.Reader, args []string) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := s.eng.Simulate(map[string][]*xmlstream.Element{args[0]: items}, false)
+	counts, err := s.execute(map[string][]*xmlstream.Element{args[0]: items})
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	s.lastSim = res
 	fmt.Fprintf(w, "OK fed %d items into %s\n", len(items), args[0])
 	for _, sub := range s.eng.Subscriptions() {
-		fmt.Fprintf(w, "  %s %d\n", sub.ID, res.Results[sub.ID])
+		fmt.Fprintf(w, "  %s %d\n", sub.ID, counts[sub.ID])
+	}
+}
+
+// health reports the reliability layer's introspection: failure-detector
+// state per registered peer/link target and one row per reliable channel.
+func (s *Server) health(w io.Writer) {
+	if s.sess == nil {
+		fmt.Fprintln(w, "ERR reliability off (start sgd with -reliable)")
+		return
+	}
+	targets := s.sess.HealthSnapshot()
+	chans := s.sess.ChannelStates()
+	sus, rec, flaps := s.sess.HealthStats()
+	fmt.Fprintf(w, "OK %d targets (%d suspicions, %d recoveries, %d flaps), %d channels\n",
+		len(targets), sus, rec, flaps, len(chans))
+	for _, ts := range targets {
+		state := "ok"
+		if ts.Suspected {
+			state = "suspected"
+		}
+		fmt.Fprintf(w, "  target %s %s flaps=%d threshold=%d\n",
+			ts.Target, state, ts.Flaps, ts.Threshold)
+	}
+	for _, cs := range chans {
+		fmt.Fprintf(w, "  channel %s\n", cs)
 	}
 }
 

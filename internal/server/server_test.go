@@ -13,6 +13,7 @@ import (
 	"streamshare/internal/core"
 	"streamshare/internal/network"
 	"streamshare/internal/photons"
+	"streamshare/internal/runtime"
 	"streamshare/internal/xmlstream"
 )
 
@@ -566,5 +567,70 @@ func TestServerAdaptErrors(t *testing.T) {
 	}
 	if s, _ := c.cmd(t, "PEERS", ""); !strings.HasPrefix(s, "OK") {
 		t.Errorf("session after errors = %q", s)
+	}
+}
+
+// TestServerHealth exercises the HEALTH command: without a session it
+// errors, with one it reports detector targets and per-channel rows after a
+// session-backed RUN.
+func TestServerHealth(t *testing.T) {
+	addr, stop := startServer(t)
+	c := dial(t, addr)
+	if s, _ := c.cmd(t, "HEALTH", ""); !strings.HasPrefix(s, "ERR reliability off") {
+		t.Errorf("HEALTH without session = %q", s)
+	}
+	stop()
+
+	n := network.New()
+	for _, id := range []network.PeerID{"SP0", "SP1", "SP2"} {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	n.Connect("SP0", "SP1", 12_500_000)
+	n.Connect("SP1", "SP2", 12_500_000)
+	eng := core.NewEngine(n, core.Config{Reliable: true})
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	sess := runtime.NewSession(runtime.SessionOptions{})
+	srv := New(eng, photons.DefaultConfig()).WithSession(sess)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c = dial(t, ln.Addr().String())
+
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); !strings.HasPrefix(s, "OK q") {
+		t.Fatalf("subscribe = %q", s)
+	}
+	if s, _ := c.cmd(t, "RUN 50", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("run = %q", s)
+	}
+	status, cont := c.cmd(t, "HEALTH", "")
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("HEALTH = %q", status)
+	}
+	var targets, channels int
+	chanRow := regexp.MustCompile(`channel .+ epoch=\d+ next=\d+ cumack=\d+ replay=\d+ credits=\S+ (up|broken)`)
+	for _, l := range cont {
+		switch {
+		case strings.HasPrefix(l, "target "):
+			targets++
+		case strings.HasPrefix(l, "channel "):
+			channels++
+			if !chanRow.MatchString(l) {
+				t.Errorf("malformed channel row %q", l)
+			}
+		default:
+			t.Errorf("unexpected HEALTH line %q", l)
+		}
+	}
+	if targets == 0 {
+		t.Error("HEALTH reported no detector targets after a session run")
+	}
+	if channels == 0 {
+		t.Error("HEALTH reported no channels after a session run")
 	}
 }

@@ -1,0 +1,42 @@
+// Package testutil provides shared helpers for the repository's tests.
+package testutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Watchdog guards a test against hangs: if the returned stop function has
+// not been called within the deadline, it dumps every goroutine's stack to
+// stderr and aborts the process, so a deadlocked worker pool shows up in CI
+// as a stack-annotated failure at the guilty test instead of a silent
+// suite-wide timeout kill. Register it first thing in tests that drive
+// worker pools, quiescence detection, or failure injection:
+//
+//	defer testutil.Watchdog(t, 2*time.Minute)()
+func Watchdog(t testing.TB, d time.Duration) (stop func()) {
+	t.Helper()
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(d):
+			dumpStacks(os.Stderr, t.Name(), d)
+			panic(fmt.Sprintf("testutil: %s hung (watchdog fired after %v)", t.Name(), d))
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// dumpStacks writes a banner and every goroutine's stack to w.
+func dumpStacks(w io.Writer, name string, d time.Duration) {
+	fmt.Fprintf(w, "\n=== watchdog: %s still running after %v; goroutine stacks ===\n", name, d)
+	pprof.Lookup("goroutine").WriteTo(w, 2) //nolint:errcheck
+	fmt.Fprintf(w, "=== end goroutine stacks ===\n")
+}

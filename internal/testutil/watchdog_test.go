@@ -1,0 +1,30 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogStops proves a stopped watchdog neither fires nor leaks: stop
+// is idempotent and returns before the deadline.
+func TestWatchdogStops(t *testing.T) {
+	stop := Watchdog(t, 50*time.Millisecond)
+	stop()
+	stop() // idempotent
+	time.Sleep(80 * time.Millisecond)
+}
+
+// TestWatchdogDump checks the stack dump carries the test name and at least
+// this goroutine's stack.
+func TestWatchdogDump(t *testing.T) {
+	var b strings.Builder
+	dumpStacks(&b, t.Name(), time.Second)
+	out := b.String()
+	if !strings.Contains(out, t.Name()) {
+		t.Errorf("dump missing test name: %q", out)
+	}
+	if !strings.Contains(out, "goroutine") {
+		t.Errorf("dump missing goroutine stacks: %q", out)
+	}
+}
