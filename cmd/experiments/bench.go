@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	grt "runtime"
+	"strings"
 	"time"
 
 	"streamshare/internal/core"
@@ -20,19 +21,41 @@ import (
 // configuration over sequenced acked session channels (heartbeats, credits,
 // replay buffers) to price the reliability layer; AckCost is
 // reliable/batched wall time.
+// The Span columns re-run the batched configuration with provenance-span
+// sampling at the default 1-in-obs.DefaultSpanEvery rate; SpanOverhead is
+// span/batched wall time (the price of latency observability, budgeted at
+// ≤ 2% in PERFORMANCE.md). The latency quantile columns come from a separate
+// untimed profiling run with dense sampling (1 in 16), split into queue delay
+// (batch, send, mailbox residence) and compute delay (parse, eval, deliver),
+// plus end-to-end ingest→deliver lag overall and per subscription.
 type benchRow struct {
-	Config           string  `json:"config"`
-	Peers            int     `json:"peers"`
-	Queries          int     `json:"queries"`
-	Items            int     `json:"items"`
-	BaselineMs       float64 `json:"baselineMs"`
-	BatchedMs        float64 `json:"batchedMs"`
-	ReliableMs       float64 `json:"reliableMs"`
-	BaselineItemsSec float64 `json:"baselineItemsPerSec"`
-	BatchedItemsSec  float64 `json:"batchedItemsPerSec"`
-	ReliableItemsSec float64 `json:"reliableItemsPerSec"`
-	Speedup          float64 `json:"speedup"`
-	AckCost          float64 `json:"ackCost"`
+	Config           string                  `json:"config"`
+	Peers            int                     `json:"peers"`
+	Queries          int                     `json:"queries"`
+	Items            int                     `json:"items"`
+	BaselineMs       float64                 `json:"baselineMs"`
+	BatchedMs        float64                 `json:"batchedMs"`
+	ReliableMs       float64                 `json:"reliableMs"`
+	SpanMs           float64                 `json:"spanMs"`
+	BaselineItemsSec float64                 `json:"baselineItemsPerSec"`
+	BatchedItemsSec  float64                 `json:"batchedItemsPerSec"`
+	ReliableItemsSec float64                 `json:"reliableItemsPerSec"`
+	Speedup          float64                 `json:"speedup"`
+	AckCost          float64                 `json:"ackCost"`
+	SpanOverhead     float64                 `json:"spanOverhead"`
+	QueueP50Ms       float64                 `json:"queueP50Ms"`
+	QueueP99Ms       float64                 `json:"queueP99Ms"`
+	ComputeP50Ms     float64                 `json:"computeP50Ms"`
+	ComputeP99Ms     float64                 `json:"computeP99Ms"`
+	LagP50Ms         float64                 `json:"lagP50Ms"`
+	LagP99Ms         float64                 `json:"lagP99Ms"`
+	SubLagMs         map[string]lagQuantiles `json:"subLagMs,omitempty"`
+}
+
+// lagQuantiles summarizes one delivery-lag histogram in milliseconds.
+type lagQuantiles struct {
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
 }
 
 // benchGridConfig is one point of the scale grid sweep.
@@ -212,12 +235,43 @@ func benchControlPlane(short bool) []ctrlRow {
 	return rows
 }
 
+// profileLatency fills row's latency quantile columns from one untimed run
+// with dense span sampling (1 in rate), and appends the run's flight-recorder
+// dump to flight (the crash-cart artifact CI uploads on failure).
+func profileLatency(cfg benchGridConfig, rate int, row *benchRow, flight *strings.Builder) {
+	eng, feed := buildGridEngine(cfg, false)
+	eng.Obs().Latency.SetRate(rate)
+	if _, err := runtime.NewWith(eng, false, runtime.DefaultOptions()).Run(feed); err != nil {
+		log.Fatal(err)
+	}
+	snap := eng.Obs().Metrics.Snapshot()
+	q := func(name string, p float64) float64 {
+		return snap.Histograms[name].Quantile(p) * 1000
+	}
+	row.QueueP50Ms = q("latency.queue", 0.5)
+	row.QueueP99Ms = q("latency.queue", 0.99)
+	row.ComputeP50Ms = q("latency.compute", 0.5)
+	row.ComputeP99Ms = q("latency.compute", 0.99)
+	row.LagP50Ms = q("latency.total", 0.5)
+	row.LagP99Ms = q("latency.total", 0.99)
+	row.SubLagMs = map[string]lagQuantiles{}
+	for name := range snap.Histograms {
+		if id, ok := strings.CutPrefix(name, "latency.sub.lag."); ok {
+			row.SubLagMs[id] = lagQuantiles{P50Ms: q(name, 0.5), P99Ms: q(name, 0.99)}
+		}
+	}
+	fmt.Fprintf(flight, "## %s\n", row.Config)
+	eng.Obs().Flight.Dump(flight)
+}
+
 // benchDataPath sweeps the scale grid through the distributed runtime with
-// the baseline and the batched data path and reports the throughput
-// trajectory. short shrinks the sweep to one small configuration for CI
-// smoke runs; reps>1 reports the best of reps to damp scheduler noise.
-func benchDataPath(items int, short bool) []benchRow {
-	header("Data-path benchmark: scale grid, baseline vs batched runtime")
+// the baseline, the batched, and the span-sampled data path and reports the
+// throughput trajectory plus the per-hop latency breakdown. short shrinks
+// the sweep to one small configuration for CI smoke runs; reps>1 reports the
+// best of reps to damp scheduler noise. The second return value is the
+// profiling runs' flight-recorder dumps (written to FLIGHT_<rev>.txt).
+func benchDataPath(items int, short bool) ([]benchRow, string) {
+	header("Data-path benchmark: scale grid, baseline vs batched vs span-sampled runtime")
 	configs := []benchGridConfig{
 		{2, 8, items},
 		{3, 16, items},
@@ -231,9 +285,10 @@ func benchDataPath(items int, short bool) []benchRow {
 		configs = []benchGridConfig{{2, 8, items}}
 		reps = 1
 	}
-	fmt.Printf("%-14s %7s %8s %8s %10s %10s %10s %13s %13s %13s %8s %8s\n", "Config", "Peers", "Queries",
-		"Items", "Base ms", "Batch ms", "Rel ms", "Base items/s", "Batch items/s", "Rel items/s", "Speedup", "AckCost")
+	fmt.Printf("%-14s %7s %8s %8s %10s %10s %10s %10s %13s %13s %8s %8s %8s\n", "Config", "Peers", "Queries",
+		"Items", "Base ms", "Batch ms", "Rel ms", "Span ms", "Base items/s", "Batch items/s", "Speedup", "AckCost", "SpanOv")
 	var rows []benchRow
+	var flight strings.Builder
 	for _, cfg := range configs {
 		// Interleave the variants across reps (taking the best of each)
 		// instead of measuring them back to back: on a shared machine the
@@ -241,12 +296,18 @@ func benchDataPath(items int, short bool) []benchRow {
 		// earlier blocks did to the heap and the CPU's thermal state.
 		relOpts := runtime.DefaultOptions()
 		relOpts.Session = runtime.NewSession(runtime.SessionOptions{})
-		var baseD, batchD, relD time.Duration
+		// The batched reference runs span-free so SpanOverhead isolates the
+		// sampling cost; the span variant is DefaultOptions as shipped
+		// (1-in-obs.DefaultSpanEvery provenance sampling).
+		batchOpts := runtime.DefaultOptions()
+		batchOpts.NoSpans = true
+		var baseD, batchD, relD, spanD time.Duration
 		var n int
 		for i := 0; i < reps; i++ {
 			bd, bn := timeOnce(cfg, runtime.BaselineOptions())
-			td, _ := timeOnce(cfg, runtime.DefaultOptions())
+			td, _ := timeOnce(cfg, batchOpts)
 			rd, _ := timeOnce(cfg, relOpts)
+			sd, _ := timeOnce(cfg, runtime.DefaultOptions())
 			n = bn
 			if baseD == 0 || bd < baseD {
 				baseD = bd
@@ -257,6 +318,9 @@ func benchDataPath(items int, short bool) []benchRow {
 			if relD == 0 || rd < relD {
 				relD = rd
 			}
+			if spanD == 0 || sd < spanD {
+				spanD = sd
+			}
 		}
 		row := benchRow{
 			Config:           fmt.Sprintf("grid%dx%d-q%d", cfg.n, cfg.n, cfg.queries),
@@ -266,19 +330,27 @@ func benchDataPath(items int, short bool) []benchRow {
 			BaselineMs:       ms(baseD),
 			BatchedMs:        ms(batchD),
 			ReliableMs:       ms(relD),
+			SpanMs:           ms(spanD),
 			BaselineItemsSec: float64(n) / baseD.Seconds(),
 			BatchedItemsSec:  float64(n) / batchD.Seconds(),
 			ReliableItemsSec: float64(n) / relD.Seconds(),
 		}
 		row.Speedup = row.BatchedItemsSec / row.BaselineItemsSec
 		row.AckCost = relD.Seconds() / batchD.Seconds()
+		row.SpanOverhead = spanD.Seconds() / batchD.Seconds()
+		profileLatency(cfg, 16, &row, &flight)
 		rows = append(rows, row)
-		fmt.Printf("%-14s %7d %8d %8d %10.1f %10.1f %10.1f %13.0f %13.0f %13.0f %7.2fx %7.2fx\n",
-			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs, row.ReliableMs,
-			row.BaselineItemsSec, row.BatchedItemsSec, row.ReliableItemsSec, row.Speedup, row.AckCost)
+		fmt.Printf("%-14s %7d %8d %8d %10.1f %10.1f %10.1f %10.1f %13.0f %13.0f %7.2fx %7.2fx %7.2fx\n",
+			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs, row.ReliableMs, row.SpanMs,
+			row.BaselineItemsSec, row.BatchedItemsSec, row.Speedup, row.AckCost, row.SpanOverhead)
+		fmt.Printf("  latency (1-in-16 profile): queue p50/p99 %.3f/%.3f ms, compute p50/p99 %.3f/%.3f ms, lag p50/p99 %.3f/%.3f ms over %d subscriptions\n",
+			row.QueueP50Ms, row.QueueP99Ms, row.ComputeP50Ms, row.ComputeP99Ms,
+			row.LagP50Ms, row.LagP99Ms, len(row.SubLagMs))
 	}
 	fmt.Println("(source items fully processed per wall second through the distributed")
 	fmt.Println(" runtime; baseline = pre-batching data path inside the same binary;")
-	fmt.Println(" reliable = batched options over sequenced acked session channels)")
-	return rows
+	fmt.Println(" reliable = batched options over sequenced acked session channels;")
+	fmt.Println(" span = batched plus default-rate provenance sampling — SpanOv is its")
+	fmt.Println(" wall-time ratio over the span-free batched run)")
+	return rows, flight.String()
 }

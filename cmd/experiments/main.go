@@ -13,8 +13,10 @@
 //	                        the heartbeat interval and reporting detection
 //	                        latency and redelivery volume
 //	experiments -bench      the data-path benchmark: the scale grid through
-//	                        the distributed runtime, baseline vs batched
-//	                        options, always writing BENCH_<rev>.json
+//	                        the distributed runtime, baseline vs batched vs
+//	                        span-sampled options plus a per-hop latency
+//	                        profile, always writing BENCH_<rev>.json and the
+//	                        profiling runs' flight dumps to FLIGHT_<rev>.txt
 //	                        (-short shrinks it to one CI-sized configuration)
 //	experiments -all        everything except -bench (default)
 //	experiments -seed 7     derive every workload and photon stream from the
@@ -149,8 +151,9 @@ func main() {
 	if *all || *recovery {
 		report.Recovery = recoveryExperiment(*items)
 	}
+	var flightDump string
 	if *bench {
-		report.DataPath = benchDataPath(*items, *short)
+		report.DataPath, flightDump = benchDataPath(*items, *short)
 		report.ControlPlane = benchControlPlane(*short)
 		// The benchmark exists to document the throughput trajectory, so
 		// it always persists its measurements.
@@ -171,6 +174,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", name)
+		if flightDump != "" {
+			// The profiling runs' flight-recorder dumps: what the runtime was
+			// doing while the latency quantiles were collected (CI uploads
+			// this as the failure artifact).
+			fname := fmt.Sprintf("FLIGHT_%s.txt", report.Rev)
+			if err := os.WriteFile(fname, []byte(flightDump), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", fname)
+		}
 	}
 }
 

@@ -16,8 +16,12 @@
 //	RUN 1000
 //
 // With -http an introspection endpoint is served alongside: /metricz dumps
-// the engine's metrics registry as text, /debug/vars (expvar) exposes the
-// same snapshot as JSON, and /debug/pprof/* provides the usual profiles.
+// the engine's metrics registry as text (?format=prom for Prometheus text
+// exposition, ?flight=1 for the flight recorder's recent runtime events),
+// /debug/vars (expvar) exposes the same snapshot as JSON, and /debug/pprof/*
+// provides the usual profiles. -span-every tunes the provenance-span
+// sampling rate feeding the latency metrics and the LAG command (0 disables
+// sampling).
 //
 // With -reliable the engine runs the reliability layer: RUN and FEED execute
 // on the distributed runtime over sequenced acked channels with heartbeat
@@ -37,6 +41,7 @@ import (
 
 	"streamshare/internal/core"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/photons"
 	"streamshare/internal/runtime"
 	"streamshare/internal/server"
@@ -53,6 +58,7 @@ func main() {
 	reliable := flag.Bool("reliable", false, "reliable delivery: acked channels, heartbeats, credit backpressure")
 	widening := flag.Bool("widening", false, "enable stream widening")
 	sample := flag.Int("sample", 2000, "photons sampled for stream statistics")
+	spanEvery := flag.Int("span-every", obs.DefaultSpanEvery, "sample one provenance span per N source items (0 disables)")
 	flag.Parse()
 
 	n := network.New()
@@ -75,6 +81,7 @@ func main() {
 	}
 
 	eng := core.NewEngine(n, core.Config{Admission: *admission, Widening: *widening, Reliable: *reliable})
+	eng.Obs().Latency.SetRate(*spanEvery)
 	var sess *runtime.Session
 	if *reliable {
 		sess = runtime.NewSession(runtime.SessionOptions{})
@@ -114,27 +121,7 @@ func serveHTTP(addr string, eng *core.Engine, sess *runtime.Session) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		eng.Obs().Metrics.Snapshot().WriteText(w)
-		if sess == nil {
-			return
-		}
-		// Reliability section: one row per channel (next seq, cumulative
-		// ack, replay depth, credits) and per detector target.
-		fmt.Fprintln(w, "# channels")
-		for _, cs := range sess.ChannelStates() {
-			fmt.Fprintln(w, cs)
-		}
-		fmt.Fprintln(w, "# health")
-		for _, ts := range sess.HealthSnapshot() {
-			state := "ok"
-			if ts.Suspected {
-				state = "suspected"
-			}
-			fmt.Fprintf(w, "%s %s flaps=%d threshold=%d\n", ts.Target, state, ts.Flaps, ts.Threshold)
-		}
-	})
+	mux.HandleFunc("/metricz", server.MetricsHandler(eng, sess))
 	log.Printf("sgd: introspection on http://%s/metricz", addr)
 	log.Println(http.ListenAndServe(addr, mux))
 }

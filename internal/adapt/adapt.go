@@ -206,6 +206,7 @@ func (m *Manager) repair(ev Event) {
 			}
 		}
 		m.reports = append(m.reports, r)
+		m.Eng.Obs().Flight.Record("repair", r.String())
 	}
 }
 
@@ -225,9 +226,9 @@ func (m *Manager) reoptimize(ev Event) {
 			continue
 		}
 		reg.Counter("adapt.migrations.total").Inc()
-		m.reports = append(m.reports, Report{
-			Event: ev, Sub: sub.ID, Outcome: Migrated, Latency: time.Since(started),
-		})
+		r := Report{Event: ev, Sub: sub.ID, Outcome: Migrated, Latency: time.Since(started)}
+		m.reports = append(m.reports, r)
+		m.Eng.Obs().Flight.Record("repair", r.String())
 	}
 }
 

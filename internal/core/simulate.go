@@ -5,6 +5,7 @@ import (
 
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/xmlstream"
 )
 
@@ -56,6 +57,7 @@ func (e *Engine) Simulate(items map[string][]*xmlstream.Element, collect bool) (
 		eng:     e,
 		res:     &SimResult{Metrics: network.NewMetrics(), Results: map[string]int{}},
 		collect: collect,
+		lat:     e.obs.Latency,
 	}
 	if collect {
 		s.res.Collected = map[string][]*xmlstream.Element{}
@@ -86,8 +88,17 @@ func (e *Engine) Simulate(items map[string][]*xmlstream.Element, collect bool) (
 				s.res.Duration = d
 			}
 		}
-		for _, it := range its {
-			s.deliver(orig, it)
+		for i, it := range its {
+			// The simulator runs the same deterministic span sampler as the
+			// runtime: sampled items get a span at their feed position so
+			// both backends log identical sample sets (and the sim feeds
+			// the same per-subscription watermark/lag series — with
+			// near-zero lag, since delivery here is synchronous).
+			var sp *obs.Span
+			if s.lat.Sampled(name, uint64(i)) {
+				sp = s.lat.Start(name, uint64(i))
+			}
+			s.deliver(orig, it, sp)
 		}
 	}
 	// Drain window state in creation order (parents precede children).
@@ -117,6 +128,7 @@ type sim struct {
 	collect  bool
 	children map[*Deployed][]*Deployed
 	readers  map[*Deployed][]reader
+	lat      *obs.LatencyRecorder
 }
 
 // runOps pushes items through a pipeline stage by stage, charging
@@ -153,21 +165,51 @@ func (s *sim) flushOps(ops []exec.Operator, at network.PeerID) []*xmlstream.Elem
 
 // deliver pushes one parent item into stream d: residual operators run at
 // the tap, then every produced item flows along the route and reaches the
-// stream's consumers.
-func (s *sim) deliver(d *Deployed, item *xmlstream.Element) {
+// stream's consumers. sp, when non-nil, is the sampled item's provenance
+// span; it follows the first produced output (mirroring the runtime, where
+// one span rides the batch containing the sampled item).
+func (s *sim) deliver(d *Deployed, item *xmlstream.Element, sp *obs.Span) {
 	if d.Parent != nil {
 		// Duplication work at the tap (the parent stream forks here).
 		peer := s.eng.Net.Peer(d.Tap)
 		s.res.Metrics.AddWork(d.Tap, s.eng.Cfg.Model.BLoad["duplicate"]*peer.PerfIndex)
 	}
-	for _, out := range s.runOps(d.Residual.Ops, d.Tap, []*xmlstream.Element{item}) {
-		s.transmit(d, out)
+	outs := s.runOps(d.Residual.Ops, d.Tap, []*xmlstream.Element{item})
+	if len(outs) == 0 {
+		// The item died in the residual pipeline, but its span still reaches
+		// every downstream sink: in the runtime the span rides the stream's
+		// next batch past the filter, so watermarks advance on progress even
+		// when the sampled item itself produced no output.
+		s.spanWalk(d, sp)
+		return
+	}
+	for i, out := range outs {
+		if i == 0 {
+			s.transmit(d, out, sp)
+		} else {
+			s.transmit(d, out, nil)
+		}
+	}
+}
+
+// spanWalk carries a filtered-out sampled item's span to d's consumers —
+// forked to every derived stream, delivered at every subscription — without
+// moving any data.
+func (s *sim) spanWalk(d *Deployed, sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	for _, child := range s.children[d] {
+		s.spanWalk(child, s.lat.Fork(sp))
+	}
+	for _, r := range s.readers[d] {
+		s.lat.Deliver(sp, r.sub.ID)
 	}
 }
 
 // transmit moves one produced item of d along its route and hands it to
 // consumers.
-func (s *sim) transmit(d *Deployed, item *xmlstream.Element) {
+func (s *sim) transmit(d *Deployed, item *xmlstream.Element, sp *obs.Span) {
 	size := float64(item.ByteSize())
 	for _, l := range network.PathLinks(d.Route) {
 		s.res.Metrics.AddTraffic(l, size)
@@ -178,20 +220,24 @@ func (s *sim) transmit(d *Deployed, item *xmlstream.Element) {
 		s.res.Metrics.AddWork(d.Route[i], s.eng.Cfg.Model.ForwardPerByte*size*p.PerfIndex)
 	}
 	for _, child := range s.children[d] {
-		s.deliver(child, item)
+		s.deliver(child, item, s.lat.Fork(sp))
 	}
 	target := d.Target()
 	for _, r := range s.readers[d] {
 		for _, res := range s.runOps(r.si.Local.Ops, target, []*xmlstream.Element{item}) {
 			s.emit(r.sub, res)
 		}
+		// The span ends at each subscription sink whether or not the item
+		// survived the local pipeline — watermarks track progress, not
+		// output (same rule as the runtime's feedReader).
+		s.lat.Deliver(sp, r.sub.ID)
 	}
 }
 
 // flush drains stream d's residual pipeline and local readers.
 func (s *sim) flush(d *Deployed) {
 	for _, out := range s.flushOps(d.Residual.Ops, d.Tap) {
-		s.transmit(d, out)
+		s.transmit(d, out, nil)
 	}
 	target := d.Target()
 	for _, r := range s.readers[d] {

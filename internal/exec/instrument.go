@@ -1,23 +1,43 @@
 package exec
 
 import (
+	"sync/atomic"
+	"time"
+
 	"streamshare/internal/obs"
 	"streamshare/internal/xmlstream"
 )
 
-// counted decorates an operator with items-in/items-out/bytes-out counters.
-// Name is forwarded so load accounting (bload lookup by operator name) and
-// plan rendering are unaffected.
+// timingSampleEvery is the per-operator call-sampling rate for the duration
+// histogram: one in this many Process calls is timed, keeping the two
+// clock reads off the common path.
+const timingSampleEvery = 64
+
+// counted decorates an operator with items-in/items-out/bytes-out counters
+// and a sampled per-call duration histogram. Name is forwarded so load
+// accounting (bload lookup by operator name) and plan rendering are
+// unaffected.
 type counted struct {
 	op       Operator
 	in, out  *obs.Counter
 	outBytes *obs.Counter
+	// seconds observes the duration of one in timingSampleEvery Process
+	// calls (tick is the shared call counter); nil disables timing.
+	seconds *obs.Histogram
+	tick    *atomic.Uint64
 }
 
 func (c counted) Name() string { return c.op.Name() }
 
 func (c counted) Process(item *xmlstream.Element) []*xmlstream.Element {
 	c.in.Inc()
+	if c.seconds != nil && c.tick.Add(1)%timingSampleEvery == 0 {
+		t0 := time.Now()
+		outs := c.op.Process(item)
+		c.seconds.Observe(time.Since(t0).Seconds())
+		c.count(outs)
+		return outs
+	}
 	outs := c.op.Process(item)
 	c.count(outs)
 	return outs
@@ -42,9 +62,11 @@ func (c counted) count(outs []*xmlstream.Element) {
 }
 
 // Instrument returns a pipeline whose operators additionally count processed
-// items into reg under <prefix>.<op-name>.{in,out,out_bytes}. Counters are
-// shared between operators of the same kind, bounding series cardinality to
-// the operator vocabulary. A nil registry or pipeline returns p unchanged;
+// items into reg under <prefix>.<op-name>.{in,out,out_bytes} and observe a
+// sampled duration histogram under <prefix>.<op-name>.seconds (1 in
+// timingSampleEvery calls is timed). Counters and histograms are shared
+// between operators of the same kind, bounding series cardinality to the
+// operator vocabulary. A nil registry or pipeline returns p unchanged;
 // instrumenting twice is idempotent per wrapper (already counted operators
 // are not re-wrapped).
 func Instrument(p *Pipeline, reg *obs.Registry, prefix string) *Pipeline {
@@ -63,6 +85,8 @@ func Instrument(p *Pipeline, reg *obs.Registry, prefix string) *Pipeline {
 			in:       reg.Counter(name + ".in"),
 			out:      reg.Counter(name + ".out"),
 			outBytes: reg.Counter(name + ".out_bytes"),
+			seconds:  reg.Histogram(name+".seconds", obs.ExpBuckets(1e-8, 4, 12)),
+			tick:     &atomic.Uint64{},
 		}
 	}
 	return &Pipeline{Ops: ops}

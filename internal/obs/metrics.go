@@ -85,15 +85,28 @@ func (g *Gauge) Add(v float64) {
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates a value distribution in fixed buckets plus count,
-// sum, min and max.
+// sum, min and max. Recording is lock-free (one atomic add per bucket plus
+// compare-and-swap loops for sum/min/max), so histograms are safe on hot
+// paths. The total count is derived from the bucket counters at snapshot
+// time, which makes Count == ΣCounts an invariant of every snapshot: a
+// snapshot taken while writers are racing can never report observations
+// whose bucket attribution is missing, so Delta never loses bucket counts
+// (the sum may transiently run slightly ahead of the buckets; it converges
+// once writers quiesce).
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // inclusive upper bounds; one overflow bucket beyond
-	counts []uint64  // len(bounds)+1
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	bounds []float64       // inclusive upper bounds; one overflow bucket beyond
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits
+	min    atomic.Uint64   // float64 bits; +Inf until first observation
+	max    atomic.Uint64   // float64 bits; -Inf until first observation
+}
+
+// newHistogram builds a histogram over sorted bounds.
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // ExpBuckets returns n exponential bucket bounds start, start·factor, … —
@@ -110,18 +123,27 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 || v < h.min {
-		h.min = v
+	for {
+		old := h.min.Load()
+		if math.Float64frombits(old) <= v || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
 	}
-	if h.count == 0 || v > h.max {
-		h.max = v
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	// The bucket increment comes last: once an observation is visible in
+	// Count (= ΣCounts) its sum/min/max updates are already published.
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
@@ -140,14 +162,66 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-func (h *Histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return HistogramSnapshot{
-		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-		Bounds: h.bounds, // bounds are immutable after creation
-		Counts: append([]uint64(nil), h.counts...),
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank, clamped to the observed
+// [Min, Max] range. An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
 	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	for i, c := range h.Counts {
+		prev := float64(cum)
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		lo := h.Min
+		if i > 0 && h.Bounds[i-1] > lo {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Max
+		if i < len(h.Bounds) && h.Bounds[i] < hi {
+			hi = h.Bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.Max
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // bounds are immutable after creation
+		Counts: make([]uint64, len(h.counts)),
+	}
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		total += c
+	}
+	s.Count = total
+	s.Sum = math.Float64frombits(h.sum.Load())
+	if total > 0 {
+		s.Min = math.Float64frombits(h.min.Load())
+		s.Max = math.Float64frombits(h.max.Load())
+	}
+	return s
 }
 
 // Registry is a concurrent name→metric table. Lookups take a read lock only;
@@ -218,7 +292,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h = r.histograms[name]; h == nil {
 		b := append([]float64(nil), bounds...)
 		sort.Float64s(b)
-		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		h = newHistogram(b)
 		r.histograms[name] = h
 	}
 	return h
@@ -321,22 +395,34 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 }
 
-// Observer bundles the two halves of the observability layer. Engines always
-// carry one; sharing a single Observer across engines aggregates their
-// series.
+// Observer bundles the halves of the observability layer: the metrics
+// registry, the decision tracer, the sampled-span latency recorder, and the
+// flight recorder of recent runtime events. Engines always carry one;
+// sharing a single Observer across engines aggregates their series. An
+// Observer assembled by hand may leave Latency or Flight nil — every method
+// on both types is nil-receiver safe, so consumers never need to check.
 type Observer struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Latency *LatencyRecorder
+	Flight  *FlightRecorder
 }
 
-// NewObserver returns an observer with an empty registry and a tracer
-// retaining the most recent 256 decision traces.
+// NewObserver returns an observer with an empty registry, a tracer retaining
+// the most recent 256 decision traces, a latency recorder sampling 1-in-256
+// source items, and a 1024-event flight recorder.
 func NewObserver() *Observer {
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(256)}
+	return NewObserverRing(256)
 }
 
 // NewObserverRing is NewObserver with an explicit decision-trace ring
 // capacity (core.Config.TraceRing threads through here).
 func NewObserverRing(capacity int) *Observer {
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer(capacity)}
+	reg := NewRegistry()
+	return &Observer{
+		Metrics: reg,
+		Tracer:  NewTracer(capacity),
+		Latency: NewLatencyRecorder(reg, 0),
+		Flight:  NewFlightRecorder(0),
+	}
 }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): every metric gets a # TYPE line, histograms expose
+// cumulative le-labelled buckets (with the mandatory +Inf bucket), _sum and
+// _count series. Dotted registry names are sanitized to the Prometheus
+// charset; when two registry names sanitize to the same exposition name the
+// first (in sorted registry order) wins and later ones are skipped, keeping
+// the output parseable.
+func (s Snapshot) WriteProm(w io.Writer) {
+	seen := map[string]bool{}
+	claim := func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		return true
+	}
+
+	for _, n := range sortedKeys(s.Counters) {
+		pn := promName(n)
+		if !claim(pn) {
+			continue
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", pn, pn, fmtFloat(s.Counters[n]))
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		pn := promName(n)
+		if !claim(pn) {
+			continue
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, fmtFloat(s.Gauges[n]))
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		pn := promName(n)
+		// A histogram occupies three series names; claim them all so a
+		// sanitized collision with a scalar metric cannot corrupt output.
+		if !claim(pn) || !claim(pn+"_bucket") || !claim(pn+"_sum") || !claim(pn+"_count") {
+			continue
+		}
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, fmtFloat(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", pn, fmtFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName maps a dotted registry name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune becomes '_' and a
+// leading digit is prefixed with '_'.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b = append(b, '_')
+			ok = true
+		}
+		if !ok {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}

@@ -1,9 +1,11 @@
 package runtime
 
 import (
+	"strconv"
 	"time"
 
 	"streamshare/internal/core"
+	"streamshare/internal/obs"
 	"streamshare/internal/xmlstream"
 )
 
@@ -32,6 +34,19 @@ type batcher struct {
 	// is the ack gate parked batches hold open; nil in source context,
 	// where the goroutine blocks on the channel window instead.
 	gate *ackGate
+
+	// Provenance sampling (nil lat disables all of it). Source batchers set
+	// sample: each added item is tested against the deterministic 1-in-N
+	// sampler and a hit starts a span (at most one rides a batch; idx is
+	// the running feed position). Tap batchers instead inherit a forked
+	// span from the incoming batch. flushStage is the stage the span closes
+	// when its batch flushes: StageBatch at sources (time spent buffered),
+	// StageEval at taps (residual evaluation until first output flush).
+	lat        *obs.LatencyRecorder
+	sample     bool
+	idx        uint64
+	span       *obs.Span
+	flushStage obs.Stage
 }
 
 // add serializes one item into the current batch, flushing it when it
@@ -52,6 +67,18 @@ func (b *batcher) add(e *xmlstream.Element) {
 	start := len(b.data)
 	b.data = xmlstream.AppendMarshal(b.data, e)
 	b.items = append(b.items, b.data[start:len(b.data):len(b.data)])
+	if b.sample && b.lat != nil {
+		if b.lat.Sampled(b.stream.Input.Stream, b.idx) {
+			// Every selected item starts a span (keeping the sampled set
+			// identical to the simulator's), but only the first rides the
+			// batch: in-batch neighbors would record near-identical deltas.
+			sp := b.lat.Start(b.stream.Input.Stream, b.idx)
+			if b.span == nil {
+				b.span = sp
+			}
+		}
+		b.idx++
+	}
 	if len(b.items) >= b.r.opts.BatchSize ||
 		(b.r.opts.FlushInterval > 0 && time.Since(b.first) >= b.r.opts.FlushInterval) {
 		b.flush(false)
@@ -69,6 +96,13 @@ func (b *batcher) flush(eos bool) {
 	if b.buf != nil {
 		b.buf.B = b.data
 		m.buf = b.buf
+	}
+	if b.span != nil {
+		b.lat.Stamp(b.span, b.flushStage)
+		m.span = b.span
+		b.span = nil
+		b.r.flight.Record("batch.flush",
+			b.stream.ID+" items="+strconv.Itoa(len(m.items))+" stage="+b.flushStage.String())
 	}
 	b.buf, b.data, b.items = nil, nil, nil
 	b.r.dispatch(m, b.gate)

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"io"
 	"math"
 	"strconv"
 	"strings"
@@ -84,6 +85,10 @@ func TestChaosScenario2(t *testing.T) {
 
 	engSim, s, feedA, feedB := chaosBuild(t, items)
 	engRT, _, feedART, feedBRT := chaosBuild(t, items)
+	// A hang under fault injection dumps the runtime engine's flight
+	// recorder (kills, severs, drops, repairs) alongside the stacks.
+	fr := engRT.Obs().Flight
+	defer testutil.OnHang(func(w io.Writer) { fr.Dump(w) })()
 	engRef, _, feedARef, feedBRef := chaosBuild(t, items)
 	total := len(s.Queries)
 

@@ -2,10 +2,12 @@ package runtime
 
 import (
 	"log"
+	"strconv"
 	"sync"
 
 	"streamshare/internal/core"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 )
 
 // inbox is a peer's mailbox: an unbounded, multi-lane FIFO drained by the
@@ -43,6 +45,9 @@ type inbox struct {
 	overflow int
 	warned   bool
 	owner    network.PeerID
+	// flight, when non-nil, receives a "mailbox.overflow" event on the
+	// first soft-cap breach (same cadence as the log warning).
+	flight *obs.FlightRecorder
 }
 
 // lane carries one stream's pending messages at one peer. scheduled is true
@@ -85,6 +90,8 @@ func (b *inbox) push(m message) {
 		if !b.warned {
 			b.warned = true
 			log.Printf("runtime: peer %s mailbox exceeded soft cap %d", b.owner, b.softCap)
+			b.flight.Record("mailbox.overflow",
+				string(b.owner)+" depth="+strconv.Itoa(b.depth)+" cap="+strconv.Itoa(b.softCap))
 		}
 	}
 	if !ln.scheduled {

@@ -39,6 +39,13 @@ type Options struct {
 	// read-only items across that peer's consumers.
 	StdParser bool
 
+	// NoSpans disables sampled provenance spans: no source item is stamped
+	// with a latency span and no per-stage latency series are recorded,
+	// reducing the data path to its pre-observability form. The default
+	// samples 1 in obs.DefaultSpanEvery items per stream (tune the rate via
+	// the engine observer's LatencyRecorder).
+	NoSpans bool
+
 	// Session, when set, turns on reliable delivery: every consumed
 	// stream flows through a sequenced, acked, credit-windowed channel
 	// whose replay buffer doubles as the recovery journal, and a
@@ -71,6 +78,7 @@ func BaselineOptions() Options {
 		Workers:       1,
 		NoPool:        true,
 		StdParser:     true,
+		NoSpans:       true,
 	}
 }
 

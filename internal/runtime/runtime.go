@@ -32,6 +32,7 @@ package runtime
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,11 @@ type message struct {
 	// epoch is the plan epoch the message was emitted under (reliable
 	// sessions only); receivers drop stale-epoch stragglers.
 	epoch uint64
+	// span is the provenance span of a sampled item carried by this batch
+	// (at most one per batch; nil when none was sampled). It is stamped at
+	// each stage boundary and — like seqLo/epoch — is header state: the
+	// TCP transport serializes it with obs.AppendSpanHeader.
+	span *obs.Span
 }
 
 // units is the item-granular size of the message, the unit of depth,
@@ -128,6 +134,11 @@ type Runtime struct {
 	// batchHist observes the item count of every sent data batch
 	// (runtime.batch.size).
 	batchHist *obs.Histogram
+	// lat records sampled provenance spans (nil with Options.NoSpans, which
+	// removes every per-item sampling check from the data path); flight is
+	// the ring of recent runtime events. Both come from the engine observer.
+	lat    *obs.LatencyRecorder
+	flight *obs.FlightRecorder
 	// pool-statistics baselines, captured at Run start so publish can emit
 	// this run's hit/miss deltas (the pools are process-global).
 	bufHits0, bufMiss0   uint64
@@ -205,12 +216,17 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 	r.qcond = sync.NewCond(&r.qmu)
 	r.severed = map[network.LinkID]bool{}
 	r.batchHist = eng.Obs().Metrics.Histogram("runtime.batch.size", obs.ExpBuckets(1, 2, 9))
+	r.flight = eng.Obs().Flight
+	if !r.opts.NoSpans {
+		r.lat = eng.Obs().Latency
+	}
 	if collect {
 		r.items = map[string][]*xmlstream.Element{}
 	}
 	for _, id := range eng.Net.Peers() {
 		ib := newInbox()
 		ib.owner = id
+		ib.flight = r.flight
 		r.nodes[id] = &node{
 			id:          id,
 			inbox:       ib,
@@ -282,7 +298,7 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		sources.Add(1)
 		go func(d *core.Deployed, feed []*xmlstream.Element) {
 			defer sources.Done()
-			b := batcher{r: r, stream: d}
+			b := batcher{r: r, stream: d, lat: r.lat, flushStage: obs.StageBatch, sample: true}
 			for _, it := range feed {
 				b.add(it)
 			}
@@ -373,6 +389,7 @@ func (r *Runtime) KillPeer(id network.PeerID) error {
 		return fmt.Errorf("runtime: kill unknown peer %s", id)
 	}
 	n.dead.Store(true)
+	r.flight.Record("fault.kill", string(id))
 	if r.sess != nil {
 		r.sess.noteFault(r, health.PeerTarget(id))
 	}
@@ -389,6 +406,7 @@ func (r *Runtime) SeverLink(a, b network.PeerID) error {
 	r.sevMu.Lock()
 	r.severed[network.MakeLinkID(a, b)] = true
 	r.sevMu.Unlock()
+	r.flight.Record("fault.sever", network.MakeLinkID(a, b).String())
 	if r.sess != nil {
 		r.sess.noteFault(r, health.LinkTarget(network.MakeLinkID(a, b)))
 	}
@@ -424,7 +442,10 @@ func (r *Runtime) publish() {
 	}
 	overflow := 0
 	for id, n := range r.nodes {
-		reg.Gauge("runtime.mailbox.hwm." + string(id)).SetMax(float64(n.inbox.highWater()))
+		// Set, not SetMax: each run reports its own high-water mark, so a
+		// small run after a large one in the same process (experiments does
+		// this) is not inflated by the earlier run's peak.
+		reg.Gauge("runtime.mailbox.hwm." + string(id)).Set(float64(n.inbox.highWater()))
 		overflow += n.inbox.overflowCount()
 	}
 	if overflow > 0 {
@@ -516,6 +537,10 @@ func (r *Runtime) send(m message) {
 	if len(m.items) > 0 {
 		r.batchHist.Observe(float64(len(m.items)))
 	}
+	// A sampled batch closes its send stage here: the delta covers channel
+	// admission (credit waits, parking) plus routing, and the queue stage
+	// opens as the batch enters the destination mailbox.
+	r.lat.Stamp(m.span, obs.StageSend)
 	r.qmu.Lock()
 	r.inflight++
 	r.msgs++
@@ -528,6 +553,7 @@ func (r *Runtime) send(m message) {
 // item (and EOS marker) as one dropped unit, and recycles its buffer.
 func (r *Runtime) dropMsg(m *message) {
 	u := m.units()
+	r.flight.Record("fault.drop", m.stream.ID+" units="+strconv.Itoa(u))
 	r.sevMu.Lock()
 	r.dropped += u
 	r.sevMu.Unlock()
@@ -588,6 +614,7 @@ func (r *Runtime) workerLoop(n *node) {
 // own downstream batches being admitted.
 func (r *Runtime) handle(n *node, w *worker, m *message) {
 	d := m.stream
+	r.lat.Stamp(m.span, obs.StageQueue)
 	var hi uint64
 	if m.seqLo > 0 {
 		hi = m.seqLo + uint64(m.units()) - 1
@@ -624,6 +651,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 		var its []*xmlstream.Element
 		if !r.opts.StdParser {
 			its = r.parseFast(n, w, m.items)
+			r.lat.Stamp(m.span, obs.StageParse)
 		}
 		for _, child := range taps {
 			if child.Tap != n.id {
@@ -637,7 +665,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 				c, name, seq := ch, child.ID, hi
 				gate = newAckGate(func() { c.ack(r, name, seq) })
 			}
-			r.feedChild(n, child, its, m.eos, gate)
+			r.feedChild(n, child, its, m.eos, gate, r.lat.Fork(m.span))
 			if gate != nil {
 				gate.done()
 			}
@@ -646,7 +674,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 			if r.opts.StdParser {
 				its = r.parseStd(n, m.items)
 			}
-			r.feedReader(re, its, m.eos)
+			r.feedReader(re, its, m.eos, m.span)
 		}
 		if len(readers) > 0 && ch != nil && m.seqLo > 0 {
 			ch.ackAll(r, n.readerNames[d], hi)
@@ -701,6 +729,7 @@ func (r *Runtime) parseStd(n *node, raw [][]byte) []*xmlstream.Element {
 // units are counted and the message dies here (no forwarding — receivers
 // past this hop fence it identically).
 func (r *Runtime) dedupDrop(m *message, units int) {
+	r.flight.Record("dedup.drop", m.stream.ID+" units="+strconv.Itoa(units))
 	r.dedupCount(units)
 	r.recycle(m)
 }
@@ -717,13 +746,15 @@ func (r *Runtime) dedupCount(units int) {
 // route. Work is charged per item per stage, exactly as the simulator
 // charges it; the EOS flush itself is uncharged (matching both backends).
 // With a reliable session, gate holds the tap's upstream ack open until
-// every emitted batch is admitted by the child's channel.
-func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Element, eos bool, gate *ackGate) {
+// every emitted batch is admitted by the child's channel. span, when
+// non-nil, is a fork of the incoming batch's provenance span; it rides the
+// first downstream batch and its eval stage closes at that batch's flush.
+func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Element, eos bool, gate *ackGate, span *obs.Span) {
 	bl := r.eng.Cfg.Model.BLoad
 	dup := bl["duplicate"]
 	var wk float64
 	charge := func(op exec.Operator, items int) { wk += bl[op.Name()] * float64(items) }
-	ob := batcher{r: r, stream: child, gate: gate}
+	ob := batcher{r: r, stream: child, gate: gate, lat: r.lat, flushStage: obs.StageEval, span: span}
 	for _, it := range its {
 		wk += dup
 		for _, out := range child.Residual.ProcessWith(it, charge) {
@@ -742,8 +773,12 @@ func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Elem
 }
 
 // feedReader runs a subscription's local pipeline at the target over a
-// batch of feed items and records the delivered results.
-func (r *Runtime) feedReader(re readerEntry, its []*xmlstream.Element, eos bool) {
+// batch of feed items and records the delivered results. A batch carrying a
+// provenance span ends the span here: the subscription's watermark advances
+// and the end-to-end lag is observed whether or not the sampled item
+// survived the local pipeline (the watermark tracks processing progress,
+// not output).
+func (r *Runtime) feedReader(re readerEntry, its []*xmlstream.Element, eos bool, span *obs.Span) {
 	bl := r.eng.Cfg.Model.BLoad
 	var wk float64
 	charge := func(op exec.Operator, items int) { wk += bl[op.Name()] * float64(items) }
@@ -758,6 +793,7 @@ func (r *Runtime) feedReader(re readerEntry, its []*xmlstream.Element, eos bool)
 	if wk != 0 {
 		r.work(tgt, wk)
 	}
+	r.lat.Deliver(span, re.sub.ID)
 	if len(outs) == 0 {
 		return
 	}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -368,5 +369,88 @@ func TestMetricsSnapshotsAgree(t *testing.T) {
 	}
 	if sw, rw := snap.Counters["sim.work.units"], snap.Counters["runtime.work.units"]; math.Abs(sw-rw) > 1e-6 {
 		t.Errorf("work units: sim %.1f vs runtime %.1f", sw, rw)
+	}
+}
+
+// TestSpanSamplerAgreesSimRuntime extends the backend-equivalence suite to
+// provenance sampling: with the same seed and rate, the simulator and the
+// distributed runtime must pick exactly the same (stream, index) set, so
+// latency comparisons between backends measure the same items.
+func TestSpanSamplerAgreesSimRuntime(t *testing.T) {
+	build := func(o *obs.Observer) (*core.Engine, []*xmlstream.Element) {
+		o.Latency.SetRate(8)
+		eng := core.NewEngine(testNet(), core.Config{Obs: o})
+		items, st := photons.Stream("photons", photons.DefaultConfig(), 13, 1000)
+		if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []struct {
+			src string
+			at  network.PeerID
+		}{{velaQ, "SP3"}, {rxjQ, "SP2"}} {
+			if _, err := eng.Subscribe(q.src, q.at, core.StreamSharing); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng, items
+	}
+	obsSim, obsRT := obs.NewObserver(), obs.NewObserver()
+	engSim, itemsSim := build(obsSim)
+	if _, err := engSim.Simulate(map[string][]*xmlstream.Element{"photons": itemsSim}, false); err != nil {
+		t.Fatal(err)
+	}
+	engRT, itemsRT := build(obsRT)
+	if _, err := New(engRT, false).Run(map[string][]*xmlstream.Element{"photons": itemsRT}); err != nil {
+		t.Fatal(err)
+	}
+	simKeys, rtKeys := obsSim.Latency.SampledKeys(), obsRT.Latency.SampledKeys()
+	if len(simKeys) == 0 {
+		t.Fatal("simulator sampled no spans at rate 8 over 1000 items")
+	}
+	if !reflect.DeepEqual(simKeys, rtKeys) {
+		t.Errorf("sampled sets differ:\nsim %v\nrt  %v", simKeys, rtKeys)
+	}
+	// Both backends delivered the sampled items: per-subscription watermarks
+	// exist on both sides for the same subscriptions.
+	snapSim, snapRT := obsSim.Metrics.Snapshot(), obsRT.Metrics.Snapshot()
+	for _, id := range []string{"q1", "q2"} {
+		if snapSim.Gauges["latency.sub.watermark."+id] <= 0 {
+			t.Errorf("simulator has no watermark for %s", id)
+		}
+		if snapRT.Gauges["latency.sub.watermark."+id] <= 0 {
+			t.Errorf("runtime has no watermark for %s", id)
+		}
+	}
+}
+
+// TestMailboxHWMGaugeResetsBetweenRuns is the regression test for sticky
+// high-water gauges: a second, lighter run in the same registry must publish
+// its own mailbox depths, not retain the previous run's maxima — otherwise
+// back-to-back experiments runs report the first run's congestion forever.
+func TestMailboxHWMGaugeResetsBetweenRuns(t *testing.T) {
+	shared := obs.NewObserver()
+	run := func(items int) *Runtime {
+		eng := core.NewEngine(testNet(), core.Config{Obs: shared})
+		feed, st := photons.Stream("photons", photons.DefaultConfig(), 13, items)
+		if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Subscribe(velaQ, "SP3", core.StreamSharing); err != nil {
+			t.Fatal(err)
+		}
+		rt := New(eng, false)
+		if _, err := rt.Run(map[string][]*xmlstream.Element{"photons": feed}); err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	run(2000)
+	rt2 := run(50)
+	snap := shared.Metrics.Snapshot()
+	for id, depth := range rt2.MailboxHWM() {
+		g := snap.Gauges["runtime.mailbox.hwm."+string(id)]
+		if int(g) != depth {
+			t.Errorf("gauge for %s = %v after second run, want %d (first run's value leaked)", id, g, depth)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -314,11 +315,13 @@ func (c *streamChan) submit(r *Runtime, m message, gate *ackGate) {
 			if !stalled {
 				stalled = true
 				c.stalls++
+				r.flight.Record("credit.stall", c.d.ID+" source blocked")
 			}
 			c.cond.Wait()
 		}
 	} else if !c.st.broken && (len(c.parked) > 0 || !c.st.admit(units)) {
 		c.stalls++
+		r.flight.Record("credit.stall", c.d.ID+" tap parked")
 		gate.add()
 		c.parked = append(c.parked, parkedSend{m: m, owned: owned, gate: gate})
 		c.mu.Unlock()
@@ -390,6 +393,9 @@ func (c *streamChan) finishAck(r *Runtime, freed int) {
 		c.cond.Broadcast()
 	}
 	c.mu.Unlock()
+	if freed > 0 {
+		r.flight.Record("ack.trim", c.d.ID+" freed="+strconv.Itoa(freed))
+	}
 	c.dispose(r, sends, drops, gates)
 }
 
@@ -405,6 +411,7 @@ func (c *streamChan) breakNow(r *Runtime) {
 	sends, drops, gates := c.pumpLocked()
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	r.flight.Record("channel.break", c.d.ID)
 	c.dispose(r, sends, drops, gates)
 }
 

@@ -82,6 +82,11 @@ func (s *Scenario) RunChurn(strat core.Strategy, cfg core.Config, events []adapt
 	}
 	res.Before = before
 
+	// Log the schedule into the flight recorder so a post-hoc dump shows
+	// the churn interleaved with the repair actions the manager records.
+	for _, ev := range events {
+		eng.Obs().Flight.Record("churn", ev.String())
+	}
 	mgr := adapt.NewManager(eng)
 	reports, err := mgr.ApplyAll(events)
 	res.Reports = reports

@@ -33,6 +33,13 @@
 //	                     peer/link (suspicion, flaps, threshold) and one line
 //	                     per reliable channel (next seq, cum ack, replay depth,
 //	                     credits); requires a session (sgd -reliable)
+//	LAG                → per-subscription delivery freshness from sampled
+//	                     provenance spans: low watermark (event time of the
+//	                     newest sampled item fully processed at the sink),
+//	                     current lag behind the wall clock, delivery-lag
+//	                     p50/p99, sampled-delivery count, and a STALLED flag
+//	                     for subscriptions whose lag grew monotonically
+//	                     across recent LAG calls
 //	QUIT               → close the connection
 //
 // Every reply is a single "OK …"/"ERR …" line, optionally followed by
@@ -48,10 +55,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"streamshare/internal/adapt"
 	"streamshare/internal/core"
 	"streamshare/internal/network"
+	"streamshare/internal/obs"
 	"streamshare/internal/photons"
 	"streamshare/internal/runtime"
 	"streamshare/internal/xmlstream"
@@ -63,6 +72,9 @@ type Server struct {
 	adm  *adapt.Manager
 	cfg  photons.Config
 	sess *runtime.Session
+	// stall flags subscriptions whose lag grows monotonically across LAG
+	// snapshots (fed once per LAG command, under mu).
+	stall *obs.StallDetector
 
 	mu      sync.Mutex
 	seed    int64
@@ -77,7 +89,11 @@ type Server struct {
 // generator on RUN. Every registered original stream is fed the same item
 // count with stream-specific seeds.
 func New(eng *core.Engine, cfg photons.Config) *Server {
-	return &Server{eng: eng, adm: adapt.NewManager(eng), cfg: cfg, seed: 1, conns: map[net.Conn]struct{}{}}
+	return &Server{
+		eng: eng, adm: adapt.NewManager(eng), cfg: cfg, seed: 1,
+		conns: map[net.Conn]struct{}{},
+		stall: obs.NewStallDetector(0),
+	}
 }
 
 // WithSession attaches a reliability session: RUN and FEED execute on the
@@ -205,6 +221,8 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, cmd string, args []strin
 		s.adaptCmd(w, args)
 	case "HEALTH":
 		s.health(w)
+	case "LAG":
+		s.lag(w)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %s\n", cmd)
 	}
@@ -305,6 +323,41 @@ func (s *Server) metrics(w io.Writer) {
 	}
 }
 
+// lag reports per-subscription delivery freshness derived from sampled
+// provenance spans: the low watermark (event time of the newest sampled
+// item fully processed at the sink), the subscription's current lag behind
+// the wall clock, delivery-lag quantiles, and the sampled-delivery count.
+// Each call feeds the stall detector, so a subscription whose lag grew
+// strictly across the last M calls gains a STALLED flag — poll LAG to
+// monitor. Subscriptions with no sampled delivery yet report watermark=none.
+func (s *Server) lag(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	subs := s.eng.Subscriptions()
+	snap := s.eng.Obs().Metrics.Snapshot()
+	now := time.Now()
+	fmt.Fprintf(w, "OK %d subscriptions\n", len(subs))
+	for _, sub := range subs {
+		wm := snap.Gauges["latency.sub.watermark."+sub.ID]
+		if wm <= 0 {
+			fmt.Fprintf(w, "  %s watermark=none sampled=0\n", sub.ID)
+			continue
+		}
+		wmt := time.Unix(0, int64(wm*1e9))
+		lag := now.Sub(wmt).Seconds()
+		s.stall.Observe(sub.ID, lag)
+		flag := ""
+		if s.stall.Stalled(sub.ID) {
+			flag = " STALLED"
+		}
+		h := snap.Histograms["latency.sub.lag."+sub.ID]
+		fmt.Fprintf(w, "  %s watermark=%s lag=%.3fs p50=%.6fs p99=%.6fs sampled=%d%s\n",
+			sub.ID, wmt.UTC().Format(time.RFC3339Nano), lag,
+			h.Quantile(0.5), h.Quantile(0.99),
+			int(snap.Counters["latency.sub.delivered."+sub.ID]), flag)
+	}
+}
+
 // trace replays a subscription's planning decision, or lists the retained
 // traces when no id is given.
 func (s *Server) trace(w io.Writer, args []string) {
@@ -335,6 +388,7 @@ func (s *Server) unsubscribe(w io.Writer, args []string) {
 	}
 	s.mu.Lock()
 	err := s.eng.Unsubscribe(args[0])
+	s.stall.Forget(args[0])
 	s.mu.Unlock()
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)

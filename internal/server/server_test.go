@@ -570,6 +570,92 @@ func TestServerAdaptErrors(t *testing.T) {
 	}
 }
 
+// startLagServer is startServer with every source item span-sampled, so LAG
+// has watermarks to report after a single RUN.
+func startLagServer(t *testing.T) (addr string, eng *core.Engine, stop func()) {
+	t.Helper()
+	n := network.New()
+	for _, id := range []network.PeerID{"SP0", "SP1", "SP2"} {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	n.Connect("SP0", "SP1", 12_500_000)
+	n.Connect("SP1", "SP2", 12_500_000)
+	eng = core.NewEngine(n, core.Config{})
+	eng.Obs().Latency.SetRate(1)
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, photons.DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), eng, func() { srv.Close() }
+}
+
+// TestServerLag drives the LAG command end to end: before any run the
+// subscription has no watermark, after a fully sampled run it reports the
+// watermark with quantiles, and polling LAG while no new items arrive makes
+// the lag grow monotonically until the stall detector raises STALLED.
+// Unsubscribing drops the stall history.
+func TestServerLag(t *testing.T) {
+	addr, _, stop := startLagServer(t)
+	defer stop()
+	c := dial(t, addr)
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != "OK q1" {
+		t.Fatalf("subscribe = %q", s)
+	}
+
+	status, cont := c.cmd(t, "LAG", "")
+	if status != "OK 1 subscriptions" {
+		t.Fatalf("lag before run = %q", status)
+	}
+	if len(cont) != 1 || cont[0] != "q1 watermark=none sampled=0" {
+		t.Fatalf("lag before run lines = %v", cont)
+	}
+
+	if s, _ := c.cmd(t, "RUN 100", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("run = %q", s)
+	}
+	lagRow := regexp.MustCompile(`^q1 watermark=\S+ lag=\d+\.\d+s p50=\d+\.\d+s p99=\d+\.\d+s sampled=[1-9]\d*( STALLED)?$`)
+	// No new deliveries arrive between polls, so lag over the fixed
+	// watermark grows strictly with the wall clock; the default window-3
+	// detector must flag the subscription within a handful of polls.
+	stalled := false
+	for i := 0; i < 8; i++ {
+		time.Sleep(2 * time.Millisecond)
+		status, cont = c.cmd(t, "LAG", "")
+		if status != "OK 1 subscriptions" {
+			t.Fatalf("lag poll %d = %q", i, status)
+		}
+		if len(cont) != 1 || !lagRow.MatchString(cont[0]) {
+			t.Fatalf("lag poll %d row = %v", i, cont)
+		}
+		if strings.HasSuffix(cont[0], " STALLED") {
+			stalled = true
+			break
+		}
+	}
+	if !stalled {
+		t.Error("stall detector never flagged an idle subscription")
+	}
+
+	// Unsubscribe forgets the stall history; a fresh identical subscription
+	// starts clean (watermark survives in the registry, flag does not).
+	if s, _ := c.cmd(t, "UNSUBSCRIBE q1", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("unsubscribe = %q", s)
+	}
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); !strings.HasPrefix(s, "OK q") {
+		t.Fatalf("resubscribe = %q", s)
+	}
+	_, cont = c.cmd(t, "LAG", "")
+	if len(cont) != 1 || strings.HasSuffix(cont[0], " STALLED") {
+		t.Errorf("stall history survived unsubscribe: %v", cont)
+	}
+}
+
 // TestServerHealth exercises the HEALTH command: without a session it
 // errors, with one it reports detector targets and per-channel rows after a
 // session-backed RUN.

@@ -11,12 +11,41 @@ import (
 	"time"
 )
 
+// hangHooks holds dump callbacks registered with OnHang, keyed by a
+// monotonically assigned id so removal is O(1) and order-independent.
+var (
+	hookMu    sync.Mutex
+	hangHooks = map[int]func(io.Writer){}
+	hookSeq   int
+)
+
+// OnHang registers a dump callback that a firing Watchdog invokes (after
+// the goroutine stacks, before aborting): use it to attach diagnostic state
+// such as a flight recorder to hang reports. The returned function removes
+// the hook; call it when the guarded resources are torn down:
+//
+//	fr := eng.Obs().Flight
+//	defer testutil.OnHang(func(w io.Writer) { fr.Dump(w) })()
+func OnHang(f func(io.Writer)) (remove func()) {
+	hookMu.Lock()
+	hookSeq++
+	id := hookSeq
+	hangHooks[id] = f
+	hookMu.Unlock()
+	return func() {
+		hookMu.Lock()
+		delete(hangHooks, id)
+		hookMu.Unlock()
+	}
+}
+
 // Watchdog guards a test against hangs: if the returned stop function has
-// not been called within the deadline, it dumps every goroutine's stack to
-// stderr and aborts the process, so a deadlocked worker pool shows up in CI
-// as a stack-annotated failure at the guilty test instead of a silent
-// suite-wide timeout kill. Register it first thing in tests that drive
-// worker pools, quiescence detection, or failure injection:
+// not been called within the deadline, it dumps every goroutine's stack
+// (plus every OnHang hook's state) to stderr and aborts the process, so a
+// deadlocked worker pool shows up in CI as a stack-annotated failure at the
+// guilty test instead of a silent suite-wide timeout kill. Register it
+// first thing in tests that drive worker pools, quiescence detection, or
+// failure injection:
 //
 //	defer testutil.Watchdog(t, 2*time.Minute)()
 func Watchdog(t testing.TB, d time.Duration) (stop func()) {
@@ -27,11 +56,31 @@ func Watchdog(t testing.TB, d time.Duration) (stop func()) {
 		select {
 		case <-done:
 		case <-time.After(d):
-			dumpStacks(os.Stderr, t.Name(), d)
+			dumpAll(os.Stderr, t.Name(), d)
 			panic(fmt.Sprintf("testutil: %s hung (watchdog fired after %v)", t.Name(), d))
 		}
 	}()
 	return func() { once.Do(func() { close(done) }) }
+}
+
+// dumpAll writes the full hang report: goroutine stacks followed by every
+// registered OnHang hook's output.
+func dumpAll(w io.Writer, name string, d time.Duration) {
+	dumpStacks(w, name, d)
+	hookMu.Lock()
+	hooks := make([]func(io.Writer), 0, len(hangHooks))
+	for _, f := range hangHooks {
+		hooks = append(hooks, f)
+	}
+	hookMu.Unlock()
+	if len(hooks) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "=== watchdog: registered diagnostics ===\n")
+	for _, f := range hooks {
+		f(w)
+	}
+	fmt.Fprintf(w, "=== end diagnostics ===\n")
 }
 
 // dumpStacks writes a banner and every goroutine's stack to w.

@@ -1,6 +1,7 @@
 package testutil
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -26,5 +27,26 @@ func TestWatchdogDump(t *testing.T) {
 	}
 	if !strings.Contains(out, "goroutine") {
 		t.Errorf("dump missing goroutine stacks: %q", out)
+	}
+}
+
+// TestWatchdogOnHangHook checks the fire path includes registered
+// diagnostic hooks (e.g. a flight-recorder dump) and that removal works.
+func TestWatchdogOnHangHook(t *testing.T) {
+	remove := OnHang(func(w io.Writer) { io.WriteString(w, "flight 0 now test.event detail\n") })
+	var b strings.Builder
+	dumpAll(&b, t.Name(), time.Second)
+	out := b.String()
+	if !strings.Contains(out, "test.event") {
+		t.Errorf("hang report missing hook output:\n%s", out)
+	}
+	if !strings.Contains(out, "registered diagnostics") {
+		t.Errorf("hang report missing diagnostics banner:\n%s", out)
+	}
+	remove()
+	b.Reset()
+	dumpAll(&b, t.Name(), time.Second)
+	if strings.Contains(b.String(), "test.event") {
+		t.Error("removed hook still dumped")
 	}
 }
