@@ -5,6 +5,7 @@ import (
 	"log"
 	grt "runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"streamshare/internal/core"
@@ -24,7 +25,12 @@ import (
 // The Span columns re-run the batched configuration with provenance-span
 // sampling at the default 1-in-obs.DefaultSpanEvery rate; SpanOverhead is
 // span/batched wall time (the price of latency observability, budgeted at
-// ≤ 2% in PERFORMANCE.md). The latency quantile columns come from a separate
+// ≤ 2% in PERFORMANCE.md). The TCP columns re-run the batched configuration
+// split across two cluster nodes meshed over loopback TCP inside this
+// process — every batch and ack crossing the ownership partition travels as
+// length-prefixed frames through real sockets — and TCPCost is tcp/batched
+// wall time, the price of process separation on the identical workload.
+// The latency quantile columns come from a separate
 // untimed profiling run with dense sampling (1 in 16), split into queue delay
 // (batch, send, mailbox residence) and compute delay (parse, eval, deliver),
 // plus end-to-end ingest→deliver lag overall and per subscription.
@@ -37,12 +43,15 @@ type benchRow struct {
 	BatchedMs        float64                 `json:"batchedMs"`
 	ReliableMs       float64                 `json:"reliableMs"`
 	SpanMs           float64                 `json:"spanMs"`
+	TCPMs            float64                 `json:"tcpLoopbackMs"`
 	BaselineItemsSec float64                 `json:"baselineItemsPerSec"`
 	BatchedItemsSec  float64                 `json:"batchedItemsPerSec"`
 	ReliableItemsSec float64                 `json:"reliableItemsPerSec"`
+	TCPItemsSec      float64                 `json:"tcpLoopbackItemsPerSec"`
 	Speedup          float64                 `json:"speedup"`
 	AckCost          float64                 `json:"ackCost"`
 	SpanOverhead     float64                 `json:"spanOverhead"`
+	TCPCost          float64                 `json:"tcpCost"`
 	QueueP50Ms       float64                 `json:"queueP50Ms"`
 	QueueP99Ms       float64                 `json:"queueP99Ms"`
 	ComputeP50Ms     float64                 `json:"computeP50Ms"`
@@ -112,6 +121,56 @@ func timeOnce(cfg benchGridConfig, opts runtime.Options) (time.Duration, int) {
 		log.Fatal(err)
 	}
 	return time.Since(start), items
+}
+
+// timeTCP measures one distributed run split across two cluster nodes
+// ("n0" dials "n1") meshed over loopback TCP inside this process. Twin
+// engine builds agree on the plan, the super-peers are partitioned across
+// the nodes, and both runtimes execute concurrently — the wall clock
+// covers data flow start to finish, with mesh dial/handshake excluded.
+func timeTCP(cfg benchGridConfig) (time.Duration, int) {
+	eng0, feed := buildGridEngine(cfg, false)
+	eng1, _ := buildGridEngine(cfg, false)
+	c1, err := runtime.NewCluster(runtime.ClusterOptions{
+		Node: "n1", Nodes: map[string]string{"n1": "127.0.0.1:0", "n0": ""},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c1.Close()
+	c0, err := runtime.NewCluster(runtime.ClusterOptions{
+		Node: "n0", Nodes: map[string]string{"n0": "127.0.0.1:0", "n1": c1.Addr()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c0.Close()
+	if err := c0.WaitConnected(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	opts0, opts1 := runtime.DefaultOptions(), runtime.DefaultOptions()
+	opts0.NoSpans, opts1.NoSpans = true, true
+	opts0.Cluster, opts1.Cluster = c0, c1
+	rt0, rt1 := runtime.NewWith(eng0, false, opts0), runtime.NewWith(eng1, false, opts1)
+	items := 0
+	for _, f := range feed {
+		items += len(f)
+	}
+	grt.GC()
+	start := time.Now()
+	var wg sync.WaitGroup
+	var errs [2]error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = rt0.Run(feed) }()
+	go func() { defer wg.Done(); _, errs[1] = rt1.Run(feed) }()
+	wg.Wait()
+	el := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("tcp-loopback node %d: %v", i, err)
+		}
+	}
+	return el, items
 }
 
 // timeRun returns the best (fastest) of reps timeOnce measurements.
@@ -271,7 +330,7 @@ func profileLatency(cfg benchGridConfig, rate int, row *benchRow, flight *string
 // best of reps to damp scheduler noise. The second return value is the
 // profiling runs' flight-recorder dumps (written to FLIGHT_<rev>.txt).
 func benchDataPath(items int, short bool) ([]benchRow, string) {
-	header("Data-path benchmark: scale grid, baseline vs batched vs span-sampled runtime")
+	header("Data-path benchmark: scale grid, baseline vs batched vs span-sampled vs tcp-loopback runtime")
 	configs := []benchGridConfig{
 		{2, 8, items},
 		{3, 16, items},
@@ -285,8 +344,8 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 		configs = []benchGridConfig{{2, 8, items}}
 		reps = 1
 	}
-	fmt.Printf("%-14s %7s %8s %8s %10s %10s %10s %10s %13s %13s %8s %8s %8s\n", "Config", "Peers", "Queries",
-		"Items", "Base ms", "Batch ms", "Rel ms", "Span ms", "Base items/s", "Batch items/s", "Speedup", "AckCost", "SpanOv")
+	fmt.Printf("%-14s %7s %8s %8s %10s %10s %10s %10s %10s %13s %13s %8s %8s %8s %8s\n", "Config", "Peers", "Queries",
+		"Items", "Base ms", "Batch ms", "Rel ms", "Span ms", "TCP ms", "Base items/s", "Batch items/s", "Speedup", "AckCost", "SpanOv", "TCPCost")
 	var rows []benchRow
 	var flight strings.Builder
 	for _, cfg := range configs {
@@ -301,13 +360,14 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 		// (1-in-obs.DefaultSpanEvery provenance sampling).
 		batchOpts := runtime.DefaultOptions()
 		batchOpts.NoSpans = true
-		var baseD, batchD, relD, spanD time.Duration
+		var baseD, batchD, relD, spanD, tcpD time.Duration
 		var n int
 		for i := 0; i < reps; i++ {
 			bd, bn := timeOnce(cfg, runtime.BaselineOptions())
 			td, _ := timeOnce(cfg, batchOpts)
 			rd, _ := timeOnce(cfg, relOpts)
 			sd, _ := timeOnce(cfg, runtime.DefaultOptions())
+			cd, _ := timeTCP(cfg)
 			n = bn
 			if baseD == 0 || bd < baseD {
 				baseD = bd
@@ -321,6 +381,9 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 			if spanD == 0 || sd < spanD {
 				spanD = sd
 			}
+			if tcpD == 0 || cd < tcpD {
+				tcpD = cd
+			}
 		}
 		row := benchRow{
 			Config:           fmt.Sprintf("grid%dx%d-q%d", cfg.n, cfg.n, cfg.queries),
@@ -331,18 +394,21 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 			BatchedMs:        ms(batchD),
 			ReliableMs:       ms(relD),
 			SpanMs:           ms(spanD),
+			TCPMs:            ms(tcpD),
 			BaselineItemsSec: float64(n) / baseD.Seconds(),
 			BatchedItemsSec:  float64(n) / batchD.Seconds(),
 			ReliableItemsSec: float64(n) / relD.Seconds(),
+			TCPItemsSec:      float64(n) / tcpD.Seconds(),
 		}
 		row.Speedup = row.BatchedItemsSec / row.BaselineItemsSec
 		row.AckCost = relD.Seconds() / batchD.Seconds()
 		row.SpanOverhead = spanD.Seconds() / batchD.Seconds()
+		row.TCPCost = tcpD.Seconds() / batchD.Seconds()
 		profileLatency(cfg, 16, &row, &flight)
 		rows = append(rows, row)
-		fmt.Printf("%-14s %7d %8d %8d %10.1f %10.1f %10.1f %10.1f %13.0f %13.0f %7.2fx %7.2fx %7.2fx\n",
-			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs, row.ReliableMs, row.SpanMs,
-			row.BaselineItemsSec, row.BatchedItemsSec, row.Speedup, row.AckCost, row.SpanOverhead)
+		fmt.Printf("%-14s %7d %8d %8d %10.1f %10.1f %10.1f %10.1f %10.1f %13.0f %13.0f %7.2fx %7.2fx %7.2fx %7.2fx\n",
+			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs, row.ReliableMs, row.SpanMs, row.TCPMs,
+			row.BaselineItemsSec, row.BatchedItemsSec, row.Speedup, row.AckCost, row.SpanOverhead, row.TCPCost)
 		fmt.Printf("  latency (1-in-16 profile): queue p50/p99 %.3f/%.3f ms, compute p50/p99 %.3f/%.3f ms, lag p50/p99 %.3f/%.3f ms over %d subscriptions\n",
 			row.QueueP50Ms, row.QueueP99Ms, row.ComputeP50Ms, row.ComputeP99Ms,
 			row.LagP50Ms, row.LagP99Ms, len(row.SubLagMs))
@@ -351,6 +417,8 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 	fmt.Println(" runtime; baseline = pre-batching data path inside the same binary;")
 	fmt.Println(" reliable = batched options over sequenced acked session channels;")
 	fmt.Println(" span = batched plus default-rate provenance sampling — SpanOv is its")
-	fmt.Println(" wall-time ratio over the span-free batched run)")
+	fmt.Println(" wall-time ratio over the span-free batched run; tcp = the same workload")
+	fmt.Println(" partitioned across two cluster nodes meshed over loopback TCP — TCPCost")
+	fmt.Println(" is its wall-time ratio over the single-process batched run)")
 	return rows, flight.String()
 }

@@ -14,7 +14,9 @@
 //	                        latency and redelivery volume
 //	experiments -bench      the data-path benchmark: the scale grid through
 //	                        the distributed runtime, baseline vs batched vs
-//	                        span-sampled options plus a per-hop latency
+//	                        span-sampled options plus a tcp-loopback column
+//	                        (the workload split across two cluster nodes
+//	                        meshed over real sockets) and a per-hop latency
 //	                        profile, always writing BENCH_<rev>.json and the
 //	                        profiling runs' flight dumps to FLIGHT_<rev>.txt
 //	                        (-short shrinks it to one CI-sized configuration)

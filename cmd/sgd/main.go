@@ -28,6 +28,26 @@
 // failure detection and credit-based backpressure, repairs transplant
 // operator state, the HEALTH command reports detector and channel state, and
 // /metricz gains a channel-state section.
+//
+// With -node several sgd processes form one super-peer network over TCP:
+// every process runs the same topology flags, -cluster-listen binds its mesh
+// endpoint, and -join names the other nodes (name=addr pairs; an address is
+// needed only for nodes this one dials — the lexicographically smaller node
+// name dials the larger, so a node that only accepts still lists its peers,
+// with empty addresses). Membership is static: every process must name the
+// same node set, or inbound handshakes from unlisted nodes are refused.
+// Super-peers are partitioned across the processes deterministically;
+// batches, acks and heartbeats travel as length-prefixed frames over
+// reconnect-safe links. Start the accepting node first:
+//
+//	sgd -node n1 -cluster-listen 127.0.0.1:7171 -join n0= -listen 127.0.0.1:7070
+//	sgd -node n0 -cluster-listen 127.0.0.1:0 -join n1=127.0.0.1:7171 -listen 127.0.0.1:7071
+//
+// Point SUBSCRIBE/UNSUBSCRIBE/RUN/FEED at one coordinating node: mutations
+// mirror to every process over sequenced control frames, runs execute on all
+// of them (each injects the sources it owns), and the coordinator merges the
+// per-node delivery counts into its reply. NODES shows the membership and
+// per-link transport counters.
 package main
 
 import (
@@ -38,6 +58,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 
 	"streamshare/internal/core"
 	"streamshare/internal/network"
@@ -59,6 +81,9 @@ func main() {
 	widening := flag.Bool("widening", false, "enable stream widening")
 	sample := flag.Int("sample", 2000, "photons sampled for stream statistics")
 	spanEvery := flag.Int("span-every", obs.DefaultSpanEvery, "sample one provenance span per N source items (0 disables)")
+	node := flag.String("node", "", "cluster node name; empty runs single-process")
+	clusterListen := flag.String("cluster-listen", "127.0.0.1:0", "cluster mesh listen address")
+	join := flag.String("join", "", "other cluster nodes as name=addr pairs, comma-separated (addr may be empty for nodes that dial us)")
 	flag.Parse()
 
 	n := network.New()
@@ -96,6 +121,29 @@ func main() {
 		go serveHTTP(*httpAddr, eng, sess)
 	}
 
+	var clu *runtime.Cluster
+	if *node != "" {
+		nodes := map[string]string{*node: *clusterListen}
+		if *join != "" {
+			for _, kv := range strings.Split(*join, ",") {
+				name, addr, _ := strings.Cut(strings.TrimSpace(kv), "=")
+				if name != "" && name != *node {
+					nodes[name] = addr
+				}
+			}
+		}
+		var err error
+		clu, err = runtime.NewCluster(runtime.ClusterOptions{Node: *node, Nodes: nodes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sgd: cluster node %s, mesh on %s, waiting for %d peer(s)", *node, clu.Addr(), len(nodes)-1)
+		if err := clu.WaitConnected(2 * time.Minute); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sgd: cluster connected: %v", clu.Nodes())
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -104,6 +152,9 @@ func main() {
 	srv := server.New(eng, cfg)
 	if sess != nil {
 		srv = srv.WithSession(sess)
+	}
+	if clu != nil {
+		srv = srv.WithCluster(clu)
 	}
 	srv.Serve(ln)
 }

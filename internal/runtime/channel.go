@@ -2,213 +2,15 @@ package runtime
 
 import (
 	"fmt"
-	"sort"
+
+	"streamshare/internal/transport"
 )
 
-// This file is the sequenced/acked/credited channel state machine of the
-// reliability layer (see session.go for how the runtime drives it). One
-// chanState exists per deployed stream: the emitting side (the source
-// batcher or the tap running the stream's residual) stamps every item with a
-// monotonically increasing sequence number and keeps the serialized form in
-// a replay buffer; every consumer of the stream (a derived stream's tap, a
-// subscription reader) owns a cumulative-ack cursor advanced when it has
-// fully processed a prefix; the buffer is trimmed to the minimum cursor. The
-// distance between the emission frontier and the minimum cursor is bounded
-// by a receiver-granted credit window, which is what turns a slow consumer
-// into end-to-end sender throttling instead of unbounded queues.
-//
-// The type is deliberately free of locks and runtime dependencies so the
-// fuzz target (fuzz_test.go) can diff it against a map-based model;
-// session.go wraps it with the mutex, condition variable and parked-send
-// queue the live data path needs.
-
-// chanEntry is one emitted unit in a channel's replay buffer: a serialized
-// item, or the end-of-stream marker (data nil, eos true).
-type chanEntry struct {
-	seq  uint64
-	data []byte
-	eos  bool
-}
-
-// chanState is the per-stream channel state machine. The zero value is not
-// ready; use newChanState.
-type chanState struct {
-	// epoch is the plan epoch the stream was installed under; messages carry
-	// it so receivers can drop stale-epoch deliveries after a migration.
-	epoch uint64
-	// nextSeq is the next sequence number to assign; the first emitted unit
-	// gets 1.
-	nextSeq uint64
-	// window bounds nextSeq-1 − cumAck, in units; <=0 means unlimited.
-	window int
-	// buffer holds the emitted-but-not-fully-acked units in ascending
-	// sequence order: exactly the range (cumAck, nextSeq).
-	buffer []chanEntry
-	// cursors maps each consumer to the highest sequence it has cumulatively
-	// acknowledged.
-	cursors map[string]uint64
-	// cumAck is the minimum cursor: everything at or below it is delivered
-	// everywhere and trimmed.
-	cumAck uint64
-	// atMin counts consumers whose cursor equals cumAck, so an ack that
-	// moves a non-minimum cursor skips the O(consumers) minimum scan — the
-	// hot case on shared streams, where every batch is acked once per
-	// consumer but only the slowest one can advance the trim point.
-	atMin int
-	// broken marks the channel undeliverable (dead peer, severed link, or a
-	// detector suspicion on the route): emissions are still recorded — the
-	// buffer doubles as the recovery journal — but admission control is
-	// bypassed so producers never block on a dead route.
-	broken bool
-
-	// maxDepth is the replay buffer's high-water mark in units.
-	maxDepth int
-	// retained counts units recorded while broken instead of delivered.
-	retained int
-}
-
-// newChanState returns a channel at the given plan epoch with the given
-// credit window.
-func newChanState(epoch uint64, window int) *chanState {
-	return &chanState{epoch: epoch, window: window, cursors: map[string]uint64{}}
-}
-
-// addConsumer registers a consumer cursor at the current trim point. Every
-// consumer must be registered before the first emission it should see.
-func (c *chanState) addConsumer(name string) {
-	if _, ok := c.cursors[name]; !ok {
-		c.cursors[name] = c.cumAck
-		c.atMin++
-	}
-}
-
-// admit reports whether the credit window currently allows emitting the
-// given number of units. Broken channels admit everything: their emissions
-// are retained, not sent, and retention must never block the producer.
-func (c *chanState) admit(units int) bool {
-	if c.window <= 0 || c.broken || len(c.cursors) == 0 {
-		return true
-	}
-	return int(c.nextSeq-1-c.cumAck)+units <= c.window
-}
-
-// emit assigns the next sequence number to one unit and records it in the
-// replay buffer. The data slice is retained as-is: callers must pass an
-// owned copy (message buffers are pooled and recycled). It returns the
-// assigned sequence.
-func (c *chanState) emit(data []byte, eos bool) uint64 {
-	if c.nextSeq == 0 {
-		c.nextSeq = 1
-	}
-	seq := c.nextSeq
-	c.nextSeq++
-	c.buffer = append(c.buffer, chanEntry{seq: seq, data: data, eos: eos})
-	if len(c.buffer) > c.maxDepth {
-		c.maxDepth = len(c.buffer)
-	}
-	if c.broken {
-		c.retained++
-	}
-	return seq
-}
-
-// ack advances a consumer's cumulative cursor to seq (stale and duplicate
-// acks — seq at or below the cursor — are no-ops) and trims the replay
-// buffer to the new minimum cursor. It returns the number of units freed
-// (credits granted back to the emitter).
-func (c *chanState) ack(consumer string, seq uint64) int {
-	cur, ok := c.cursors[consumer]
-	if !ok || seq <= cur {
-		return 0
-	}
-	c.cursors[consumer] = seq
-	if cur > c.cumAck {
-		return 0 // a non-minimum cursor moved: the trim point is unchanged
-	}
-	c.atMin--
-	if c.atMin > 0 {
-		return 0 // other consumers still sit at the trim point
-	}
-	// The last minimum-cursor holder moved: rescan for the new minimum.
-	min := c.minCursor()
-	c.atMin = 0
-	for _, v := range c.cursors {
-		if v == min {
-			c.atMin++
-		}
-	}
-	if min <= c.cumAck {
-		return 0
-	}
-	freed := int(min - c.cumAck)
-	c.cumAck = min
-	i := 0
-	for i < len(c.buffer) && c.buffer[i].seq <= min {
-		i++
-	}
-	c.buffer = c.buffer[i:]
-	return freed
-}
-
-func (c *chanState) minCursor() uint64 {
-	first := true
-	var min uint64
-	for _, v := range c.cursors {
-		if first || v < min {
-			min, first = v, false
-		}
-	}
-	return min
-}
-
-// unackedAfter returns the buffered entries with sequence strictly above the
-// given cursor — the units a recovering consumer has not yet processed.
-func (c *chanState) unackedAfter(cursor uint64) []chanEntry {
-	i := sort.Search(len(c.buffer), func(i int) bool { return c.buffer[i].seq > cursor })
-	return c.buffer[i:]
-}
-
-// cursor returns a consumer's cumulative-ack cursor (0 if unregistered).
-func (c *chanState) cursor(consumer string) uint64 { return c.cursors[consumer] }
-
-// depth returns the current replay-buffer depth in units.
-func (c *chanState) depth() int { return len(c.buffer) }
-
-// recvState is the receiving side of one (stream, hop) lane: it dedups
-// deliveries by (epoch, seq). Lanes are FIFO with a single sender per hop,
-// so in normal operation sequences arrive contiguously; duplicates and
-// stale epochs only appear when replay overlaps live delivery across a
-// repair or migration.
-type recvState struct {
-	epoch uint64
-	next  uint64 // next expected sequence
-}
-
-// accept classifies a delivery of units [lo, hi] stamped with the given
-// epoch. It returns how many leading units are duplicates to skip and
-// whether the remainder should be delivered at all (false for stale-epoch
-// messages, which must be dropped wholesale).
-func (r *recvState) accept(epoch, lo, hi uint64) (skip int, deliver bool) {
-	if epoch < r.epoch {
-		return 0, false // stale plan epoch: pre-migration straggler
-	}
-	if epoch > r.epoch {
-		// New plan epoch: the lane restarts its sequence space.
-		r.epoch = epoch
-		r.next = 1
-	}
-	if r.next == 0 {
-		r.next = 1
-	}
-	if hi < r.next {
-		return 0, false // entirely duplicate
-	}
-	if lo < r.next {
-		skip = int(r.next - lo) // overlapping prefix already delivered
-	}
-	r.next = hi + 1
-	return skip, true
-}
+// The sequenced/acked/credited channel state machine that used to live
+// here moved to internal/transport (transport.Channel / transport.
+// RecvCursor): the link layer reuses it verbatim as its per-connection
+// replay buffer, which is what makes TCP reconnection loss-free. This
+// file keeps the runtime-side introspection view (HEALTH, /metricz).
 
 // ChannelState is one channel's introspection row (HEALTH, /metricz).
 type ChannelState struct {
@@ -246,29 +48,21 @@ func (s ChannelState) String() string {
 		s.Stream, s.Epoch, s.NextSeq, s.CumAck, s.ReplayDepth, credits, state)
 }
 
-// snapshot renders the channel's current state.
-func (c *chanState) snapshot(stream string) ChannelState {
-	next := c.nextSeq
-	if next == 0 {
-		next = 1
-	}
+// snapshotChannel renders a channel's current state for one stream.
+func snapshotChannel(c *transport.Channel, stream string) ChannelState {
 	credits := -1
-	if c.window > 0 {
-		credits = c.window - int(next-1-c.cumAck)
-	}
-	cons := make(map[string]uint64, len(c.cursors))
-	for k, v := range c.cursors {
-		cons[k] = v
+	if w := c.Window(); w > 0 {
+		credits = w - int(c.NextSeq()-1-c.CumAck())
 	}
 	return ChannelState{
 		Stream:      stream,
-		Epoch:       c.epoch,
-		NextSeq:     next,
-		CumAck:      c.cumAck,
-		ReplayDepth: len(c.buffer),
-		MaxDepth:    c.maxDepth,
+		Epoch:       c.Epoch(),
+		NextSeq:     c.NextSeq(),
+		CumAck:      c.CumAck(),
+		ReplayDepth: c.Depth(),
+		MaxDepth:    c.MaxDepth(),
 		Credits:     credits,
-		Broken:      c.broken,
-		Consumers:   cons,
+		Broken:      c.Broken(),
+		Consumers:   c.Cursors(),
 	}
 }

@@ -1,0 +1,595 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/health"
+	"streamshare/internal/network"
+	"streamshare/internal/obs"
+	"streamshare/internal/transport"
+)
+
+// This file distributes a run across OS processes. A Cluster is one
+// process's membership in a super-peer network: a transport.Mesh of
+// reliable links to the other nodes, plus an ownership map that assigns
+// every network peer to exactly one cluster node. Each process builds the
+// same engine (plans are deterministic in the scenario seed), attaches a
+// Runtime to its Cluster, and runs: batches whose next hop is owned by a
+// remote node travel as FrameBatch over the mesh instead of the local
+// mailbox, channel acks return as FrameAck, and heartbeats gossip as
+// FrameHeartbeat. The link layer's journal/replay/dedup (see transport)
+// makes the hop loss-free across TCP reconnects, so the distributed run
+// delivers item-for-item what the in-process runtime — and the simulator —
+// deliver.
+//
+// Termination across processes rides the EOS markers: at build time each
+// runtime counts its remote-ingress lanes — (stream, hop) pairs it owns
+// whose previous hop is owned elsewhere — and Run's quiescence waits until
+// every such lane has seen its EOS, all local work has drained, and no
+// batch is parked awaiting a remote ack. Before returning, Run waits for
+// the mesh journals to drain so a process exiting early cannot strand
+// undelivered frames.
+
+// ClusterOptions configures one process's cluster membership.
+type ClusterOptions struct {
+	// Node is this process's cluster node name. Between two nodes, the
+	// lexicographically smaller name dials the larger.
+	Node string
+
+	// Nodes maps every cluster node name to its address. The local entry
+	// is the listen address; a remote entry may be empty when that node
+	// dials us (larger names accept from smaller ones) or when it is
+	// introduced later via Join.
+	Nodes map[string]string
+
+	// Assign maps network peers to cluster node names. Nil assigns peers
+	// with PartitionPeers at first attach — deterministic, so independent
+	// processes agree without coordination. Every process must use the
+	// same assignment.
+	Assign map[network.PeerID]string
+
+	// Transport carries the frames; nil means TCP.
+	Transport transport.Transport
+
+	// LinkWindow bounds each link's replay journal in frames
+	// (transport.DefaultLinkWindow when 0).
+	LinkWindow int
+}
+
+// Cluster is one process's endpoint in a multi-process super-peer network.
+// Create it with NewCluster, pass it to runtimes via Options.Cluster, and
+// Close it once, after the last run.
+type Cluster struct {
+	node string
+	mesh *transport.Mesh
+
+	// amu guards the attached runtime and the assignment; acond wakes
+	// dispatchers blocked waiting for a runtime.
+	amu    sync.Mutex
+	acond  *sync.Cond
+	rt     *Runtime
+	assign map[network.PeerID]string
+	closed bool
+
+	// gmu guards the per-remote heartbeat gossip and the control handler.
+	gmu     sync.Mutex
+	gossip  map[string]gossipEntry
+	control func(from string, data []byte)
+
+	// bmu guards the termination-barrier bookkeeping: barrier frames
+	// received per remote, and the rounds this node has entered.
+	bmu    sync.Mutex
+	brcvd  map[string]int
+	bround int
+}
+
+// barrierMagic marks a control frame as a termination-barrier token;
+// user control payloads never start with a NUL byte.
+const barrierMagic = "\x00streamshare.barrier"
+
+// gossipEntry is the latest heartbeat gossip from one remote node and
+// when it arrived.
+type gossipEntry struct {
+	f  *transport.Frame
+	at time.Time
+}
+
+// PartitionPeers deterministically assigns peers to cluster nodes:
+// both lists are sorted and the peer list is split into contiguous,
+// near-equal ranges, one per node. Every process computes the same map
+// from the same inputs, so no coordination is needed.
+func PartitionPeers(peers []network.PeerID, nodes []string) map[network.PeerID]string {
+	ps := append([]network.PeerID(nil), peers...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	ns := append([]string(nil), nodes...)
+	sort.Strings(ns)
+	out := make(map[network.PeerID]string, len(ps))
+	for i, p := range ps {
+		out[p] = ns[i*len(ns)/len(ps)]
+	}
+	return out
+}
+
+// NewCluster binds the node's mesh listener and connects the links to
+// every other node in opts.Nodes.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Node == "" {
+		return nil, fmt.Errorf("runtime: cluster needs a node name")
+	}
+	if _, ok := opts.Nodes[opts.Node]; !ok {
+		return nil, fmt.Errorf("runtime: cluster node %q missing from the node map", opts.Node)
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = transport.NewTCP()
+	}
+	c := &Cluster{node: opts.Node, assign: opts.Assign, gossip: map[string]gossipEntry{}}
+	c.acond = sync.NewCond(&c.amu)
+	mesh, err := transport.NewMesh(transport.MeshConfig{
+		Transport: tr,
+		Node:      opts.Node,
+		Listen:    opts.Nodes[opts.Node],
+		Handler:   c.handle,
+		Window:    opts.LinkWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mesh = mesh
+	names := make([]string, 0, len(opts.Nodes))
+	for name := range opts.Nodes {
+		if name != opts.Node {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if opts.Node < name && opts.Nodes[name] == "" {
+			c.Close()
+			return nil, fmt.Errorf("runtime: cluster node %q needs an address (%q dials it)", name, opts.Node)
+		}
+		c.mesh.Connect(name, opts.Nodes[name])
+	}
+	return c, nil
+}
+
+// Node returns this process's cluster node name.
+func (c *Cluster) Node() string { return c.node }
+
+// Addr returns the mesh listener's bound address.
+func (c *Cluster) Addr() string { return c.mesh.Addr() }
+
+// Join connects the link to a node that was not in the node map at
+// NewCluster (or whose address was unknown then). Idempotent per node.
+func (c *Cluster) Join(node, addr string) { c.mesh.Connect(node, addr) }
+
+// WaitConnected blocks until every link is attached or the timeout lapses.
+func (c *Cluster) WaitConnected(timeout time.Duration) error {
+	return c.mesh.WaitConnected(timeout)
+}
+
+// DropConns force-closes every attached conn without closing the links —
+// the reconnect chaos hook; links redial and replay. Returns the number
+// of conns dropped.
+func (c *Cluster) DropConns() int { return c.mesh.DropConns() }
+
+// Stats snapshots the per-link transport counters.
+func (c *Cluster) Stats() []transport.LinkStats { return c.mesh.Stats() }
+
+// DumpState writes the mesh's per-link protocol state — wire it into
+// testutil.OnHang so hung distributed tests show where the transport
+// stands.
+func (c *Cluster) DumpState(w io.Writer) { c.mesh.DumpState(w) }
+
+// SetControl installs the handler for sequenced control frames (the
+// server's cross-process coordination). The handler runs on a per-link
+// dispatcher goroutine, in arrival order per sender.
+func (c *Cluster) SetControl(h func(from string, data []byte)) {
+	c.gmu.Lock()
+	c.control = h
+	c.gmu.Unlock()
+}
+
+// SendControl sends one reliable, ordered control payload to a node.
+func (c *Cluster) SendControl(node string, data []byte) error {
+	l := c.mesh.Link(node)
+	if l == nil {
+		return fmt.Errorf("runtime: cluster: no link to %q", node)
+	}
+	return l.Send(&transport.Frame{Type: transport.FrameControl, Data: data})
+}
+
+// BroadcastControl sends one control payload to every other node,
+// returning the first error.
+func (c *Cluster) BroadcastControl(data []byte) error {
+	var first error
+	for _, l := range c.mesh.Links() {
+		if err := l.Send(&transport.Frame{Type: transport.FrameControl, Data: data}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Nodes returns every cluster node name (self included), sorted.
+func (c *Cluster) Nodes() []string {
+	out := []string{c.node}
+	for _, l := range c.mesh.Links() {
+		out = append(out, l.Remote())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close tears the mesh down deterministically — listener, conns and every
+// transport goroutine — and unblocks dispatchers waiting for a runtime.
+// Idempotent.
+func (c *Cluster) Close() error {
+	c.amu.Lock()
+	c.closed = true
+	c.acond.Broadcast()
+	c.amu.Unlock()
+	return c.mesh.Close()
+}
+
+// assignment returns the peer-to-node map, computing the deterministic
+// default from the runtime's network on first use. The map is immutable
+// once returned.
+func (c *Cluster) assignment(r *Runtime) map[network.PeerID]string {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	if c.assign == nil {
+		c.assign = PartitionPeers(r.eng.Net.Peers(), c.nodesLocked())
+	}
+	return c.assign
+}
+
+// attach publishes a fully-built runtime to the cluster's dispatchers
+// (NewWith calls it last).
+func (c *Cluster) attach(r *Runtime) {
+	c.amu.Lock()
+	c.rt = r
+	c.acond.Broadcast()
+	c.amu.Unlock()
+}
+
+// detach retires a runtime once its run has passed the termination
+// barrier — past it, no frame for that run can still arrive, but frames
+// for a cluster's NEXT run may race ahead of the local process building
+// its next runtime. Detaching makes those early frames park in runtime()
+// instead of leaking into the finished runtime's closed mailboxes.
+func (c *Cluster) detach(r *Runtime) {
+	c.amu.Lock()
+	if c.rt == r {
+		c.rt = nil
+	}
+	c.amu.Unlock()
+}
+
+// nodesLocked lists every node name (self included). Callers hold amu.
+func (c *Cluster) nodesLocked() []string {
+	names := []string{c.node}
+	for _, l := range c.mesh.Links() {
+		names = append(names, l.Remote())
+	}
+	return names
+}
+
+// runtime blocks until a runtime is attached (frames can arrive before the
+// remote process finished building one) or the cluster closes (nil).
+func (c *Cluster) runtime() *Runtime {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	for c.rt == nil && !c.closed {
+		c.acond.Wait()
+	}
+	return c.rt
+}
+
+// handle is the mesh frame handler, running on a per-link dispatcher
+// goroutine: data and ack frames go to the attached runtime, heartbeats
+// update the gossip table, control frames go to the installed handler.
+func (c *Cluster) handle(remote string, f *transport.Frame) {
+	switch f.Type {
+	case transport.FrameBatch, transport.FrameAck:
+		if r := c.runtime(); r != nil {
+			r.clusterFrame(f)
+		}
+	case transport.FrameHeartbeat:
+		c.gmu.Lock()
+		c.gossip[remote] = gossipEntry{f: f, at: time.Now()}
+		c.gmu.Unlock()
+	case transport.FrameControl:
+		if string(f.Data) == barrierMagic {
+			c.bmu.Lock()
+			if c.brcvd == nil {
+				c.brcvd = map[string]int{}
+			}
+			c.brcvd[remote]++
+			c.bmu.Unlock()
+			return
+		}
+		c.gmu.Lock()
+		h := c.control
+		c.gmu.Unlock()
+		if h != nil {
+			h(remote, f.Data)
+		}
+	}
+}
+
+// barrier synchronizes run termination across the cluster: each node
+// sends one sequenced barrier token per round and waits until every other
+// node's token for this round has arrived. Run calls it after its own
+// mesh journals drain, so no process can tear its mesh down while a
+// peer's final frames (trailing consumer acks, EOS markers) are still
+// unaccepted — the race that would otherwise strand the peer's journal.
+func (c *Cluster) barrier(timeout time.Duration) error {
+	c.bmu.Lock()
+	c.bround++
+	round := c.bround
+	c.bmu.Unlock()
+	links := c.mesh.Links()
+	for _, l := range links {
+		if err := l.Send(&transport.Frame{Type: transport.FrameControl, Data: []byte(barrierMagic)}); err != nil {
+			return fmt.Errorf("runtime: cluster barrier to %q: %w", l.Remote(), err)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		var waiting []string
+		c.bmu.Lock()
+		for _, l := range links {
+			if c.brcvd[l.Remote()] < round {
+				waiting = append(waiting, l.Remote())
+			}
+		}
+		c.bmu.Unlock()
+		if len(waiting) == 0 {
+			return nil
+		}
+		c.amu.Lock()
+		closed := c.closed
+		c.amu.Unlock()
+		if closed {
+			return fmt.Errorf("runtime: cluster closed during termination barrier")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("runtime: cluster barrier: no token from %v", waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sendFrame sends one sequenced frame to a node's link.
+func (c *Cluster) sendFrame(node string, f *transport.Frame) error {
+	l := c.mesh.Link(node)
+	if l == nil {
+		return fmt.Errorf("runtime: cluster: no link to %q", node)
+	}
+	return l.Send(f)
+}
+
+// gossipHeartbeat broadcasts this process's live peers and responsible
+// live links as an unsequenced heartbeat frame on every link. Loss is
+// tolerated by design: the next tick re-gossips.
+func (c *Cluster) gossipHeartbeat(peers []string, links []string) {
+	f := &transport.Frame{Type: transport.FrameHeartbeat, Peers: peers, Links: links}
+	for _, l := range c.mesh.Links() {
+		l.SendRaw(f) // best-effort; detached links skip a beat
+	}
+}
+
+// remoteBeats lists the health targets to beat on behalf of remote
+// nodes. A remote's recent gossip vouches for the targets it names, so a
+// fault at the remote surfaces here as its gossip entry omitting the
+// target. Before a node's first gossip arrives — its process may still
+// be starting its run — every target that node owns beats optimistically,
+// so detector-tick/gossip-arrival skew cannot fake a failure. A node
+// whose gossip goes stale for longer than staleFor stops vouching
+// entirely: a crashed process surfaces as all its targets going silent.
+func (c *Cluster) remoteBeats(r *Runtime, now time.Time, staleFor time.Duration) []health.Target {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	var out []health.Target
+	seen := map[string]bool{}
+	for node, e := range c.gossip {
+		seen[node] = true
+		if now.Sub(e.at) > staleFor {
+			continue
+		}
+		for _, p := range e.f.Peers {
+			out = append(out, health.PeerTarget(network.PeerID(p)))
+		}
+		for i := 0; i+1 < len(e.f.Links); i += 2 {
+			out = append(out, health.LinkTarget(
+				network.MakeLinkID(network.PeerID(e.f.Links[i]), network.PeerID(e.f.Links[i+1]))))
+		}
+	}
+	for _, id := range r.peerIDs {
+		if owner := r.owners[id]; owner != c.node && !seen[owner] {
+			out = append(out, health.PeerTarget(id))
+		}
+	}
+	for _, l := range r.linkIDs {
+		if owner := r.owners[l.A]; owner != c.node && !seen[owner] {
+			out = append(out, health.LinkTarget(l))
+		}
+	}
+	return out
+}
+
+// --- Runtime cluster data path ---
+
+// sendRemote serializes a message whose next hop lives on another cluster
+// node and journals it on that node's link: the frame carries the stream
+// id, hop, channel sequencing header and (when sampled) the provenance
+// span. Accounting matches the local send path unit for unit — link
+// traffic at the sender, batch-size observation, message/byte totals —
+// but the in-flight count is not touched: the receiving process counts
+// the message when it injects it, and its EOS-lane bookkeeping keeps both
+// quiescences exact.
+func (r *Runtime) sendRemote(m message, peer network.PeerID) {
+	nb := m.bytes()
+	if m.hop > 0 {
+		l := network.MakeLinkID(m.stream.Route[m.hop-1], peer)
+		r.sevMu.RLock()
+		cut := r.severed[l]
+		r.sevMu.RUnlock()
+		if cut {
+			r.dropMsg(&m)
+			return
+		}
+		if nb > 0 {
+			r.mu.Lock()
+			r.metrics.AddTraffic(l, float64(nb))
+			r.mu.Unlock()
+		}
+	}
+	if len(m.items) > 0 {
+		r.batchHist.Observe(float64(len(m.items)))
+	}
+	r.lat.Stamp(m.span, obs.StageSend)
+	f := &transport.Frame{
+		Type:   transport.FrameBatch,
+		Stream: m.stream.ID,
+		Hop:    m.hop,
+		Epoch:  m.epoch,
+		SeqLo:  m.seqLo,
+		EOS:    m.eos,
+		Items:  m.items,
+	}
+	if m.span != nil {
+		f.Span = obs.AppendSpanHeader(nil, m.span)
+	}
+	r.qmu.Lock()
+	r.msgs++
+	r.serBytes += nb
+	r.qmu.Unlock()
+	err := r.cluster.sendFrame(r.owners[peer], f)
+	r.recycle(&m) // Send copied the items into the link journal
+	if err != nil {
+		r.fail(fmt.Errorf("runtime: cluster send %s hop %d: %w", m.stream.ID, m.hop, err))
+	}
+}
+
+// clusterFrame handles one inbound data-plane frame (dispatcher
+// goroutine): batches are injected into the owning peer's mailbox, acks
+// advance the local emitter channel. Either way quiescence re-evaluates.
+func (r *Runtime) clusterFrame(f *transport.Frame) {
+	switch f.Type {
+	case transport.FrameBatch:
+		d := r.byID[f.Stream]
+		if d == nil || f.Hop <= 0 || f.Hop >= len(d.Route) {
+			return // engine mismatch; membership is trusted, drop
+		}
+		m := message{stream: d, hop: f.Hop, items: f.Items, eos: f.EOS, seqLo: f.SeqLo, epoch: f.Epoch}
+		if len(f.Span) > 0 {
+			if sp, _, err := obs.ParseSpanHeader(f.Span); err == nil {
+				m.span = sp
+			}
+		}
+		r.injectRemote(m)
+	case transport.FrameAck:
+		d := r.byID[f.Stream]
+		if d == nil {
+			return
+		}
+		if ch := r.chans[d]; ch != nil {
+			ch.ack(r, f.Consumer, f.Ack)
+		}
+		r.qmu.Lock()
+		r.qcond.Broadcast()
+		r.qmu.Unlock()
+	}
+}
+
+// injectRemote enqueues a remotely-emitted batch exactly as a local send
+// would, and retires its EOS lane: the first end-of-stream marker on a
+// remote-ingress lane decrements the count Run's quiescence waits on.
+// The frame's item slices alias the decoded payload, which this process
+// owns — no pooled buffer travels with the message.
+func (r *Runtime) injectRemote(m message) {
+	peer := m.stream.Route[m.hop]
+	dst := r.nodes[peer]
+	if dst == nil || !r.localPeer(peer) {
+		return // misrouted
+	}
+	r.qmu.Lock()
+	if m.eos && !r.localPeer(m.stream.Route[m.hop-1]) {
+		k := recvKey{m.stream, m.hop}
+		if !r.eosSeen[k] {
+			r.eosSeen[k] = true
+			r.eosWait--
+		}
+	}
+	r.inflight++
+	r.qcond.Broadcast()
+	r.qmu.Unlock()
+	dst.inbox.push(m)
+}
+
+// ackStream routes one consumer's cumulative ack to the stream's emitter
+// channel: locally when this process owns the emitter (the stream's tap),
+// as a FrameAck to the owning node otherwise.
+func (r *Runtime) ackStream(d *core.Deployed, consumer string, seq uint64) {
+	if r.owners != nil {
+		if owner := r.owners[d.Tap]; owner != r.cluster.node {
+			r.sendAck(owner, d, consumer, seq)
+			return
+		}
+	}
+	if ch := r.chans[d]; ch != nil {
+		ch.ack(r, consumer, seq)
+	}
+}
+
+// ackStreamAll is ackStream for several consumers of one batch.
+func (r *Runtime) ackStreamAll(d *core.Deployed, consumers []string, seq uint64) {
+	if r.owners != nil {
+		if owner := r.owners[d.Tap]; owner != r.cluster.node {
+			for _, name := range consumers {
+				r.sendAck(owner, d, name, seq)
+			}
+			return
+		}
+	}
+	if ch := r.chans[d]; ch != nil {
+		ch.ackAll(r, consumers, seq)
+	}
+}
+
+// sendAck emits one ack frame to the stream emitter's node. A send error
+// means the mesh is closing; the ack is lost with the run.
+func (r *Runtime) sendAck(owner string, d *core.Deployed, consumer string, seq uint64) {
+	err := r.cluster.sendFrame(owner, &transport.Frame{
+		Type: transport.FrameAck, Stream: d.ID, Consumer: consumer, Ack: seq,
+	})
+	if err != nil {
+		r.flight.Record("cluster.ack.drop", d.ID+" "+consumer)
+	}
+}
+
+// liveLocal snapshots the live locally-owned peers and responsible live
+// links (this node owns the link's A endpoint) for heartbeat gossip.
+func (r *Runtime) liveLocal() (peers, links []string) {
+	for _, id := range r.peerIDs {
+		if r.localPeer(id) && !r.nodes[id].dead.Load() {
+			peers = append(peers, string(id))
+		}
+	}
+	r.sevMu.RLock()
+	for _, l := range r.linkIDs {
+		if r.owners[l.A] != r.cluster.node || r.severed[l] || r.deadLocal(l.A) || r.deadLocal(l.B) {
+			continue
+		}
+		links = append(links, string(l.A), string(l.B))
+	}
+	r.sevMu.RUnlock()
+	return peers, links
+}

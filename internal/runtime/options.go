@@ -54,6 +54,15 @@ type Options struct {
 	// ack cursors across failure, re-plan and recovery. Nil (the
 	// default) keeps the unsequenced data path bit-for-bit unchanged.
 	Session *Session
+
+	// Cluster, when set, distributes the run across OS processes: network
+	// peers assigned to other cluster nodes receive their batches as
+	// frames over the cluster's transport links instead of the local
+	// mailbox, channel acks return as frames, and heartbeats gossip over
+	// the wire. Every participating process must build the same engine
+	// (plans are deterministic in the scenario) and use the same peer
+	// assignment. Nil (the default) runs everything in this process.
+	Cluster *Cluster
 }
 
 // DefaultOptions is the tuned data path: batched transfers, pooled buffers,

@@ -6,6 +6,7 @@ import (
 	"streamshare/internal/core"
 	"streamshare/internal/exec"
 	"streamshare/internal/network"
+	"streamshare/internal/transport"
 	"streamshare/internal/xmlstream"
 )
 
@@ -197,12 +198,12 @@ func (s *Session) recoverInput(sub *core.Subscription, si *core.SubInput, old *c
 			continue
 		}
 		c.mu.Lock()
-		pend := c.st.unackedAfter(c.st.cursor(lv.consumer))
-		entries := make([]chanEntry, len(pend))
+		pend := c.st.UnackedAfter(c.st.Cursor(lv.consumer))
+		entries := make([]transport.Entry, len(pend))
 		copy(entries, pend)
 		c.mu.Unlock()
 		for _, e := range entries {
-			if e.eos {
+			if e.EOS {
 				// A pending end-of-stream exists at exactly one level per
 				// chain: a child that never processed it never emitted one
 				// into the deeper journals.
@@ -213,7 +214,7 @@ func (s *Session) recoverInput(sub *core.Subscription, si *core.SubInput, old *c
 				}
 				continue
 			}
-			el, err := xmlstream.UnmarshalBytes(e.data)
+			el, err := xmlstream.UnmarshalBytes(e.Data)
 			if err != nil {
 				return fmt.Errorf("runtime: recover %s/%s: %w", sub.ID, si.In.Stream, err)
 			}
@@ -222,7 +223,7 @@ func (s *Session) recoverInput(sub *core.Subscription, si *core.SubInput, old *c
 				ops, off = lv.oldOps, 0
 			}
 			for _, f := range runOpsFrom(ops, off, el) {
-				feedBytes += marshalLen(f, lv.oldOps == nil && lv.offset == len(newOps), e.data)
+				feedBytes += marshalLen(f, lv.oldOps == nil && lv.offset == len(newOps), e.Data)
 				outs = append(outs, si.Local.Process(f)...)
 			}
 		}

@@ -42,6 +42,7 @@ import (
 	"streamshare/internal/health"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
+	"streamshare/internal/transport"
 	"streamshare/internal/xmlstream"
 )
 
@@ -158,11 +159,22 @@ type Runtime struct {
 	// skipped (both under mu).
 	sess         *Session
 	chans        map[*core.Deployed]*streamChan
-	recvs        map[recvKey]*recvState
+	recvs        map[recvKey]*transport.RecvCursor
 	peerIDs      []network.PeerID
 	linkIDs      []network.LinkID
 	retained     int
 	dedupDropped int
+
+	// Distribution (Options.Cluster): owners maps every peer to its
+	// cluster node (nil when single-process), byID resolves stream ids
+	// from inbound frames, eosWait counts remote-ingress lanes whose EOS
+	// has not arrived yet and eosSeen dedups the decrements (both under
+	// qmu — Run's quiescence waits on them).
+	cluster *Cluster
+	owners  map[network.PeerID]string
+	byID    map[string]*core.Deployed
+	eosWait int
+	eosSeen map[recvKey]bool
 }
 
 // node is one peer actor.
@@ -252,10 +264,32 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 	if opts.Session != nil {
 		r.sess = opts.Session
 		r.chans = map[*core.Deployed]*streamChan{}
-		r.recvs = map[recvKey]*recvState{}
+		r.recvs = map[recvKey]*transport.RecvCursor{}
 		r.sess.attach(r)
 	}
+	if opts.Cluster != nil {
+		r.cluster = opts.Cluster
+		r.owners = r.cluster.assignment(r)
+		r.byID = make(map[string]*core.Deployed, len(eng.Streams()))
+		r.eosSeen = map[recvKey]bool{}
+		for _, d := range eng.Streams() {
+			r.byID[d.ID] = d
+			for hop := 1; hop < len(d.Route); hop++ {
+				if r.localPeer(d.Route[hop]) && !r.localPeer(d.Route[hop-1]) {
+					r.eosWait++
+				}
+			}
+		}
+		// attach is last: it publishes r to the cluster's dispatchers,
+		// which may start injecting frames immediately.
+		r.cluster.attach(r)
+	}
 	return r
+}
+
+// localPeer reports whether a network peer is executed by this process.
+func (r *Runtime) localPeer(p network.PeerID) bool {
+	return r.owners == nil || r.owners[p] == r.cluster.node
 }
 
 // Run feeds the given original stream items through the distributed plan
@@ -278,6 +312,9 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 
 	var wg sync.WaitGroup
 	for _, n := range r.nodes {
+		if !r.localPeer(n.id) {
+			continue // executed by another cluster node
+		}
 		for i := 0; i < r.opts.Workers; i++ {
 			wg.Add(1)
 			go func(n *node) {
@@ -289,9 +326,11 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 
 	// Inject the original streams at their source peers, concurrently per
 	// stream (as independent telescopes would), batching as configured.
+	// In cluster mode only locally-owned sources inject; hop-0 emission is
+	// always process-local (a stream's tap is its route's first peer).
 	var sources sync.WaitGroup
 	for _, d := range r.eng.Streams() {
-		if !d.Original {
+		if !d.Original || !r.localPeer(d.Tap) {
 			continue
 		}
 		feed := items[d.Input.Stream]
@@ -307,16 +346,13 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 	}
 	sources.Wait()
 
-	// Quiescence: every queued or in-processing message has completed.
-	// With a session attached, a late channel break can release parked
-	// batches after the count first reaches zero, so settle and re-wait
-	// until a full pass releases nothing.
+	// Quiescence: every queued or in-processing message has completed, every
+	// remote-ingress lane has seen its EOS, and no batch is parked waiting
+	// for a (possibly remote) ack. With a session attached, a late channel
+	// break can release parked batches after the count first reaches zero,
+	// so settle and re-wait until a full pass releases nothing.
 	for {
-		r.qmu.Lock()
-		for r.inflight > 0 {
-			r.qcond.Wait()
-		}
-		r.qmu.Unlock()
+		r.awaitQuiet()
 		if r.sess == nil || !r.sess.settle(r) {
 			break
 		}
@@ -327,17 +363,29 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		monWG.Wait()
 		r.drainDetector()
 		for r.sess.settle(r) {
-			r.qmu.Lock()
-			for r.inflight > 0 {
-				r.qcond.Wait()
-			}
-			r.qmu.Unlock()
+			r.awaitQuiet()
 		}
-		r.qmu.Lock()
-		for r.inflight > 0 {
-			r.qcond.Wait()
+		r.awaitQuiet()
+	}
+
+	// Cluster mode: a process must not return (and possibly Close its
+	// mesh) while its link journals still hold frames a remote has not
+	// accepted — that would strand data a peer's quiescence is waiting on.
+	// Draining the local journals is not enough on its own: a peer may
+	// still be generating its trailing consumer acks, so the termination
+	// barrier holds every process's mesh open until all of them have
+	// drained.
+	if r.cluster != nil {
+		if err := r.cluster.mesh.WaitDrained(60 * time.Second); err != nil {
+			r.fail(fmt.Errorf("runtime: cluster: %w", err))
+		} else if err := r.cluster.barrier(60 * time.Second); err != nil {
+			r.fail(err)
 		}
-		r.qmu.Unlock()
+		// Past the barrier no frame for THIS run can still arrive, but a
+		// peer may already be racing ahead into the cluster's next run.
+		// Retire this runtime so early frames park until the next attach
+		// instead of vanishing into closed mailboxes.
+		r.cluster.detach(r)
 	}
 
 	for _, n := range r.nodes {
@@ -470,9 +518,22 @@ func (r *Runtime) publish() {
 		}
 		for d, c := range r.chans {
 			c.mu.Lock()
-			depth := c.st.maxDepth
+			depth := c.st.MaxDepth()
 			c.mu.Unlock()
 			reg.Gauge("runtime.channel.replay.hwm." + d.ID).SetMax(float64(depth))
+		}
+	}
+	if r.cluster != nil {
+		// Per-link transport counters are cumulative across a cluster's
+		// runs, so they publish as absolute gauges, not counter deltas.
+		for _, st := range r.cluster.Stats() {
+			p := "transport.link." + st.Remote + "."
+			reg.Gauge(p + "bytes.sent").Set(float64(st.BytesSent))
+			reg.Gauge(p + "bytes.recv").Set(float64(st.BytesRecv))
+			reg.Gauge(p + "frames.sent").Set(float64(st.FramesSent))
+			reg.Gauge(p + "frames.recv").Set(float64(st.FramesRecv))
+			reg.Gauge(p + "reconnects").Set(float64(st.Reconnects))
+			reg.Gauge(p + "replayed").Set(float64(st.Replayed))
 		}
 	}
 	// Pool deltas are best-effort: the pools are process-global, so
@@ -513,6 +574,10 @@ func (r *Runtime) dispatch(m message, gate *ackGate) {
 // carries nothing.
 func (r *Runtime) send(m message) {
 	peer := m.stream.Route[m.hop]
+	if !r.localPeer(peer) {
+		r.sendRemote(m, peer)
+		return
+	}
 	dst := r.nodes[peer]
 	if dst.dead.Load() {
 		r.dropMsg(&m)
@@ -582,6 +647,28 @@ func (r *Runtime) finish() {
 	r.qmu.Unlock()
 }
 
+// awaitQuiet blocks until the process is quiescent: no queued or
+// in-processing message, every remote-ingress lane has seen its EOS, and
+// (cluster mode) no batch is parked awaiting a remote ack. Cluster frame
+// arrivals broadcast qcond, so each condition is re-evaluated as remote
+// progress lands.
+func (r *Runtime) awaitQuiet() {
+	r.qmu.Lock()
+	for r.inflight > 0 || r.eosWait > 0 || r.clusterParked() {
+		r.qcond.Wait()
+	}
+	r.qmu.Unlock()
+}
+
+// clusterParked reports whether any session channel still parks batches.
+// Single-process runs never consult it (parked batches drain while their
+// acker's inflight is nonzero); in cluster mode the acks arrive as frames,
+// possibly after the local count reaches zero. Callers hold qmu; the
+// qmu → session.mu → channel.mu order is acquired nowhere in reverse.
+func (r *Runtime) clusterParked() bool {
+	return r.cluster != nil && r.sess != nil && r.sess.parkedDepth() > 0
+}
+
 // workerLoop drains one peer's inbox lane by lane. A killed peer keeps
 // draining — discarding messages that were queued before the kill — so the
 // in-flight count still returns to zero and Run terminates.
@@ -620,7 +707,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 		hi = m.seqLo + uint64(m.units()) - 1
 		rs := r.recvs[recvKey{d, m.hop}]
 		if rs != nil {
-			skip, deliver := rs.accept(m.epoch, m.seqLo, hi)
+			skip, deliver := rs.Accept(m.epoch, m.seqLo, hi)
 			if !deliver {
 				r.dedupDrop(m, m.units())
 				return
@@ -662,8 +749,8 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 			}
 			var gate *ackGate
 			if ch != nil && m.seqLo > 0 {
-				c, name, seq := ch, child.ID, hi
-				gate = newAckGate(func() { c.ack(r, name, seq) })
+				name, seq := child.ID, hi
+				gate = newAckGate(func() { r.ackStream(d, name, seq) })
 			}
 			r.feedChild(n, child, its, m.eos, gate, r.lat.Fork(m.span))
 			if gate != nil {
@@ -677,7 +764,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 			r.feedReader(re, its, m.eos, m.span)
 		}
 		if len(readers) > 0 && ch != nil && m.seqLo > 0 {
-			ch.ackAll(r, n.readerNames[d], hi)
+			r.ackStreamAll(d, n.readerNames[d], hi)
 		}
 	}
 	if !last {

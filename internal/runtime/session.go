@@ -11,6 +11,7 @@ import (
 	"streamshare/internal/health"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
+	"streamshare/internal/transport"
 )
 
 // This file is the reliability layer's live half: a Session owns the
@@ -61,7 +62,7 @@ type Session struct {
 
 	mu    sync.Mutex
 	chans map[*core.Deployed]*streamChan
-	recvs map[recvKey]*recvState
+	recvs map[recvKey]*transport.RecvCursor
 	binds map[bindKey]*core.Deployed
 
 	detMu    sync.Mutex
@@ -83,7 +84,7 @@ func NewSession(opts SessionOptions) *Session {
 	return &Session{
 		opts:      opts,
 		chans:     map[*core.Deployed]*streamChan{},
-		recvs:     map[recvKey]*recvState{},
+		recvs:     map[recvKey]*transport.RecvCursor{},
 		binds:     map[bindKey]*core.Deployed{},
 		det:       health.NewDetector(opts.Heartbeat),
 		suspected: map[health.Target]bool{},
@@ -135,13 +136,13 @@ func (s *Session) attach(r *Runtime) {
 		}
 		c := s.chans[d]
 		if c == nil {
-			c = &streamChan{d: d, st: newChanState(d.Epoch, window)}
+			c = &streamChan{d: d, st: transport.NewChannel(d.Epoch, window)}
 			c.cond = sync.NewCond(&c.mu)
 			s.chans[d] = c
 		}
 		c.mu.Lock()
 		for _, name := range cons {
-			c.st.addConsumer(name)
+			c.st.AddConsumer(name)
 		}
 		c.mu.Unlock()
 		r.chans[d] = c
@@ -149,7 +150,7 @@ func (s *Session) attach(r *Runtime) {
 			k := recvKey{d, hop}
 			rs := s.recvs[k]
 			if rs == nil {
-				rs = &recvState{}
+				rs = &transport.RecvCursor{}
 				s.recvs[k] = rs
 			}
 			r.recvs[k] = rs
@@ -196,7 +197,7 @@ func (s *Session) ChannelStates() []ChannelState {
 	out := make([]ChannelState, 0, len(chans))
 	for _, c := range chans {
 		c.mu.Lock()
-		out = append(out, c.st.snapshot(c.d.ID))
+		out = append(out, snapshotChannel(c.st, c.d.ID))
 		c.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
@@ -210,13 +211,32 @@ func (s *Session) chanFor(d *core.Deployed) *streamChan {
 	return s.chans[d]
 }
 
-// streamChan wraps one chanState with the synchronization the live data
+// parkedDepth counts parked batches across every channel. Cluster-mode
+// quiescence polls it: a parked batch waits on an ack that arrives as a
+// frame, possibly after the local in-flight count reaches zero.
+func (s *Session) parkedDepth() int {
+	s.mu.Lock()
+	chans := make([]*streamChan, 0, len(s.chans))
+	for _, c := range s.chans {
+		chans = append(chans, c)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, c := range chans {
+		c.mu.Lock()
+		n += len(c.parked)
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// streamChan wraps one transport.Channel with the synchronization the live data
 // path needs: a mutex, a condition variable blocked sources wait on, and
 // the FIFO of parked tap batches awaiting credit.
 type streamChan struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	st   *chanState
+	st   *transport.Channel
 	d    *core.Deployed
 
 	// parked holds worker-context batches that could not be admitted.
@@ -286,18 +306,18 @@ func ownedCopies(m *message) [][]byte {
 func (c *streamChan) stampLocked(m *message, owned [][]byte) {
 	first := uint64(0)
 	for _, b := range owned {
-		seq := c.st.emit(b, false)
+		seq := c.st.Emit(b, false)
 		if first == 0 {
 			first = seq
 		}
 	}
 	if m.eos {
-		seq := c.st.emit(nil, true)
+		seq := c.st.Emit(nil, true)
 		if first == 0 {
 			first = seq
 		}
 	}
-	m.seqLo, m.epoch = first, c.st.epoch
+	m.seqLo, m.epoch = first, c.st.Epoch()
 }
 
 // submit pushes one batch through the channel. Source context (gate nil)
@@ -311,7 +331,7 @@ func (c *streamChan) submit(r *Runtime, m message, gate *ackGate) {
 	c.mu.Lock()
 	if gate == nil {
 		stalled := false
-		for !c.st.broken && !c.st.admit(units) {
+		for !c.st.Broken() && !c.st.Admit(units) {
 			if !stalled {
 				stalled = true
 				c.stalls++
@@ -319,7 +339,7 @@ func (c *streamChan) submit(r *Runtime, m message, gate *ackGate) {
 			}
 			c.cond.Wait()
 		}
-	} else if !c.st.broken && (len(c.parked) > 0 || !c.st.admit(units)) {
+	} else if !c.st.Broken() && (len(c.parked) > 0 || !c.st.Admit(units)) {
 		c.stalls++
 		r.flight.Record("credit.stall", c.d.ID+" tap parked")
 		gate.add()
@@ -327,7 +347,7 @@ func (c *streamChan) submit(r *Runtime, m message, gate *ackGate) {
 		c.mu.Unlock()
 		return
 	}
-	broken := c.st.broken
+	broken := c.st.Broken()
 	c.stampLocked(&m, owned)
 	c.mu.Unlock()
 	if broken {
@@ -344,10 +364,10 @@ func (c *streamChan) submit(r *Runtime, m message, gate *ackGate) {
 func (c *streamChan) pumpLocked() (sends, drops []message, gates []*ackGate) {
 	for len(c.parked) > 0 {
 		p := c.parked[0]
-		if c.st.broken {
+		if c.st.Broken() {
 			c.stampLocked(&p.m, p.owned)
 			drops = append(drops, p.m)
-		} else if c.st.admit(p.m.units()) {
+		} else if c.st.Admit(p.m.units()) {
 			c.stampLocked(&p.m, p.owned)
 			sends = append(sends, p.m)
 		} else {
@@ -365,7 +385,7 @@ func (c *streamChan) pumpLocked() (sends, drops []message, gates []*ackGate) {
 // the pump fire after the channel unlocks (they ack other channels).
 func (c *streamChan) ack(r *Runtime, consumer string, seq uint64) {
 	c.mu.Lock()
-	freed := c.st.ack(consumer, seq)
+	freed := c.st.Ack(consumer, seq)
 	c.finishAck(r, freed)
 }
 
@@ -377,7 +397,7 @@ func (c *streamChan) ackAll(r *Runtime, consumers []string, seq uint64) {
 	c.mu.Lock()
 	freed := 0
 	for _, name := range consumers {
-		freed += c.st.ack(name, seq)
+		freed += c.st.Ack(name, seq)
 	}
 	c.finishAck(r, freed)
 }
@@ -403,11 +423,11 @@ func (c *streamChan) finishAck(r *Runtime, freed int) {
 // the journal and wakes blocked sources. Idempotent.
 func (c *streamChan) breakNow(r *Runtime) {
 	c.mu.Lock()
-	if c.st.broken {
+	if c.st.Broken() {
 		c.mu.Unlock()
 		return
 	}
-	c.st.broken = true
+	c.st.Break()
 	sends, drops, gates := c.pumpLocked()
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -554,23 +574,47 @@ func (r *Runtime) registerTargets(now time.Time) {
 // beatLive feeds one heartbeat round into the detector: every live peer
 // beats, and every link beats unless it is severed or touches a dead
 // peer (heartbeats cross links, so a dead endpoint silences the link
-// too). Heartbeat traffic is control-plane and is not metered. Callers
-// hold detMu.
+// too). In cluster mode each process beats only what it can vouch for —
+// its own peers, the links whose A endpoint it owns — and remotely-owned
+// targets beat from the latest heartbeat gossip, so a remote fault
+// surfaces here as its gossip entry disappearing. Heartbeat traffic is
+// control-plane and is not metered. Callers hold detMu.
 func (r *Runtime) beatLive(now time.Time) {
 	s := r.sess
 	for _, id := range r.peerIDs {
+		if !r.localPeer(id) {
+			continue
+		}
 		if !r.nodes[id].dead.Load() {
 			s.det.Beat(health.PeerTarget(id), now)
 		}
 	}
 	r.sevMu.RLock()
 	for _, l := range r.linkIDs {
-		if r.severed[l] || r.nodes[l.A].dead.Load() || r.nodes[l.B].dead.Load() {
+		if r.owners != nil && r.owners[l.A] != r.cluster.node {
+			continue
+		}
+		if r.severed[l] || r.deadLocal(l.A) || r.deadLocal(l.B) {
 			continue
 		}
 		s.det.Beat(health.LinkTarget(l), now)
 	}
 	r.sevMu.RUnlock()
+	if r.cluster != nil {
+		// Remote gossip is vouching, not timing: a remote's latest frame
+		// keeps beating its targets until it goes stale for far longer
+		// than any scheduler skew, so only a genuinely crashed process —
+		// or a gossip frame that names fewer targets — silences them.
+		for _, t := range r.cluster.remoteBeats(r, now, 100*s.det.Interval()) {
+			s.det.Beat(t, now)
+		}
+	}
+}
+
+// deadLocal reports a locally-known peer death. Remote deaths are not
+// directly observable; they surface through gossip beats stopping.
+func (r *Runtime) deadLocal(id network.PeerID) bool {
+	return r.localPeer(id) && r.nodes[id].dead.Load()
 }
 
 // monitor is the in-run heartbeat loop: each interval it beats live
@@ -592,6 +636,10 @@ func (r *Runtime) monitor(stop chan struct{}, done *sync.WaitGroup) {
 			evs := s.det.Tick(now)
 			s.detMu.Unlock()
 			r.handleHealth(evs)
+			if r.cluster != nil {
+				peers, links := r.liveLocal()
+				r.cluster.gossipHeartbeat(peers, links)
+			}
 		}
 	}
 }

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"streamshare/internal/core"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/runtime"
+	"streamshare/internal/xmlstream"
+)
+
+// buildClusterEngine builds the identical engine every cluster process
+// needs: same topology, same stream registration, so plans and
+// subscription ids agree across nodes.
+func buildClusterEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	n := network.New()
+	for _, id := range []network.PeerID{"SP0", "SP1", "SP2"} {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	n.Connect("SP0", "SP1", 12_500_000)
+	n.Connect("SP1", "SP2", 12_500_000)
+	eng := core.NewEngine(n, core.Config{})
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// startClusterServers brings up a two-node super-peer daemon over
+// loopback TCP: two servers, each with its own engine and a cluster
+// endpoint, meshed together. SP0 and SP1 land on n0, SP2 on n1.
+func startClusterServers(t *testing.T) (addr0, addr1 string, stop func()) {
+	t.Helper()
+	c1, err := runtime.NewCluster(runtime.ClusterOptions{
+		Node: "n1", Nodes: map[string]string{"n1": "127.0.0.1:0", "n0": ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := runtime.NewCluster(runtime.ClusterOptions{
+		Node: "n0", Nodes: map[string]string{"n0": "127.0.0.1:0", "n1": c1.Addr()},
+	})
+	if err != nil {
+		c1.Close()
+		t.Fatal(err)
+	}
+	if err := c0.WaitConnected(10 * time.Second); err != nil {
+		c0.Close()
+		c1.Close()
+		t.Fatal(err)
+	}
+	srv0 := New(buildClusterEngine(t), photons.DefaultConfig()).WithCluster(c0)
+	srv1 := New(buildClusterEngine(t), photons.DefaultConfig()).WithCluster(c1)
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv0.Serve(ln0)
+	go srv1.Serve(ln1)
+	return ln0.Addr().String(), ln1.Addr().String(), func() {
+		srv0.Close()
+		srv1.Close()
+	}
+}
+
+// retryOK polls a command on a client until its status goes OK (control
+// frames mirror asynchronously) or the deadline lapses.
+func retryOK(t *testing.T, c *client, line string) (status string, cont []string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, cont = c.cmd(t, line, "")
+		if strings.HasPrefix(status, "OK") || time.Now().After(deadline) {
+			return status, cont
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerClusterRun drives the full multi-process daemon flow against
+// two in-process servers meshed over loopback TCP: a subscription made on
+// the coordinating node mirrors to the other, RUN fans out and merges the
+// remote counts — matching the single-engine simulator exactly — FEED
+// routes client items through both processes, and NODES reports the
+// membership.
+func TestServerClusterRun(t *testing.T) {
+	addr0, addr1, stop := startClusterServers(t)
+	defer stop()
+	c := dial(t, addr0)
+
+	// The subscription lands on SP2 — owned by the OTHER node (n1), so
+	// every delivered item crosses the process boundary.
+	if s, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != "OK q1" {
+		t.Fatalf("subscribe = %q", s)
+	}
+	// The mutation mirrored to n1: its engine knows q1.
+	c1 := dial(t, addr1)
+	if s, _ := retryOK(t, c1, "EXPLAIN q1"); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("mirrored explain = %q", s)
+	}
+
+	status, cont := c.cmd(t, "RUN 400", "")
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("cluster run = %q", status)
+	}
+	var got int
+	for _, l := range cont {
+		fmt.Sscanf(l, "q1 %d", &got) //nolint:errcheck
+	}
+
+	// The merged distributed count must equal the single-engine
+	// simulator's on the identical feed (seed base 1, as the server's
+	// first run uses).
+	ref := buildClusterEngine(t)
+	if _, err := ref.Subscribe(velaQ, "SP2", core.StreamSharing); err != nil {
+		t.Fatal(err)
+	}
+	feed := map[string][]*xmlstream.Element{
+		"photons": photons.NewGenerator(photons.DefaultConfig(), 1).Generate(400),
+	}
+	sim, err := ref.Simulate(feed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Results["q1"]; got != want || want == 0 {
+		t.Errorf("cluster run delivered %d items, simulator %d", got, want)
+	}
+
+	// FEED pushes client items through both processes; only the in-box
+	// photon passes the vela ra filter.
+	doc := `<photons>
+<photon><coord><cel><ra>130.0</ra><dec>-45.0</dec></cel></coord><en>1.5</en><det_time>1</det_time></photon>
+<photon><coord><cel><ra>90.0</ra><dec>-45.0</dec></cel></coord><en>1.5</en><det_time>2</det_time></photon>
+</photons>`
+	status, cont = c.cmd(t, "FEED photons", doc)
+	if status != "OK fed 2 items into photons" {
+		t.Fatalf("cluster feed = %q", status)
+	}
+	if len(cont) != 1 || cont[0] != "q1 1" {
+		t.Errorf("cluster feed results = %v", cont)
+	}
+
+	for i, cl := range []*client{c, c1} {
+		status, cont = cl.cmd(t, "NODES", "")
+		if status != "OK 2 nodes" || len(cont) != 2 {
+			t.Errorf("node %d: NODES = %q %v", i, status, cont)
+		}
+	}
+
+	// UNSUBSCRIBE mirrors too: q1 disappears from both engines.
+	if s, _ := c.cmd(t, "UNSUBSCRIBE q1", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("unsubscribe = %q", s)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s, _ := c1.cmd(t, "EXPLAIN q1", ""); strings.HasPrefix(s, "ERR") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("unsubscribe did not mirror to n1")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerClusterCloseLeakFree extends the leak-free Close guarantee to
+// cluster mode: closing both servers tears down every client session AND
+// the transport meshes — listeners, conns, writer/reader/dispatcher/dial
+// goroutines — deterministically, leaving no goroutine behind.
+func TestServerClusterCloseLeakFree(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	addr0, addr1, stop := startClusterServers(t)
+	c0, c1 := dial(t, addr0), dial(t, addr1)
+	if s, _ := c0.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); s != "OK q1" {
+		t.Fatalf("subscribe = %q", s)
+	}
+	if s, _ := c0.cmd(t, "RUN 50", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("run = %q", s)
+	}
+	if s, _ := c1.cmd(t, "NODES", ""); !strings.HasPrefix(s, "OK") {
+		t.Fatalf("nodes = %q", s)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return with cluster attached")
+	}
+	for i, c := range []*client{c0, c1} {
+		c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.r.ReadString('\n'); err == nil {
+			t.Errorf("client %d: connection still open after Close", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && goruntime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := goruntime.NumGoroutine(); after > before {
+		t.Errorf("goroutines: %d before, %d after cluster Close", before, after)
+	}
+}

@@ -33,6 +33,8 @@
 //	                     peer/link (suspicion, flaps, threshold) and one line
 //	                     per reliable channel (next seq, cum ack, replay depth,
 //	                     credits); requires a session (sgd -reliable)
+//	NODES              → cluster membership: each node with its link phase
+//	                     and frame/reconnect counters (multi-process sgd)
 //	LAG                → per-subscription delivery freshness from sampled
 //	                     provenance spans: low watermark (event time of the
 //	                     newest sampled item fully processed at the sink),
@@ -83,6 +85,13 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+
+	// cluster coordination (cluster.go): the attached cluster, the pending
+	// fan-out runs awaiting remote RES controls, and the run id sequence.
+	cluster *runtime.Cluster
+	cmu     sync.Mutex
+	waits   map[string]chan remoteRes
+	runSeq  int
 }
 
 // New wraps an engine whose streams are fed from the synthetic photon
@@ -162,6 +171,12 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// The cluster mesh goes down last, after every client session exited:
+	// a session mid-RUN still needs the links. Close waits for the
+	// listener, every conn and every transport goroutine.
+	if s.cluster != nil {
+		s.cluster.Close() //nolint:errcheck
+	}
 	return err
 }
 
@@ -223,6 +238,8 @@ func (s *Server) dispatch(w io.Writer, r *bufio.Reader, cmd string, args []strin
 		s.health(w)
 	case "LAG":
 		s.lag(w)
+	case "NODES":
+		s.nodesCmd(w)
 	default:
 		fmt.Fprintf(w, "ERR unknown command %s\n", cmd)
 	}
@@ -275,6 +292,9 @@ func (s *Server) subscribe(w io.Writer, r *bufio.Reader, args []string) {
 	}
 	s.mu.Lock()
 	sub, err := s.eng.Subscribe(src, network.PeerID(args[0]), strat)
+	if err == nil {
+		s.mirror("SUB " + args[0] + " " + args[1] + "\n" + src)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
@@ -389,6 +409,9 @@ func (s *Server) unsubscribe(w io.Writer, args []string) {
 	s.mu.Lock()
 	err := s.eng.Unsubscribe(args[0])
 	s.stall.Forget(args[0])
+	if err == nil {
+		s.mirror("UNSUB " + args[0])
+	}
 	s.mu.Unlock()
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
@@ -409,34 +432,38 @@ func (s *Server) run(w io.Writer, args []string) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	feed := map[string][]*xmlstream.Element{}
-	seed := s.seed
-	for _, d := range s.eng.Streams() {
-		if !d.Original {
-			continue
+	var counts map[string]int
+	var streams int
+	if s.cluster != nil {
+		counts, err = s.executeCluster(fmt.Sprintf("RUN %d %d", n, s.seed), "")
+		for _, d := range s.eng.Streams() {
+			if d.Original {
+				streams++
+			}
 		}
-		feed[d.Input.Stream] = photons.NewGenerator(s.cfg, seed).Generate(n)
-		seed++
+	} else {
+		feed := s.buildFeed(n, s.seed)
+		streams = len(feed)
+		counts, err = s.execute(feed)
 	}
-	s.seed = seed
-	counts, err := s.execute(feed)
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	fmt.Fprintf(w, "OK %d streams fed %d items\n", len(feed), n)
+	fmt.Fprintf(w, "OK %d streams fed %d items\n", streams, n)
 	for _, sub := range s.eng.Subscriptions() {
 		fmt.Fprintf(w, "  %s %d\n", sub.ID, counts[sub.ID])
 	}
 }
 
 // execute pushes a feed through the installed plans: on the simulator by
-// default, on the session-backed distributed runtime when a reliability
-// session is attached (filling its channels and heartbeat state for
-// HEALTH). The caller must hold s.mu.
+// default, on the distributed runtime when a reliability session or a
+// cluster is attached (filling channels, heartbeat state and per-link
+// transport metrics). The caller must hold s.mu.
 func (s *Server) execute(feed map[string][]*xmlstream.Element) (map[string]int, error) {
-	if s.sess != nil {
-		res, err := runtime.NewWith(s.eng, false, runtime.Options{Session: s.sess}).Run(feed)
+	if s.sess != nil || s.cluster != nil {
+		opts := runtime.Options{Session: s.sess, Cluster: s.cluster}
+		res, err := runtime.NewWith(s.eng, false, opts).Run(feed)
 		if err != nil {
 			return nil, err
 		}
@@ -464,22 +491,19 @@ func (s *Server) feed(w io.Writer, r *bufio.Reader, args []string) {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
 	}
-	dec := xmlstream.NewDecoder(strings.NewReader(doc)).ConvertAttributes()
-	var items []*xmlstream.Element
-	for {
-		item, err := dec.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
-			return
-		}
-		items = append(items, item)
+	items, err := parseFeedDoc(doc)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	counts, err := s.execute(map[string][]*xmlstream.Element{args[0]: items})
+	var counts map[string]int
+	if s.cluster != nil {
+		counts, err = s.executeCluster("FEED "+args[0], doc)
+	} else {
+		counts, err = s.execute(map[string][]*xmlstream.Element{args[0]: items})
+	}
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sampleFrames covers every frame type with representative field loads.
+func sampleFrames() []*Frame {
+	return []*Frame{
+		{Type: FrameHello, Version: ProtocolVersion, Node: "n0", Resume: 17,
+			Options: map[string]string{"b": "2", "a": "1"}},
+		{Type: FrameWelcome, Version: ProtocolVersion, Node: "n1", Resume: 1},
+		{Type: FrameBatch, Seq: 42, Stream: "photons", Hop: 2, Epoch: 3, SeqLo: 99, EOS: true,
+			Span:  []byte{1, 2, 3},
+			Items: [][]byte{[]byte("<a/>"), []byte("<b>x</b>"), {}}},
+		{Type: FrameBatch, Seq: 1, Stream: "s", Items: nil},
+		{Type: FrameAck, Seq: 7, Stream: "photons", Consumer: "q1/photons", Ack: 1234},
+		{Type: FrameLinkAck, Ack: 55},
+		{Type: FrameHeartbeat, Seq: 0, Peers: []string{"SP0", "SP1"}, Links: []string{"SP0", "SP1", "SP1", "SP2"}},
+		{Type: FrameControl, Seq: 9, Data: []byte("RUN 100 42")},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		payload := EncodeFrame(f)
+		got, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", f.Type, err)
+		}
+		if !reflect.DeepEqual(normalize(f), normalize(got)) {
+			t.Fatalf("%s: round trip\n in: %+v\nout: %+v", f.Type, f, got)
+		}
+		// Re-encoding the decoded frame must be byte-identical: the codec
+		// is canonical (options sorted), which the replay journal relies on.
+		if again := EncodeFrame(got); !bytes.Equal(payload, again) {
+			t.Fatalf("%s: re-encode differs", f.Type)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares logical content.
+func normalize(f *Frame) *Frame {
+	c := *f
+	if len(c.Items) == 0 {
+		c.Items = nil
+	}
+	if len(c.Span) == 0 {
+		c.Span = nil
+	}
+	if len(c.Data) == 0 {
+		c.Data = nil
+	}
+	if len(c.Options) == 0 {
+		c.Options = nil
+	}
+	return &c
+}
+
+func TestFrameDecodeRejectsCorrupt(t *testing.T) {
+	valid := EncodeFrame(sampleFrames()[2])
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown type":   {0xEE, 0},
+		"zero type":      {0, 0},
+		"truncated":      valid[:len(valid)-3],
+		"trailing":       append(append([]byte{}, valid...), 0xFF),
+		"bad eos":        {byte(FrameBatch), 1, 1, 's', 0, 0, 0, 7},
+		"length overrun": {byte(FrameControl), 0, 200, 'x'},
+	}
+	for name, in := range cases {
+		if _, err := DecodeFrame(in); err == nil {
+			t.Errorf("%s: corrupt input decoded without error", name)
+		} else if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: error %v does not wrap ErrFrame", name, err)
+		}
+	}
+}
+
+func TestFramePayloadIO(t *testing.T) {
+	var buf bytes.Buffer
+	p1 := EncodeFrame(&Frame{Type: FrameLinkAck, Ack: 9})
+	p2 := EncodeFrame(&Frame{Type: FrameControl, Data: []byte("x")})
+	if err := WriteFramePayload(&buf, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFramePayload(&buf, p2); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{p1, p2} {
+		got, err := ReadFramePayload(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	// An oversized length prefix errors before allocating.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFramePayload(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized prefix: %v", err)
+	}
+}

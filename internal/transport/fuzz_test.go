@@ -1,4 +1,4 @@
-package runtime
+package transport
 
 import (
 	"fmt"
@@ -17,10 +17,10 @@ func FuzzChannel(f *testing.F) {
 	f.Add([]byte{4, 4, 4, 0, 1, 5, 0, 2, 6})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		const window = 6
-		c := newChanState(1, window)
+		c := NewChannel(1, window)
 		consumers := []string{"a", "b"}
 		for _, cn := range consumers {
-			c.addConsumer(cn)
+			c.AddConsumer(cn)
 		}
 
 		// Model state.
@@ -36,7 +36,7 @@ func FuzzChannel(f *testing.F) {
 		}
 
 		// Receiver model: delivered seqs per epoch for the dedup lane.
-		var rs recvState
+		var rs RecvCursor
 		delivered := map[string]bool{}
 		var recvEpoch, recvHi uint64 = 1, 0
 
@@ -44,7 +44,7 @@ func FuzzChannel(f *testing.F) {
 			op, arg := ops[i]%5, uint64(ops[i+1])
 			switch op {
 			case 0: // emit one unit, respecting admission like the runtime does
-				if !c.admit(1) {
+				if !c.Admit(1) {
 					// The model agrees the window is exhausted.
 					if int(lastSeq-minAck()) < window {
 						t.Fatalf("op %d: admission refused with %d unacked (window %d)",
@@ -53,7 +53,7 @@ func FuzzChannel(f *testing.F) {
 					continue
 				}
 				data := []byte(fmt.Sprintf("p%d", arg))
-				seq := c.emit(data, false)
+				seq := c.Emit(data, false)
 				lastSeq++
 				if seq != lastSeq {
 					t.Fatalf("op %d: emit seq %d, model %d", i, seq, lastSeq)
@@ -66,7 +66,7 @@ func FuzzChannel(f *testing.F) {
 					seq = lastSeq
 				}
 				before := minAck()
-				freed := c.ack(cn, seq)
+				freed := c.Ack(cn, seq)
 				if seq > acked[cn] {
 					acked[cn] = seq
 				}
@@ -82,7 +82,7 @@ func FuzzChannel(f *testing.F) {
 				if hi > lastSeq {
 					hi = lastSeq
 				}
-				skip, ok := rs.accept(recvEpoch, lo, hi)
+				skip, ok := rs.Accept(recvEpoch, lo, hi)
 				if !ok || skip != 0 {
 					t.Fatalf("op %d: fresh delivery [%d,%d] skip=%d ok=%v", i, lo, hi, skip, ok)
 				}
@@ -100,7 +100,7 @@ func FuzzChannel(f *testing.F) {
 				}
 				lo := 1 + arg%recvHi
 				hi := lo + arg%2
-				skip, ok := rs.accept(recvEpoch, lo, hi)
+				skip, ok := rs.Accept(recvEpoch, lo, hi)
 				if hi <= recvHi {
 					if ok {
 						t.Fatalf("op %d: full duplicate [%d,%d] accepted", i, lo, hi)
@@ -119,26 +119,59 @@ func FuzzChannel(f *testing.F) {
 				if recvHi == 0 {
 					continue // lane not primed: epoch 0 is still current
 				}
-				if _, ok := rs.accept(recvEpoch-1, 1, 1+arg%5); ok {
+				if _, ok := rs.Accept(recvEpoch-1, 1, 1+arg%5); ok {
 					t.Fatalf("op %d: stale epoch accepted", i)
 				}
 			}
 
 			// Invariants after every op.
-			if got, want := c.depth(), int(lastSeq-minAck()); got != want {
+			if got, want := c.Depth(), int(lastSeq-minAck()); got != want {
 				t.Fatalf("op %d: buffer depth %d, model %d", i, got, want)
 			}
-			if c.cumAck != minAck() {
-				t.Fatalf("op %d: cumAck %d, model %d", i, c.cumAck, minAck())
+			if c.CumAck() != minAck() {
+				t.Fatalf("op %d: cumAck %d, model %d", i, c.CumAck(), minAck())
 			}
-			for _, e := range c.buffer {
-				if string(emitted[e.seq]) != string(e.data) {
-					t.Fatalf("op %d: buffer seq %d holds %q, model %q", i, e.seq, e.data, emitted[e.seq])
+			for _, e := range c.UnackedAfter(0) {
+				if string(emitted[e.Seq]) != string(e.Data) {
+					t.Fatalf("op %d: buffer seq %d holds %q, model %q", i, e.Seq, e.Data, emitted[e.Seq])
 				}
 			}
 			if int(lastSeq-minAck()) > window {
 				t.Fatalf("op %d: window violated: %d unacked", i, lastSeq-minAck())
 			}
+		}
+	})
+}
+
+// FuzzFrame round-trips the length-prefixed frame codec: arbitrary input
+// must either decode into a frame that re-encodes byte-identically, or
+// error — never panic, and never allocate beyond the input's own size
+// (corrupt counts and lengths are bounded against the remaining bytes).
+func FuzzFrame(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(EncodeFrame(fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(FrameBatch), 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{byte(FrameHeartbeat), 0, 0xFE, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := DecodeFrame(payload)
+		if err != nil {
+			return
+		}
+		// Valid decode: the canonical re-encode must itself decode, and
+		// canonicalization must be a fixed point (the input may use
+		// non-minimal varints; the first re-encode normalizes them).
+		again := EncodeFrame(fr)
+		fr2, err := DecodeFrame(again)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		if third := EncodeFrame(fr2); string(third) != string(again) {
+			t.Fatalf("canonical encoding unstable:\n1: %x\n2: %x", again, third)
+		}
+		if fr2.Type != fr.Type || fr2.Seq != fr.Seq {
+			t.Fatalf("unstable decode: %v/%d vs %v/%d", fr.Type, fr.Seq, fr2.Type, fr2.Seq)
 		}
 	})
 }

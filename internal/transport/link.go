@@ -1,0 +1,494 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file is the managed connection between two nodes. A Link owns one
+// bidirectional Conn to a remote node and makes it loss-free across
+// disconnects by riding the Channel state machine: every sequenced frame
+// a node sends is journaled in the link's replay Channel before it goes
+// out, the receiver dedups by link sequence through a RecvCursor and
+// returns cumulative LinkAcks that trim the journal, and the handshake
+// exchanges each side's next-expected sequence so a reconnect replays
+// exactly the unacknowledged suffix. The journal is bounded by the link
+// credit window: a sender that outruns a dead or slow connection blocks
+// in Send until acks (or reconnection) free credits.
+//
+// Reconnect state machine (Link.phase):
+//
+//	idle → dialing → handshake → connected ⇄ reconnecting → closed
+//
+// The side with the lexicographically smaller node name dials; the other
+// side waits in its mesh accept loop. Either side detects a broken conn
+// through a read or write error, detaches it, and returns to
+// dialing/waiting until a fresh conn completes the Hello/Welcome
+// exchange.
+
+// linkAckEvery is how many sequenced frames a receiver accepts before
+// pushing a cumulative LinkAck (the mesh acker ticker covers the tail).
+const linkAckEvery = 16
+
+// DefaultLinkWindow bounds each link's replay journal, in frames.
+const DefaultLinkWindow = 1024
+
+// LinkStats is one link's cumulative transfer and reconnect counters.
+type LinkStats struct {
+	// Remote is the link's remote node name.
+	Remote string
+	// Phase is the connection phase at snapshot time.
+	Phase string
+	// BytesSent and BytesRecv count frame payload bytes plus length
+	// prefixes.
+	BytesSent, BytesRecv uint64
+	// FramesSent and FramesRecv count frames written to and read from
+	// conns (replays recount).
+	FramesSent, FramesRecv uint64
+	// Reconnects counts conn attachments beyond the first.
+	Reconnects uint64
+	// Replayed counts journal frames re-sent after a reconnect.
+	Replayed uint64
+	// SendWaits counts Send calls that blocked on the replay window.
+	SendWaits uint64
+	// Depth is the replay journal depth at snapshot time.
+	Depth int
+}
+
+// Link is one managed connection to a remote node. Create links through
+// Mesh.Connect.
+type Link struct {
+	mesh   *Mesh
+	remote string
+	// addr is the remote's listen address; empty on the accepting side.
+	addr   string
+	dialer bool
+
+	mu    chanLock
+	conn  Conn
+	gen   int // bumped per attach; stale readers/writers see it and stand down
+	phase string
+	// out journals sequenced outbound frames (consumer: the remote node).
+	out *Channel
+	// sent is the highest journal sequence written to the current conn.
+	sent uint64
+	// in dedups inbound sequenced frames across reconnect replays.
+	in RecvCursor
+	// recvSince counts accepted frames since the last LinkAck pushed.
+	recvSince int
+	closed    bool
+
+	stats   LinkStats
+	q       *frameQueue
+	attachN int
+}
+
+// Remote returns the remote node's name.
+func (l *Link) Remote() string { return l.remote }
+
+// Send journals one sequenced frame and wakes the writer; it blocks while
+// the replay window is exhausted and returns ErrClosed after Close. The
+// frame's Seq is assigned here.
+func (l *Link) Send(f *Frame) error {
+	l.mu.Lock()
+	waited := false
+	for !l.closed && !l.out.Admit(1) {
+		if !waited {
+			waited = true
+			l.stats.SendWaits++
+		}
+		l.mu.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	f.Seq = l.out.NextSeq()
+	l.out.Emit(AppendFrame(nil, f), false)
+	l.mu.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// SendRaw writes one unsequenced frame (heartbeats) straight to the
+// current conn, if any: no journal, no replay, loss tolerated by design.
+func (l *Link) SendRaw(f *Frame) error {
+	l.mu.Lock()
+	conn := l.conn
+	l.mu.Unlock()
+	if conn == nil {
+		return ErrClosed
+	}
+	payload := AppendFrame(nil, f)
+	err := conn.WriteFrame(payload)
+	if err == nil {
+		l.mu.Lock()
+		l.stats.FramesSent++
+		l.stats.BytesSent += uint64(len(payload) + 4)
+		l.mu.Unlock()
+	}
+	return err
+}
+
+// Stats snapshots the link's counters.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Remote = l.remote
+	s.Phase = l.phase
+	s.Depth = l.out.Depth()
+	return s
+}
+
+// dumpState writes the link's protocol state for watchdog hang reports.
+func (l *Link) dumpState(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	conn := "detached"
+	if l.conn != nil {
+		conn = "attached"
+	}
+	fmt.Fprintf(w, "  link %s: phase=%s conn=%s gen=%d out[next=%d cumack=%d depth=%d] in[next=%d] "+
+		"sent=%d frames[tx=%d rx=%d] reconnects=%d replayed=%d waits=%d queue=%d\n",
+		l.remote, l.phase, conn, l.gen, l.out.NextSeq(), l.out.CumAck(), l.out.Depth(),
+		l.in.Next(), l.sent, l.stats.FramesSent, l.stats.FramesRecv,
+		l.stats.Reconnects, l.stats.Replayed, l.stats.SendWaits, l.q.len())
+}
+
+// attachLocked installs a fresh conn after a completed handshake: the
+// peer's resume cursor acts as an implicit cumulative ack (everything
+// below it was delivered), the write cursor rewinds so the journal suffix
+// replays, and a reader for the new conn starts. Callers hold l.mu.
+func (l *Link) attachLocked(conn Conn, peerResume uint64) {
+	if l.closed {
+		conn.Close()
+		return
+	}
+	if l.conn != nil {
+		// A replacement conn won the race (e.g. the dialer re-dialed while
+		// our reader had not yet noticed the break): drop the old one; its
+		// reader sees a stale gen and stands down.
+		l.conn.Close()
+	}
+	l.gen++
+	l.conn = conn
+	l.phase = "connected"
+	l.attachN++
+	if l.attachN > 1 {
+		l.stats.Reconnects++
+		if peerResume > 0 {
+			if d := l.out.Depth(); d > 0 {
+				l.stats.Replayed += uint64(len(l.out.UnackedAfter(peerResume - 1)))
+			}
+		}
+	}
+	if peerResume > 0 {
+		l.out.Ack(l.remote, peerResume-1)
+		l.sent = peerResume - 1
+	}
+	l.mu.Broadcast()
+	l.mesh.wg.Add(1)
+	go l.reader(conn, l.gen)
+}
+
+// detachLocked drops the current conn after an error; the writer pauses
+// and the dial loop (or the next inbound handshake) reconnects. Callers
+// hold l.mu.
+func (l *Link) detachLocked() {
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	if !l.closed {
+		l.phase = "reconnecting"
+	}
+	l.mu.Broadcast()
+}
+
+// closeLocked finishes the link: conn down, senders woken with ErrClosed,
+// dispatch queue released. Callers hold l.mu.
+func (l *Link) closeLocked() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.phase = "closed"
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Broadcast()
+	l.q.close()
+}
+
+// writer is the link's single outbound pump: whenever a conn is attached
+// and the journal holds frames past the write cursor, it writes that
+// suffix in order. Keeping one writer per link preserves sequence order
+// across replays; raw frames interleave at whole-frame granularity via
+// the conn's own write lock.
+func (l *Link) writer() {
+	defer l.mesh.wg.Done()
+	l.mu.Lock()
+	for {
+		for !l.closed && (l.conn == nil || l.sent+1 >= l.out.NextSeq()) {
+			l.mu.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		conn, gen := l.conn, l.gen
+		pend := l.out.UnackedAfter(l.sent)
+		batch := make([]Entry, len(pend))
+		copy(batch, pend)
+		l.mu.Unlock()
+
+		wrote, bytes := 0, 0
+		var last uint64
+		var err error
+		for _, e := range batch {
+			if err = conn.WriteFrame(e.Data); err != nil {
+				break
+			}
+			wrote++
+			bytes += len(e.Data) + 4
+			last = e.Seq
+		}
+
+		l.mu.Lock()
+		l.stats.FramesSent += uint64(wrote)
+		l.stats.BytesSent += uint64(bytes)
+		if l.gen == gen {
+			if wrote > 0 && last > l.sent {
+				l.sent = last
+			}
+			if err != nil {
+				l.detachLocked()
+			}
+		}
+	}
+}
+
+// reader drains one conn: sequenced frames are deduped against the
+// receive cursor, acknowledged cumulatively, and handed to the dispatch
+// queue; LinkAcks trim the journal and wake blocked senders. A read or
+// decode error detaches the conn (if it is still the current one) and
+// ends the reader.
+func (l *Link) reader(conn Conn, gen int) {
+	defer l.mesh.wg.Done()
+	for {
+		payload, err := conn.ReadFrame()
+		if err != nil {
+			l.teardown(conn, gen)
+			return
+		}
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			// Protocol corruption: drop the conn, let replay re-deliver.
+			l.teardown(conn, gen)
+			return
+		}
+		l.mu.Lock()
+		l.stats.FramesRecv++
+		l.stats.BytesRecv += uint64(len(payload) + 4)
+		if f.Seq == 0 {
+			switch f.Type {
+			case FrameLinkAck:
+				if l.out.Ack(l.remote, f.Ack) > 0 {
+					l.mu.Broadcast()
+				}
+				l.mu.Unlock()
+			case FrameHeartbeat:
+				l.mu.Unlock()
+				l.q.push(f)
+			default:
+				l.mu.Unlock()
+			}
+			continue
+		}
+		if _, ok := l.in.Accept(0, f.Seq, f.Seq); !ok {
+			l.mu.Unlock() // duplicate from a reconnect replay
+			continue
+		}
+		l.recvSince++
+		var ack uint64
+		if l.recvSince >= linkAckEvery {
+			l.recvSince = 0
+			ack = l.in.Next() - 1
+		}
+		l.mu.Unlock()
+		if ack > 0 {
+			l.SendRaw(&Frame{Type: FrameLinkAck, Ack: ack})
+		}
+		l.q.push(f)
+	}
+}
+
+// teardown detaches a conn after a reader error unless a newer conn
+// already replaced it.
+func (l *Link) teardown(conn Conn, gen int) {
+	conn.Close()
+	l.mu.Lock()
+	if l.gen == gen && l.conn == conn {
+		l.detachLocked()
+	}
+	l.mu.Unlock()
+}
+
+// flushAck pushes a cumulative LinkAck if any accepted frames are
+// unacknowledged; the mesh acker ticks it so tails ack promptly even when
+// traffic stops short of linkAckEvery.
+func (l *Link) flushAck() {
+	l.mu.Lock()
+	if l.recvSince == 0 || l.conn == nil {
+		l.mu.Unlock()
+		return
+	}
+	l.recvSince = 0
+	ack := l.in.Next() - 1
+	l.mu.Unlock()
+	l.SendRaw(&Frame{Type: FrameLinkAck, Ack: ack})
+}
+
+// dialLoop runs on the dialing side: whenever the link has no conn, dial
+// the remote, run the Hello/Welcome handshake, and attach. Failures back
+// off exponentially (capped) until Close.
+func (l *Link) dialLoop() {
+	defer l.mesh.wg.Done()
+	backoff := 2 * time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
+	for {
+		l.mu.Lock()
+		for !l.closed && l.conn != nil {
+			l.mu.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		l.phase = "dialing"
+		resume := l.in.Next()
+		l.mu.Unlock()
+
+		conn, err := l.mesh.tr.Dial(l.addr)
+		if err == nil {
+			l.mu.Lock()
+			l.phase = "handshake"
+			l.mu.Unlock()
+			l.mesh.trackPending(conn, true)
+			var welcome *Frame
+			welcome, err = handshakeDial(conn, l.mesh.node, l.remote, resume)
+			l.mesh.trackPending(conn, false)
+			if err == nil {
+				l.mu.Lock()
+				l.attachLocked(conn, welcome.Resume)
+				l.mu.Unlock()
+				backoff = 2 * time.Millisecond
+				continue
+			}
+			conn.Close()
+		}
+		select {
+		case <-l.mesh.done:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// handshakeDial runs the dialer's half of the handshake: send Hello with
+// our identity and resume cursor, require a version- and name-matching
+// Welcome.
+func handshakeDial(conn Conn, node, remote string, resume uint64) (*Frame, error) {
+	hello := &Frame{Type: FrameHello, Version: ProtocolVersion, Node: node, Resume: resume}
+	if err := conn.WriteFrame(EncodeFrame(hello)); err != nil {
+		return nil, err
+	}
+	payload, err := conn.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	f, err := DecodeFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != FrameWelcome {
+		return nil, fmt.Errorf("transport: handshake: expected welcome, got %s", f.Type)
+	}
+	if f.Version != ProtocolVersion {
+		return nil, fmt.Errorf("transport: handshake: version %d, want %d", f.Version, ProtocolVersion)
+	}
+	if f.Node != remote {
+		return nil, fmt.Errorf("transport: handshake: connected to %q, want %q", f.Node, remote)
+	}
+	return f, nil
+}
+
+// frameQueue decouples the conn reader from frame handling: the reader
+// must always drain the socket (link acks travel in-band), so handler
+// work — which may itself block sending on other links — runs on a
+// dedicated dispatcher goroutine fed by this unbounded FIFO.
+type frameQueue struct {
+	mu     chanLock
+	q      []*queuedFrame
+	closed bool
+}
+
+type queuedFrame struct{ f *Frame }
+
+func newFrameQueue() *frameQueue { return &frameQueue{} }
+
+func (q *frameQueue) push(f *Frame) {
+	q.mu.Lock()
+	if !q.closed {
+		q.q = append(q.q, &queuedFrame{f})
+		q.mu.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *frameQueue) pop() (*Frame, bool) {
+	q.mu.Lock()
+	for len(q.q) == 0 && !q.closed {
+		q.mu.Wait()
+	}
+	if len(q.q) == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	f := q.q[0].f
+	q.q[0] = nil
+	q.q = q.q[1:]
+	q.mu.Unlock()
+	return f, true
+}
+
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *frameQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.q)
+}
+
+// dispatcher feeds queued frames to the mesh handler in arrival order.
+func (l *Link) dispatcher() {
+	defer l.mesh.wg.Done()
+	for {
+		f, ok := l.q.pop()
+		if !ok {
+			return
+		}
+		l.mesh.handler(l.remote, f)
+	}
+}

@@ -1,0 +1,377 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// chanLock is a mutex with an attached condition variable; Wait and
+// Broadcast must be called with the lock held (which makes the lazy cond
+// init race-free).
+type chanLock struct {
+	sync.Mutex
+	cond *sync.Cond
+}
+
+func (l *chanLock) Wait() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.Mutex)
+	}
+	l.cond.Wait()
+}
+
+func (l *chanLock) Broadcast() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.Mutex)
+	}
+	l.cond.Broadcast()
+}
+
+// MeshConfig configures one node's mesh endpoint.
+type MeshConfig struct {
+	// Transport carries the frames (TCP between processes, Mem in tests).
+	Transport Transport
+	// Node is this node's name — its peer identity in handshakes. Between
+	// two connected nodes, the one with the smaller name dials.
+	Node string
+	// Listen is the address to accept inbound links on.
+	Listen string
+	// Handler receives every dispatched inbound frame (batch, ack,
+	// heartbeat, control), per link in arrival order. It runs on a
+	// per-link dispatcher goroutine and may send on other links, but must
+	// not call back into Mesh.Close.
+	Handler func(remote string, f *Frame)
+	// Window bounds each link's replay journal in frames
+	// (DefaultLinkWindow when 0).
+	Window int
+}
+
+// Mesh is one node's endpoint in the super-peer network: a listener, a
+// named identity, and one managed Link per remote node.
+type Mesh struct {
+	node    string
+	tr      Transport
+	ln      Listener
+	handler func(remote string, f *Frame)
+	window  int
+
+	mu      sync.Mutex
+	links   map[string]*Link
+	pending map[Conn]bool
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewMesh binds the node's listener and starts its accept and ack-flush
+// loops. Connect the remote nodes afterwards, then Close exactly once.
+func NewMesh(cfg MeshConfig) (*Mesh, error) {
+	if cfg.Transport == nil || cfg.Node == "" || cfg.Handler == nil {
+		return nil, fmt.Errorf("transport: mesh needs a transport, a node name and a handler")
+	}
+	ln, err := cfg.Transport.Listen(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultLinkWindow
+	}
+	m := &Mesh{
+		node:    cfg.Node,
+		tr:      cfg.Transport,
+		ln:      ln,
+		handler: cfg.Handler,
+		window:  cfg.Window,
+		links:   map[string]*Link{},
+		pending: map[Conn]bool{},
+		done:    make(chan struct{}),
+	}
+	m.wg.Add(2)
+	go m.acceptLoop()
+	go m.ackerLoop()
+	return m, nil
+}
+
+// Node returns this node's name.
+func (m *Mesh) Node() string { return m.node }
+
+// Addr returns the listener's bound address (dialable by remotes).
+func (m *Mesh) Addr() string { return m.ln.Addr() }
+
+// Connect registers the link to a remote node, starting its dial loop if
+// this side dials (smaller node name dials larger). Idempotent per
+// remote.
+func (m *Mesh) Connect(remote, addr string) *Link {
+	m.mu.Lock()
+	if l, ok := m.links[remote]; ok {
+		m.mu.Unlock()
+		return l
+	}
+	l := &Link{
+		mesh:   m,
+		remote: remote,
+		addr:   addr,
+		dialer: m.node < remote,
+		phase:  "idle",
+		out:    NewChannel(0, m.window),
+		q:      newFrameQueue(),
+	}
+	l.out.AddConsumer(remote)
+	if m.closed {
+		l.closed = true
+		l.phase = "closed"
+	}
+	m.links[remote] = l
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return l
+	}
+	m.wg.Add(2)
+	go l.writer()
+	go l.dispatcher()
+	if l.dialer {
+		m.wg.Add(1)
+		go l.dialLoop()
+	} else {
+		l.mu.Lock()
+		l.phase = "accept-wait"
+		l.mu.Unlock()
+	}
+	return l
+}
+
+// Link returns the link to a remote node, nil if never connected.
+func (m *Mesh) Link(remote string) *Link {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.links[remote]
+}
+
+// Links returns every link, sorted by remote node name.
+func (m *Mesh) Links() []*Link {
+	m.mu.Lock()
+	out := make([]*Link, 0, len(m.links))
+	for _, l := range m.links {
+		out = append(out, l)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].remote < out[j].remote })
+	return out
+}
+
+// Stats snapshots every link's counters, sorted by remote node name.
+func (m *Mesh) Stats() []LinkStats {
+	links := m.Links()
+	out := make([]LinkStats, 0, len(links))
+	for _, l := range links {
+		out = append(out, l.Stats())
+	}
+	return out
+}
+
+// acceptLoop accepts inbound conns until the listener closes; each conn
+// handshakes on its own goroutine so a stalled peer cannot block others.
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go m.handleIncoming(conn)
+	}
+}
+
+// handleIncoming runs the accepting half of the handshake: require a
+// version-matching Hello from a known remote, answer with Welcome and our
+// resume cursor, and attach the conn to the remote's link.
+func (m *Mesh) handleIncoming(conn Conn) {
+	defer m.wg.Done()
+	if !m.trackPending(conn, true) {
+		conn.Close()
+		return
+	}
+	payload, err := conn.ReadFrame()
+	if err != nil {
+		m.trackPending(conn, false)
+		conn.Close()
+		return
+	}
+	f, derr := DecodeFrame(payload)
+	if derr != nil || f.Type != FrameHello || f.Version != ProtocolVersion {
+		m.trackPending(conn, false)
+		conn.Close()
+		return
+	}
+	m.mu.Lock()
+	l := m.links[f.Node]
+	m.mu.Unlock()
+	if l == nil {
+		// Unknown peer identity: membership is static, refuse.
+		m.trackPending(conn, false)
+		conn.Close()
+		return
+	}
+	l.mu.Lock()
+	resume := l.in.Next()
+	l.mu.Unlock()
+	welcome := &Frame{Type: FrameWelcome, Version: ProtocolVersion, Node: m.node, Resume: resume}
+	if err := conn.WriteFrame(EncodeFrame(welcome)); err != nil {
+		m.trackPending(conn, false)
+		conn.Close()
+		return
+	}
+	m.trackPending(conn, false)
+	l.mu.Lock()
+	l.attachLocked(conn, f.Resume)
+	l.mu.Unlock()
+}
+
+// trackPending records a conn that is mid-handshake (blocked reads with
+// no owning link yet) so Close can break it; it reports false when the
+// mesh is already closed.
+func (m *Mesh) trackPending(conn Conn, add bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if add {
+		if m.closed {
+			return false
+		}
+		m.pending[conn] = true
+		return true
+	}
+	delete(m.pending, conn)
+	return true
+}
+
+// ackerLoop flushes tail LinkAcks a few times per detector interval so
+// journal trims never wait on further traffic.
+func (m *Mesh) ackerLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			for _, l := range m.Links() {
+				l.flushAck()
+			}
+		}
+	}
+}
+
+// DropConns force-closes every attached conn without closing the links —
+// the reconnect chaos hook. Links detach, redial and replay; it returns
+// how many conns were dropped.
+func (m *Mesh) DropConns() int {
+	n := 0
+	for _, l := range m.Links() {
+		l.mu.Lock()
+		if l.conn != nil {
+			l.detachLocked()
+			n++
+		}
+		l.mu.Unlock()
+	}
+	return n
+}
+
+// WaitConnected blocks until every link has an attached conn, or the
+// timeout elapses (error names the unconnected remotes).
+func (m *Mesh) WaitConnected(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var waiting []string
+		for _, l := range m.Links() {
+			l.mu.Lock()
+			if l.conn == nil && !l.closed {
+				waiting = append(waiting, l.remote)
+			}
+			l.mu.Unlock()
+		}
+		if len(waiting) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: links not connected: %v", waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// WaitDrained blocks until every link's replay journal is empty — every
+// sequenced frame sent has been accepted by its remote — or the timeout
+// elapses. Closed links, whose journals can no longer drain, are skipped.
+func (m *Mesh) WaitDrained(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		depth := 0
+		for _, l := range m.Links() {
+			if st := l.Stats(); st.Phase != "closed" {
+				depth += st.Depth
+			}
+		}
+		if depth == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: links not drained: %d frames unacked", depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close tears the mesh down deterministically: the listener stops, every
+// link's conn and mid-handshake conn closes, blocked senders return
+// ErrClosed, and Close waits for every mesh goroutine (accept, acker,
+// dialers, writers, readers, dispatchers) to exit. Idempotent.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.closed = true
+	close(m.done)
+	pending := make([]Conn, 0, len(m.pending))
+	for c := range m.pending {
+		pending = append(pending, c)
+	}
+	m.pending = map[Conn]bool{}
+	links := make([]*Link, 0, len(m.links))
+	for _, l := range m.links {
+		links = append(links, l)
+	}
+	m.mu.Unlock()
+
+	m.ln.Close()
+	for _, c := range pending {
+		c.Close()
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		l.closeLocked()
+		l.mu.Unlock()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// DumpState writes the mesh's per-link protocol state (phase, cursors,
+// journal depth, counters) — wired into testutil.OnHang so hung
+// distributed tests show where the transport stands.
+func (m *Mesh) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "mesh %s @ %s:\n", m.node, m.Addr())
+	for _, l := range m.Links() {
+		l.dumpState(w)
+	}
+}

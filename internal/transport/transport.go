@@ -1,0 +1,43 @@
+package transport
+
+import "errors"
+
+// ErrClosed reports an operation on a closed conn, listener, link or mesh.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport abstracts how nodes reach each other: TCP between OS
+// processes, or the in-process implementation that carries the same
+// encoded frames over Go channels (the byte-for-byte equivalence oracle
+// for the wire path).
+type Transport interface {
+	// Listen binds a listener at addr. The in-process transport accepts
+	// any string as an address; an empty addr picks a fresh one.
+	Listen(addr string) (Listener, error)
+	// Dial opens a connection to a listener's address.
+	Dial(addr string) (Conn, error)
+}
+
+// Listener accepts inbound connections at one address.
+type Listener interface {
+	// Accept blocks until the next inbound connection (or the listener
+	// closes).
+	Accept() (Conn, error)
+	// Addr returns the bound address, usable with Dial.
+	Addr() string
+	// Close stops accepting; a blocked Accept returns ErrClosed.
+	Close() error
+}
+
+// Conn is one framed bidirectional connection. WriteFrame is atomic per
+// frame (implementations serialize concurrent writers), so whole frames
+// never interleave.
+type Conn interface {
+	// WriteFrame sends one encoded frame payload, length-prefixed. The
+	// payload is not retained.
+	WriteFrame(payload []byte) error
+	// ReadFrame returns the next frame payload.
+	ReadFrame() ([]byte, error)
+	// Close tears the connection down; blocked reads and writes on either
+	// end return errors.
+	Close() error
+}
