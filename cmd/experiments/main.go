@@ -14,12 +14,17 @@
 //	                        latency and redelivery volume
 //	experiments -bench      the data-path benchmark: the scale grid through
 //	                        the distributed runtime, baseline vs batched vs
-//	                        span-sampled options plus a tcp-loopback column
+//	                        span-sampled options plus tcp-loopback columns
 //	                        (the workload split across two cluster nodes
-//	                        meshed over real sockets) and a per-hop latency
-//	                        profile, always writing BENCH_<rev>.json and the
-//	                        profiling runs' flight dumps to FLIGHT_<rev>.txt
-//	                        (-short shrinks it to one CI-sized configuration)
+//	                        meshed over real sockets, once with verbatim xml
+//	                        frames and once with the negotiated binary wire
+//	                        codec) and a per-hop latency profile; plus the
+//	                        wire-codec benchmark (photon batches through a
+//	                        loopback socket paced to the modeled link
+//	                        bandwidth, xml vs binary head to head), always
+//	                        writing BENCH_<rev>.json and the profiling runs'
+//	                        flight dumps to FLIGHT_<rev>.txt (-short shrinks
+//	                        it to one CI-sized configuration)
 //	experiments -all        everything except -bench (default)
 //	experiments -seed 7     derive every workload and photon stream from the
 //	                        given base seed (0 = the classic constants)
@@ -114,6 +119,7 @@ type benchReport struct {
 	Churn        []churnRow    `json:"churn,omitempty"`
 	DataPath     []benchRow    `json:"dataPath,omitempty"`
 	ControlPlane []ctrlRow     `json:"controlPlane,omitempty"`
+	WireCodec    []wireRow     `json:"wireCodec,omitempty"`
 	Recovery     []recoveryRow `json:"recovery,omitempty"`
 }
 
@@ -157,6 +163,7 @@ func main() {
 	if *bench {
 		report.DataPath, flightDump = benchDataPath(*items, *short)
 		report.ControlPlane = benchControlPlane(*short)
+		report.WireCodec = benchWireCodec(*short)
 		// The benchmark exists to document the throughput trajectory, so
 		// it always persists its measurements.
 		*jsonOut = true

@@ -38,7 +38,10 @@
 // same node set, or inbound handshakes from unlisted nodes are refused.
 // Super-peers are partitioned across the processes deterministically;
 // batches, acks and heartbeats travel as length-prefixed frames over
-// reconnect-safe links. Start the accepting node first:
+// reconnect-safe links. Each link handshake negotiates an item codec —
+// dictionary-compressed binary by default, with -codec=xml forcing the
+// verbatim XML baseline for debugging (see docs/WIRE.md for the wire
+// format). Start the accepting node first:
 //
 //	sgd -node n1 -cluster-listen 127.0.0.1:7171 -join n0= -listen 127.0.0.1:7070
 //	sgd -node n0 -cluster-listen 127.0.0.1:0 -join n1=127.0.0.1:7171 -listen 127.0.0.1:7071
@@ -67,6 +70,7 @@ import (
 	"streamshare/internal/photons"
 	"streamshare/internal/runtime"
 	"streamshare/internal/server"
+	"streamshare/internal/wire"
 	"streamshare/internal/xmlstream"
 )
 
@@ -84,6 +88,7 @@ func main() {
 	node := flag.String("node", "", "cluster node name; empty runs single-process")
 	clusterListen := flag.String("cluster-listen", "127.0.0.1:0", "cluster mesh listen address")
 	join := flag.String("join", "", "other cluster nodes as name=addr pairs, comma-separated (addr may be empty for nodes that dial us)")
+	codec := flag.String("codec", "", "mesh item codecs offered during link handshakes, comma-separated in preference order (default binary,xml; -codec=xml forces the verbatim debug baseline)")
 	flag.Parse()
 
 	n := network.New()
@@ -133,7 +138,12 @@ func main() {
 			}
 		}
 		var err error
-		clu, err = runtime.NewCluster(runtime.ClusterOptions{Node: *node, Nodes: nodes})
+		clu, err = runtime.NewCluster(runtime.ClusterOptions{
+			Node:         *node,
+			Nodes:        nodes,
+			Codecs:       wire.ParseList(*codec),
+			WireObserver: runtime.WireMetricsObserver(eng.Obs().Metrics),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

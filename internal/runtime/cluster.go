@@ -59,6 +59,20 @@ type ClusterOptions struct {
 	// LinkWindow bounds each link's replay journal in frames
 	// (transport.DefaultLinkWindow when 0).
 	LinkWindow int
+
+	// Codecs lists the item codecs this node offers during link
+	// handshakes, in preference order. Nil offers wire.DefaultCodecs()
+	// (binary preferred, xml fallback); []string{"xml"} forces the
+	// verbatim baseline on every link — the -codec=xml debug override.
+	// Nodes may disagree: each link negotiates independently, so a
+	// mixed-codec cluster is fully supported.
+	Codecs []string
+
+	// WireObserver receives one callback per encoded or decoded batch on
+	// any mesh link (see transport.MeshConfig.ObserveWire for the
+	// contract — it runs under the link lock and must be fast).
+	// WireMetricsObserver builds one that feeds a metrics registry.
+	WireObserver func(op string, seconds float64, items, xmlBytes, wireBytes int)
 }
 
 // Cluster is one process's endpoint in a multi-process super-peer network.
@@ -99,6 +113,39 @@ type gossipEntry struct {
 	at time.Time
 }
 
+// WireMetricsObserver builds a ClusterOptions.WireObserver that feeds a
+// metrics registry: wire.encode.seconds / wire.decode.seconds latency
+// histograms (per batch), and wire.<op>.items / wire.<op>.bytes.xml /
+// wire.<op>.bytes.wire counters. The instruments are resolved once here —
+// the callback runs under the transport link lock on every batch, so it
+// must not take the registry's map lock.
+func WireMetricsObserver(reg *obs.Registry) func(op string, seconds float64, items, xmlBytes, wireBytes int) {
+	buckets := obs.ExpBuckets(1e-6, 4, 10) // 1µs .. ~260ms
+	type instruments struct {
+		seconds            *obs.Histogram
+		items, xmlB, wireB *obs.Counter
+	}
+	mk := func(op string) instruments {
+		return instruments{
+			seconds: reg.Histogram("wire."+op+".seconds", buckets),
+			items:   reg.Counter("wire." + op + ".items"),
+			xmlB:    reg.Counter("wire." + op + ".bytes.xml"),
+			wireB:   reg.Counter("wire." + op + ".bytes.wire"),
+		}
+	}
+	enc, dec := mk("encode"), mk("decode")
+	return func(op string, seconds float64, items, xmlBytes, wireBytes int) {
+		in := enc
+		if op == "decode" {
+			in = dec
+		}
+		in.seconds.Observe(seconds)
+		in.items.Add(float64(items))
+		in.xmlB.Add(float64(xmlBytes))
+		in.wireB.Add(float64(wireBytes))
+	}
+}
+
 // PartitionPeers deterministically assigns peers to cluster nodes:
 // both lists are sorted and the peer list is split into contiguous,
 // near-equal ranges, one per node. Every process computes the same map
@@ -131,11 +178,13 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	c := &Cluster{node: opts.Node, assign: opts.Assign, gossip: map[string]gossipEntry{}}
 	c.acond = sync.NewCond(&c.amu)
 	mesh, err := transport.NewMesh(transport.MeshConfig{
-		Transport: tr,
-		Node:      opts.Node,
-		Listen:    opts.Nodes[opts.Node],
-		Handler:   c.handle,
-		Window:    opts.LinkWindow,
+		Transport:   tr,
+		Node:        opts.Node,
+		Listen:      opts.Nodes[opts.Node],
+		Handler:     c.handle,
+		Window:      opts.LinkWindow,
+		Codecs:      opts.Codecs,
+		ObserveWire: opts.WireObserver,
 	})
 	if err != nil {
 		return nil, err

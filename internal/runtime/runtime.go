@@ -534,6 +534,20 @@ func (r *Runtime) publish() {
 			reg.Gauge(p + "frames.recv").Set(float64(st.FramesRecv))
 			reg.Gauge(p + "reconnects").Set(float64(st.Reconnects))
 			reg.Gauge(p + "replayed").Set(float64(st.Replayed))
+			// The negotiated codec publishes as a flag gauge (metrics are
+			// numeric): transport.link.<remote>.codec.binary = 1. The codec
+			// counters are cumulative per link, so absolute gauges too.
+			if st.Codec != "" {
+				reg.Gauge(p + "codec." + st.Codec).Set(1)
+			}
+			if st.EncodedItems > 0 || st.DecodedItems > 0 {
+				reg.Gauge(p + "codec.items.sent").Set(float64(st.EncodedItems))
+				reg.Gauge(p + "codec.items.recv").Set(float64(st.DecodedItems))
+				reg.Gauge(p + "codec.bytes.xml.sent").Set(float64(st.EncodedXMLBytes))
+				reg.Gauge(p + "codec.bytes.wire.sent").Set(float64(st.EncodedWireBytes))
+				reg.Gauge(p + "codec.bytes.xml.recv").Set(float64(st.DecodedXMLBytes))
+				reg.Gauge(p + "codec.bytes.wire.recv").Set(float64(st.DecodedWireBytes))
+			}
 		}
 	}
 	// Pool deltas are best-effort: the pools are process-global, so

@@ -70,8 +70,12 @@ func (s *Server) nodesCmd(w io.Writer) {
 		}
 		for _, st := range stats {
 			if st.Remote == n {
-				fmt.Fprintf(w, "  %s %s sent=%d recv=%d reconnects=%d\n",
-					n, st.Phase, st.FramesSent, st.FramesRecv, st.Reconnects)
+				codec := st.Codec
+				if codec == "" {
+					codec = "unnegotiated"
+				}
+				fmt.Fprintf(w, "  %s %s codec=%s sent=%d recv=%d reconnects=%d\n",
+					n, st.Phase, codec, st.FramesSent, st.FramesRecv, st.Reconnects)
 			}
 		}
 	}

@@ -40,8 +40,11 @@ type FrameType uint8
 // Frame kinds. Hello/Welcome are the connection handshake, Batch carries
 // a message's serialized items, Ack a channel-consumer cumulative ack,
 // LinkAck the link-level replay-buffer ack, Heartbeat the failure-detector
-// liveness gossip, and Control an opaque coordination payload (the server
-// layer's subscription/run replication).
+// liveness gossip, Control an opaque coordination payload (the server
+// layer's subscription/run replication), and BatchBin a Batch whose items
+// travel as one codec-encoded payload instead of verbatim XML — only sent
+// on links that negotiated a non-xml codec in the handshake, so peers that
+// predate it never see the type.
 const (
 	FrameHello FrameType = iota + 1
 	FrameWelcome
@@ -50,6 +53,7 @@ const (
 	FrameLinkAck
 	FrameHeartbeat
 	FrameControl
+	FrameBatchBin
 )
 
 // String names the frame type for logs and state dumps.
@@ -69,6 +73,8 @@ func (t FrameType) String() string {
 		return "heartbeat"
 	case FrameControl:
 		return "control"
+	case FrameBatchBin:
+		return "batchbin"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -95,7 +101,13 @@ type Frame struct {
 	// Resume is the next link sequence the sender expects to receive —
 	// the peer replays its journal from here (Hello, Welcome).
 	Resume uint64
-	// Options carries negotiated handshake options (Hello, Welcome).
+	// Options is the versioned handshake capabilities map (Hello,
+	// Welcome): "caps.v" carries the capabilities schema version and
+	// "codec" the item-codec negotiation — a preference list on Hello,
+	// the acceptor's single choice on Welcome. Receivers ignore unknown
+	// keys, and an absent map marks a peer that predates capabilities:
+	// every capability then takes its compatibility default (codec
+	// "xml"), which is what lets new and old builds interoperate.
 	Options map[string]string
 
 	// Stream is the deployed stream id (Batch, Ack).
@@ -126,7 +138,8 @@ type Frame struct {
 	// endpoint pairs: A1, B1, A2, B2, ... (Heartbeat).
 	Links []string
 
-	// Data is the opaque coordination payload (Control).
+	// Data is the opaque coordination payload (Control) or the
+	// codec-encoded item payload (BatchBin).
 	Data []byte
 }
 
@@ -182,6 +195,18 @@ func AppendFrame(b []byte, f *Frame) []byte {
 		}
 	case FrameControl:
 		b = appendBytes(b, f.Data)
+	case FrameBatchBin:
+		b = appendString(b, f.Stream)
+		b = binary.AppendUvarint(b, uint64(f.Hop))
+		b = binary.AppendUvarint(b, f.Epoch)
+		b = binary.AppendUvarint(b, f.SeqLo)
+		if f.EOS {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendBytes(b, f.Span)
+		b = appendBytes(b, f.Data)
 	}
 	return b
 }
@@ -200,7 +225,7 @@ func DecodeFrame(b []byte) (*Frame, error) {
 		return nil, err
 	}
 	f.Type = FrameType(t)
-	if f.Type < FrameHello || f.Type > FrameControl {
+	if f.Type < FrameHello || f.Type > FrameBatchBin {
 		return nil, fmt.Errorf("%w: unknown type %d", ErrFrame, t)
 	}
 	if f.Seq, err = d.uvarint(); err != nil {
@@ -320,6 +345,38 @@ func DecodeFrame(b []byte) (*Frame, error) {
 			f.Links = append(f.Links, l)
 		}
 	case FrameControl:
+		if f.Data, err = d.bytes(); err != nil {
+			return nil, err
+		}
+	case FrameBatchBin:
+		if f.Stream, err = d.str(); err != nil {
+			return nil, err
+		}
+		hop, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if hop > 1<<20 {
+			return nil, fmt.Errorf("%w: hop %d out of range", ErrFrame, hop)
+		}
+		f.Hop = int(hop)
+		if f.Epoch, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if f.SeqLo, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		eos, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if eos > 1 {
+			return nil, fmt.Errorf("%w: bad eos byte %d", ErrFrame, eos)
+		}
+		f.EOS = eos == 1
+		if f.Span, err = d.bytes(); err != nil {
+			return nil, err
+		}
 		if f.Data, err = d.bytes(); err != nil {
 			return nil, err
 		}

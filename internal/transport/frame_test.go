@@ -21,6 +21,8 @@ func sampleFrames() []*Frame {
 		{Type: FrameLinkAck, Ack: 55},
 		{Type: FrameHeartbeat, Seq: 0, Peers: []string{"SP0", "SP1"}, Links: []string{"SP0", "SP1", "SP1", "SP2"}},
 		{Type: FrameControl, Seq: 9, Data: []byte("RUN 100 42")},
+		{Type: FrameBatchBin, Seq: 43, Stream: "photons", Hop: 1, Epoch: 2, SeqLo: 100, EOS: false,
+			Span: []byte{4, 5}, Data: []byte{0x01, 0x01, 'a', 0x01, 0x00}},
 	}
 }
 

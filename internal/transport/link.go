@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"streamshare/internal/wire"
 )
 
 // This file is the managed connection between two nodes. A Link owns one
@@ -54,10 +56,32 @@ type LinkStats struct {
 	SendWaits uint64
 	// Depth is the replay journal depth at snapshot time.
 	Depth int
+	// Codec is the item codec the link's first completed handshake
+	// negotiated ("" before any handshake); it stays pinned for the
+	// link's life because the replay journal holds frames in that
+	// encoding.
+	Codec string
+	// EncodedItems and DecodedItems count items transformed by a non-xml
+	// codec (xml links ship item bytes verbatim and count nothing here).
+	EncodedItems, DecodedItems uint64
+	// EncodedXMLBytes/EncodedWireBytes are outbound batch sizes before and
+	// after the codec. Their ratio is the measured outbound compression.
+	EncodedXMLBytes, EncodedWireBytes uint64
+	// DecodedXMLBytes/DecodedWireBytes are the inbound mirror: batch sizes
+	// after and before the inverse transform.
+	DecodedXMLBytes, DecodedWireBytes uint64
 }
 
-// Link is one managed connection to a remote node. Create links through
-// Mesh.Connect.
+// Link is one managed connection to a remote node; create links through
+// Mesh.Connect. A link outlives any individual conn: sequenced outbound
+// frames are journaled before they are written, and each handshake carries
+// both sides' resume cursors — the next link sequence each expects to
+// receive. A peer's resume cursor doubles as a cumulative ack (everything
+// below it was delivered, so the journal trims to it) and as the replay
+// start (the journal suffix from the cursor on is re-sent on the fresh
+// conn, in order). The receive cursor dedups whatever a replay
+// re-delivers, which together makes delivery exactly-once and in-order per
+// link for the mesh handler, across any number of disconnects.
 type Link struct {
 	mesh   *Mesh
 	remote string
@@ -79,6 +103,18 @@ type Link struct {
 	recvSince int
 	closed    bool
 
+	// codec is the negotiated item codec name, pinned by the first
+	// completed handshake; enc/dec are its stateful halves (nil on xml
+	// links, which need no transform) and encBuf the reused encode
+	// scratch. All are guarded by mu: encoding under the journal lock is
+	// what keeps dictionary-delta order identical to journal order, and
+	// decoding under it (fused with the dedup cursor) is what applies
+	// each delta exactly once across reconnect replays.
+	codec  string
+	enc    wire.Encoder
+	dec    wire.Decoder
+	encBuf []byte
+
 	stats   LinkStats
 	q       *frameQueue
 	attachN int
@@ -89,7 +125,11 @@ func (l *Link) Remote() string { return l.remote }
 
 // Send journals one sequenced frame and wakes the writer; it blocks while
 // the replay window is exhausted and returns ErrClosed after Close. The
-// frame's Seq is assigned here.
+// frame's Seq is assigned here. On links that negotiated a non-xml codec,
+// Batch frames are encoded to BatchBin under the same lock hold that
+// assigns the sequence, so the codec's dictionary deltas ship in exactly
+// journal order; the journaled bytes are final, making reconnect replays
+// byte-identical.
 func (l *Link) Send(f *Frame) error {
 	l.mu.Lock()
 	waited := false
@@ -105,9 +145,90 @@ func (l *Link) Send(f *Frame) error {
 		return ErrClosed
 	}
 	f.Seq = l.out.NextSeq()
-	l.out.Emit(AppendFrame(nil, f), false)
+	var payload []byte
+	if l.enc != nil && f.Type == FrameBatch {
+		payload = l.encodeBatchLocked(f)
+	} else {
+		payload = AppendFrame(nil, f)
+	}
+	l.out.Emit(payload, false)
 	l.mu.Broadcast()
 	l.mu.Unlock()
+	return nil
+}
+
+// encodeBatchLocked transforms a Batch frame into its BatchBin wire image
+// using the link's negotiated encoder. Callers hold l.mu.
+func (l *Link) encodeBatchLocked(f *Frame) []byte {
+	start := time.Now()
+	l.encBuf = l.enc.EncodeBatch(l.encBuf[:0], f.Items)
+	xmlBytes := 0
+	for _, it := range f.Items {
+		xmlBytes += len(it)
+	}
+	bin := *f
+	bin.Type = FrameBatchBin
+	bin.Items = nil
+	bin.Data = l.encBuf
+	payload := AppendFrame(nil, &bin)
+	l.stats.EncodedItems += uint64(len(f.Items))
+	l.stats.EncodedXMLBytes += uint64(xmlBytes)
+	l.stats.EncodedWireBytes += uint64(len(l.encBuf))
+	if obs := l.mesh.obsWire; obs != nil {
+		obs("encode", time.Since(start).Seconds(), len(f.Items), xmlBytes, len(l.encBuf))
+	}
+	return payload
+}
+
+// decodeBatchLocked rewrites an inbound BatchBin frame into a plain Batch
+// in place, running the link's negotiated decoder. The decoded items are
+// freshly allocated, so the frame may outlive the conn's read buffer.
+// Callers hold l.mu and must not have advanced the receive cursor yet: on
+// error the decoder has rolled its dictionary back, the caller tears the
+// conn down, and the journal replays the same bytes for a clean retry.
+func (l *Link) decodeBatchLocked(f *Frame) error {
+	start := time.Now()
+	items, err := l.dec.DecodeBatch(f.Data)
+	if err != nil {
+		return err
+	}
+	wireBytes := len(f.Data)
+	f.Type = FrameBatch
+	f.Items = items
+	f.Data = nil
+	xmlBytes := 0
+	for _, it := range items {
+		xmlBytes += len(it)
+	}
+	l.stats.DecodedItems += uint64(len(items))
+	l.stats.DecodedXMLBytes += uint64(xmlBytes)
+	l.stats.DecodedWireBytes += uint64(wireBytes)
+	if obs := l.mesh.obsWire; obs != nil {
+		obs("decode", time.Since(start).Seconds(), len(items), xmlBytes, wireBytes)
+	}
+	return nil
+}
+
+// adoptCodecLocked pins the handshake's negotiated codec on first use and
+// rejects any later handshake that tries to change it — the journal holds
+// frames in the pinned encoding, so renegotiation would desync replay.
+// Callers hold l.mu.
+func (l *Link) adoptCodecLocked(name string) error {
+	if l.codec == name {
+		return nil
+	}
+	if l.codec != "" {
+		return fmt.Errorf("transport: link %s: codec pinned to %s, renegotiation to %s refused", l.remote, l.codec, name)
+	}
+	c := wire.Lookup(name)
+	if c == nil {
+		return fmt.Errorf("transport: link %s: unknown codec %q", l.remote, name)
+	}
+	l.codec = name
+	if name != wire.CodecXML {
+		l.enc = c.NewEncoder()
+		l.dec = c.NewDecoder()
+	}
 	return nil
 }
 
@@ -139,6 +260,7 @@ func (l *Link) Stats() LinkStats {
 	s.Remote = l.remote
 	s.Phase = l.phase
 	s.Depth = l.out.Depth()
+	s.Codec = l.codec
 	return s
 }
 
@@ -150,9 +272,13 @@ func (l *Link) dumpState(w io.Writer) {
 	if l.conn != nil {
 		conn = "attached"
 	}
-	fmt.Fprintf(w, "  link %s: phase=%s conn=%s gen=%d out[next=%d cumack=%d depth=%d] in[next=%d] "+
+	codec := l.codec
+	if codec == "" {
+		codec = "unnegotiated"
+	}
+	fmt.Fprintf(w, "  link %s: phase=%s conn=%s gen=%d codec=%s out[next=%d cumack=%d depth=%d] in[next=%d] "+
 		"sent=%d frames[tx=%d rx=%d] reconnects=%d replayed=%d waits=%d queue=%d\n",
-		l.remote, l.phase, conn, l.gen, l.out.NextSeq(), l.out.CumAck(), l.out.Depth(),
+		l.remote, l.phase, conn, l.gen, codec, l.out.NextSeq(), l.out.CumAck(), l.out.Depth(),
 		l.in.Next(), l.sent, l.stats.FramesSent, l.stats.FramesRecv,
 		l.stats.Reconnects, l.stats.Replayed, l.stats.SendWaits, l.q.len())
 }
@@ -308,6 +434,22 @@ func (l *Link) reader(conn Conn, gen int) {
 			}
 			continue
 		}
+		if f.Type == FrameBatchBin && f.Seq >= l.in.Next() {
+			// Decode fused with the dedup cursor, under the same lock
+			// hold: the codec dictionary advances exactly once per
+			// sequence even when reconnect replays or a stale reader
+			// re-deliver the frame. Link frames arrive in order per conn
+			// and replays restart from the resume cursor, so a
+			// yet-undelivered sequence is always exactly Next; anything
+			// else (or a binary batch on an xml link) is a protocol
+			// violation, and a decode error drops the conn before the
+			// cursor moves so the journal replays the same bytes cleanly.
+			if l.dec == nil || f.Seq != l.in.Next() || l.decodeBatchLocked(f) != nil {
+				l.mu.Unlock()
+				l.teardown(conn, gen)
+				return
+			}
+		}
 		if _, ok := l.in.Accept(0, f.Seq, f.Seq); !ok {
 			l.mu.Unlock() // duplicate from a reconnect replay
 			continue
@@ -379,14 +521,23 @@ func (l *Link) dialLoop() {
 			l.mu.Unlock()
 			l.mesh.trackPending(conn, true)
 			var welcome *Frame
-			welcome, err = handshakeDial(conn, l.mesh.node, l.remote, resume)
+			var codec string
+			welcome, codec, err = handshakeDial(conn, l.mesh.node, l.remote, resume, l.mesh.codecs)
 			l.mesh.trackPending(conn, false)
 			if err == nil {
 				l.mu.Lock()
-				l.attachLocked(conn, welcome.Resume)
-				l.mu.Unlock()
-				backoff = 2 * time.Millisecond
-				continue
+				if cerr := l.adoptCodecLocked(codec); cerr != nil {
+					// The acceptor answered with a codec outside our pin;
+					// drop the conn and retry — replay depends on the
+					// pinned encoding.
+					l.mu.Unlock()
+					err = cerr
+				} else {
+					l.attachLocked(conn, welcome.Resume)
+					l.mu.Unlock()
+					backoff = 2 * time.Millisecond
+					continue
+				}
 			}
 			conn.Close()
 		}
@@ -402,31 +553,53 @@ func (l *Link) dialLoop() {
 }
 
 // handshakeDial runs the dialer's half of the handshake: send Hello with
-// our identity and resume cursor, require a version- and name-matching
-// Welcome.
-func handshakeDial(conn Conn, node, remote string, resume uint64) (*Frame, error) {
-	hello := &Frame{Type: FrameHello, Version: ProtocolVersion, Node: node, Resume: resume}
+// our identity, resume cursor and capability map (the codec preference
+// list), require a version- and name-matching Welcome, and return the
+// acceptor's codec choice. A Welcome without capabilities is an old peer;
+// the choice then defaults to xml. A choice we never offered is a protocol
+// error.
+func handshakeDial(conn Conn, node, remote string, resume uint64, codecs []string) (*Frame, string, error) {
+	hello := &Frame{
+		Type: FrameHello, Version: ProtocolVersion, Node: node, Resume: resume,
+		Options: map[string]string{"caps.v": "1", "codec": wire.FormatList(codecs)},
+	}
 	if err := conn.WriteFrame(EncodeFrame(hello)); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	payload, err := conn.ReadFrame()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	f, err := DecodeFrame(payload)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if f.Type != FrameWelcome {
-		return nil, fmt.Errorf("transport: handshake: expected welcome, got %s", f.Type)
+		return nil, "", fmt.Errorf("transport: handshake: expected welcome, got %s", f.Type)
 	}
 	if f.Version != ProtocolVersion {
-		return nil, fmt.Errorf("transport: handshake: version %d, want %d", f.Version, ProtocolVersion)
+		return nil, "", fmt.Errorf("transport: handshake: version %d, want %d", f.Version, ProtocolVersion)
 	}
 	if f.Node != remote {
-		return nil, fmt.Errorf("transport: handshake: connected to %q, want %q", f.Node, remote)
+		return nil, "", fmt.Errorf("transport: handshake: connected to %q, want %q", f.Node, remote)
 	}
-	return f, nil
+	codec := f.Options["codec"]
+	if codec == "" {
+		codec = wire.CodecXML
+	}
+	if codec != wire.CodecXML {
+		offered := false
+		for _, c := range codecs {
+			if c == codec {
+				offered = true
+				break
+			}
+		}
+		if !offered {
+			return nil, "", fmt.Errorf("transport: handshake: peer chose codec %q we never offered", codec)
+		}
+	}
+	return f, codec, nil
 }
 
 // frameQueue decouples the conn reader from frame handling: the reader

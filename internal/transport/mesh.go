@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"streamshare/internal/wire"
 )
 
 // chanLock is a mutex with an attached condition variable; Wait and
@@ -42,21 +44,42 @@ type MeshConfig struct {
 	// Handler receives every dispatched inbound frame (batch, ack,
 	// heartbeat, control), per link in arrival order. It runs on a
 	// per-link dispatcher goroutine and may send on other links, but must
-	// not call back into Mesh.Close.
+	// not call back into Mesh.Close. BatchBin frames are decoded by the
+	// link before dispatch, so the handler only ever sees FrameBatch.
 	Handler func(remote string, f *Frame)
 	// Window bounds each link's replay journal in frames
 	// (DefaultLinkWindow when 0).
 	Window int
+	// Codecs is the preference-ordered list of item codecs this node
+	// advertises in handshakes; nil means wire.DefaultCodecs() (binary
+	// first). Every link pins the codec its first handshake negotiates;
+	// []string{"xml"} forces the verbatim-XML baseline for debugging.
+	Codecs []string
+	// ObserveWire, when set, is called once per codec batch transform: op
+	// is "encode" or "decode", seconds the transform time, items the
+	// batch's item count, and xmlBytes/wireBytes the batch's size before
+	// and after the codec. It runs under the link's lock, so it must be
+	// fast and must not call back into the mesh.
+	ObserveWire func(op string, seconds float64, items, xmlBytes, wireBytes int)
 }
 
 // Mesh is one node's endpoint in the super-peer network: a listener, a
-// named identity, and one managed Link per remote node.
+// named identity, and one managed Link per remote node. It owns the
+// connection lifecycle end to end — accepting and dialing conns, running
+// the Hello/Welcome handshake (version check, capability/codec
+// negotiation, resume-cursor exchange), attaching conns to links, and
+// flushing tail acks — while the links themselves own sequencing, replay
+// and dispatch. Membership is static: inbound handshakes from node names
+// never registered via Connect are refused. All methods are safe for
+// concurrent use; Close is idempotent and waits for every mesh goroutine.
 type Mesh struct {
 	node    string
 	tr      Transport
 	ln      Listener
 	handler func(remote string, f *Frame)
 	window  int
+	codecs  []string
+	obsWire func(op string, seconds float64, items, xmlBytes, wireBytes int)
 
 	mu      sync.Mutex
 	links   map[string]*Link
@@ -80,12 +103,21 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = DefaultLinkWindow
 	}
+	if cfg.Codecs == nil {
+		cfg.Codecs = wire.DefaultCodecs()
+	}
+	if err := wire.Supported(cfg.Codecs); err != nil {
+		ln.Close()
+		return nil, err
+	}
 	m := &Mesh{
 		node:    cfg.Node,
 		tr:      cfg.Transport,
 		ln:      ln,
 		handler: cfg.Handler,
 		window:  cfg.Window,
+		codecs:  cfg.Codecs,
+		obsWire: cfg.ObserveWire,
 		links:   map[string]*Link{},
 		pending: map[Conn]bool{},
 		done:    make(chan struct{}),
@@ -221,7 +253,14 @@ func (m *Mesh) handleIncoming(conn Conn) {
 	l.mu.Lock()
 	resume := l.in.Next()
 	l.mu.Unlock()
-	welcome := &Frame{Type: FrameWelcome, Version: ProtocolVersion, Node: m.node, Resume: resume}
+	// Capability negotiation: pick the first of our preferences the dialer
+	// also offered; a Hello without capabilities is an old peer, which
+	// wire.Negotiate resolves to the universal xml fallback.
+	choice := wire.Negotiate(m.codecs, wire.ParseList(f.Options["codec"]))
+	welcome := &Frame{
+		Type: FrameWelcome, Version: ProtocolVersion, Node: m.node, Resume: resume,
+		Options: map[string]string{"caps.v": "1", "codec": choice},
+	}
 	if err := conn.WriteFrame(EncodeFrame(welcome)); err != nil {
 		m.trackPending(conn, false)
 		conn.Close()
@@ -229,6 +268,13 @@ func (m *Mesh) handleIncoming(conn Conn) {
 	}
 	m.trackPending(conn, false)
 	l.mu.Lock()
+	if err := l.adoptCodecLocked(choice); err != nil {
+		// The link already pinned a different codec in an earlier
+		// handshake; renegotiation would desync the journal. Refuse.
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
 	l.attachLocked(conn, f.Resume)
 	l.mu.Unlock()
 }

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// TestWireDocExample pins docs/WIRE.md §6 to the implementation: the three
+// worked-example payloads, transcribed byte for byte from the document,
+// must decode on one dictionary-sharing decoder to exactly the items the
+// document claims — and a fresh encoder fed those items must produce the
+// document's bytes. If this test fails, either the codec or the spec
+// changed; fix whichever one is wrong and keep them in lockstep.
+
+// docBytes parses the hex column of a WIRE.md byte listing.
+func docBytes(t *testing.T, listing string) []byte {
+	t.Helper()
+	var hexDigits strings.Builder
+	for _, line := range strings.Split(listing, "\n") {
+		for _, f := range strings.Fields(line) {
+			if len(f) != 2 || !isHex(f) {
+				break // annotation text starts; rest of line is prose
+			}
+			hexDigits.WriteString(f)
+		}
+	}
+	b, err := hex.DecodeString(hexDigits.String())
+	if err != nil {
+		t.Fatalf("bad doc listing: %v", err)
+	}
+	return b
+}
+
+func isHex(s string) bool {
+	for _, c := range []byte(s) {
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWireDocExample(t *testing.T) {
+	payload1 := docBytes(t, `
+		04
+		06 70 68 6f 74 6f 6e
+		02 65 6e
+		01 74
+		03 64 65 74
+		02
+		02
+		02
+		05 01 37
+		09 01 33
+		02
+		02
+		05 01 39
+		0c
+	`)
+	payload2 := docBytes(t, `
+		00
+		01
+		02 01
+		05 00
+	`)
+	payload3 := docBytes(t, `
+		00
+		01
+		03
+		03 68 69 21
+	`)
+	if len(payload1) != 32 {
+		t.Fatalf("doc claims the first payload is 32 bytes, transcribed %d", len(payload1))
+	}
+
+	items1 := [][]byte{
+		[]byte("<photon><en>7</en><t>3</t></photon>"),
+		[]byte("<photon><en>9</en><det/></photon>"),
+	}
+	items2 := [][]byte{[]byte("<photon><en></en></photon>")}
+	items3 := [][]byte{[]byte("hi!")}
+	if n := len(items1[0]) + len(items1[1]); n != 68 {
+		t.Fatalf("doc claims 68 bytes of XML in batch one, items total %d", n)
+	}
+
+	// One decoder across all three payloads: the dictionary persists.
+	d := NewBinaryDecoder()
+	for i, tc := range []struct {
+		payload []byte
+		want    [][]byte
+	}{{payload1, items1}, {payload2, items2}, {payload3, items3}} {
+		got, err := d.DecodeBatch(tc.payload)
+		if err != nil {
+			t.Fatalf("payload %d: %v", i+1, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("payload %d: decoded %d items, doc says %d", i+1, len(got), len(tc.want))
+		}
+		for j := range got {
+			if !bytes.Equal(got[j], tc.want[j]) {
+				t.Errorf("payload %d item %d:\n got %q\nwant %q", i+1, j, got[j], tc.want[j])
+			}
+		}
+	}
+
+	// The reverse direction: a fresh encoder fed the doc's items emits the
+	// doc's bytes (payload three's item is non-canonical, so it takes the
+	// raw path exactly as §4.1 prescribes).
+	e := NewBinaryEncoder()
+	for i, tc := range []struct {
+		items [][]byte
+		want  []byte
+	}{{items1, payload1}, {items2, payload2}, {items3, payload3}} {
+		got := e.EncodeBatch(nil, tc.items)
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("payload %d: encoder emits\n %x\ndoc says\n %x", i+1, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireRoundTrip is the codec's acceptance fuzz target: for ANY byte
+// string — canonical XML, malformed XML, binary garbage — encoding it as a
+// one-item batch and decoding the payload must reproduce it byte for byte.
+// This is the invariant that keeps distributed runs item-identical to the
+// simulator: the binary codec may choose the dictionary path or the raw
+// fallback per item, but the receiver always reconstructs the sender's
+// exact canonical bytes.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte(`<photon><coord><cel><ra>120.3</ra><dec>-12.5</dec></cel></coord><en>1.32</en></photon>`))
+	f.Add([]byte(`<a/>`))
+	f.Add([]byte(`<a></a>`))
+	f.Add([]byte(`<a>text</a>`))
+	f.Add([]byte(`<a><b/><c>t</c></a>`))
+	f.Add([]byte(`<a b="c">mixed<d/></a>`))
+	f.Add([]byte(`not xml`))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xff, 0x80})
+	f.Fuzz(func(t *testing.T, item []byte) {
+		enc := NewBinaryEncoder()
+		dec := NewBinaryDecoder()
+		// Two batches on one dictionary: the item alone, then the item
+		// twice (second encounter reuses assigned ids).
+		for bi, batch := range [][][]byte{{item}, {item, item}} {
+			payload := enc.EncodeBatch(nil, batch)
+			got, err := dec.DecodeBatch(payload)
+			if err != nil {
+				t.Fatalf("batch %d: decode of own encoding failed: %v", bi, err)
+			}
+			if len(got) != len(batch) {
+				t.Fatalf("batch %d: %d items, want %d", bi, len(got), len(batch))
+			}
+			for i := range batch {
+				if !bytes.Equal(got[i], batch[i]) {
+					t.Fatalf("batch %d item %d: decode(encode(%q)) = %q", bi, i, batch[i], got[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzWireDecode hammers the decoder with arbitrary payloads: it must never
+// panic, never allocate past the decode bound, and leave the dictionary
+// consistent enough that a valid payload still decodes afterwards.
+func FuzzWireDecode(f *testing.F) {
+	valid := NewBinaryEncoder().EncodeBatch(nil, [][]byte{[]byte(`<a><b>t</b></a>`)})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x01, 'a', 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		dec := NewBinaryDecoder()
+		items, err := dec.DecodeBatch(payload)
+		if err != nil {
+			// The rollback invariant: a failed decode must leave the
+			// dictionary exactly as it was (here: empty), so a transport
+			// replay of the journaled payload starts clean.
+			if len(dec.names) != 0 {
+				t.Fatalf("failed decode left %d dictionary entries", len(dec.names))
+			}
+			return
+		}
+		total := 0
+		for _, it := range items {
+			total += len(it)
+		}
+		if total > MaxDecodedBytes {
+			t.Fatalf("decoded %d bytes past the bound", total)
+		}
+		// Element decode of the same payload must agree with the byte
+		// decode (raw items may hold arbitrary bytes the XML parser
+		// rejects; that rejection is fine, silent divergence is not).
+		els, elErr := NewBinaryDecoder().DecodeElems(payload)
+		if elErr == nil && len(els) != len(items) {
+			t.Fatalf("element decode yielded %d items, byte decode %d", len(els), len(items))
+		}
+	})
+}

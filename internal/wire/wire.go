@@ -1,0 +1,180 @@
+// Package wire implements the negotiated per-link item codecs that carry
+// batches of stream items between super-peer processes.
+//
+// The runtime's data path serializes every item once into canonical XML
+// (xmlstream.AppendMarshal) and meters all traffic over those bytes, so a
+// wire codec here is a transform applied at the link boundary: the sender
+// encodes a batch of canonical-XML items into one payload, the receiver
+// decodes the payload back into the exact same item bytes. The contract is
+// byte-losslessness — for every input batch, decode(encode(items)) == items
+// byte for byte — which is what keeps the distributed runtime item-identical
+// to the in-process simulator regardless of which codec a link negotiated.
+//
+// Two codecs are registered:
+//
+//   - "xml" ships each item's canonical XML verbatim (the debugging and
+//     compatibility baseline; old peers that predate negotiation speak it
+//     implicitly).
+//   - "binary" replaces element tags with references into an interned
+//     per-link name dictionary, extended incrementally by dictionary deltas
+//     carried in-band at the head of each payload (see docs/WIRE.md for the
+//     full grammar and a worked example).
+//
+// Codec choice is negotiated per link during the transport handshake
+// (internal/transport), via the versioned capabilities map on Hello/Welcome
+// frames; Negotiate implements the selection rule. Encoder and Decoder
+// instances are stateful (the binary dictionary grows monotonically) and are
+// owned by a single link direction; they are not safe for concurrent use.
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Codec names. CodecXML is mandatory: every peer speaks it, and it is the
+// fallback whenever negotiation finds no common preference.
+const (
+	// CodecXML ships canonical XML item bytes verbatim.
+	CodecXML = "xml"
+	// CodecBinary ships dictionary-compressed binary item encodings.
+	CodecBinary = "binary"
+)
+
+// Codec is one registered item-batch encoding. Name identifies it in
+// handshake capability lists; NewEncoder and NewDecoder mint the stateful
+// per-link-direction halves.
+type Codec interface {
+	// Name is the codec's registry and negotiation identifier.
+	Name() string
+	// NewEncoder returns a fresh encoder. Encoders are stateful and owned
+	// by one sender; they are not safe for concurrent use.
+	NewEncoder() Encoder
+	// NewDecoder returns a fresh decoder, the matching stateful receiver
+	// half.
+	NewDecoder() Decoder
+}
+
+// Encoder turns one batch of canonical-XML items into a single payload.
+// Payloads are order-sensitive: the receiver must decode them in the exact
+// sequence they were encoded (the binary codec's dictionary deltas assume
+// it), which the transport guarantees by encoding under the link's journal
+// lock and replaying journaled bytes verbatim after reconnects.
+type Encoder interface {
+	// Seed pre-registers element names (e.g. a stream schema's vocabulary)
+	// so the first batches need fewer in-band dictionary deltas. The names
+	// still travel as deltas in the next payload — payload streams stay
+	// self-describing — so seeding is a warm-start hint, never a
+	// coordination requirement. Codecs without a dictionary ignore it.
+	Seed(names []string)
+	// EncodeBatch appends the encoded batch payload to dst and returns the
+	// extended slice. The items are only read.
+	EncodeBatch(dst []byte, items [][]byte) []byte
+}
+
+// Decoder turns one payload back into the batch's item byte slices. For
+// every conforming payload the items equal the encoder's input byte for
+// byte. The returned slices are freshly allocated and owned by the caller.
+type Decoder interface {
+	// DecodeBatch parses one payload. Malformed input returns an error
+	// without panicking and without allocating beyond MaxDecodedBytes;
+	// stateful decoders roll their dictionary back so a failed decode can
+	// be retried after a transport-level replay.
+	DecodeBatch(payload []byte) ([][]byte, error)
+}
+
+// registry holds the known codecs. It only grows, at init time in practice,
+// so a plain mutex-guarded map suffices.
+var registry struct {
+	sync.Mutex
+	m map[string]Codec
+}
+
+// Register adds a codec to the registry; registering a duplicate name
+// panics (codec names are protocol identifiers, not runtime config).
+func Register(c Codec) {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.m == nil {
+		registry.m = map[string]Codec{}
+	}
+	if _, dup := registry.m[c.Name()]; dup {
+		panic(fmt.Sprintf("wire: duplicate codec %q", c.Name()))
+	}
+	registry.m[c.Name()] = c
+}
+
+// Lookup returns the registered codec by name, or nil.
+func Lookup(name string) Codec {
+	registry.Lock()
+	defer registry.Unlock()
+	return registry.m[name]
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultCodecs is the preference list a node advertises when none is
+// configured: binary first, XML as the universal fallback.
+func DefaultCodecs() []string { return []string{CodecBinary, CodecXML} }
+
+// Negotiate picks the codec for one link: the acceptor walks its own
+// preference list in order and returns the first name the dialer also
+// advertised. Either side advertising nothing (an old peer whose handshake
+// predates capabilities) or an empty intersection selects CodecXML, which
+// every peer speaks.
+func Negotiate(ours, theirs []string) string {
+	if len(ours) == 0 || len(theirs) == 0 {
+		return CodecXML
+	}
+	offered := make(map[string]bool, len(theirs))
+	for _, name := range theirs {
+		offered[name] = true
+	}
+	for _, name := range ours {
+		if offered[name] {
+			return name
+		}
+	}
+	return CodecXML
+}
+
+// ParseList splits a comma-separated codec preference list as carried in
+// the handshake capabilities map ("binary,xml"), dropping empty entries.
+func ParseList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// FormatList renders a codec preference list for the handshake
+// capabilities map.
+func FormatList(names []string) string { return strings.Join(names, ",") }
+
+// Supported reports whether every name in the list is a registered codec.
+func Supported(names []string) error {
+	for _, name := range names {
+		if Lookup(name) == nil {
+			return fmt.Errorf("wire: unknown codec %q (have %v)", name, Names())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the "xml" codec: items travel as their canonical XML bytes,
+// verbatim, framed with uvarint lengths. It is the mandatory baseline every
+// peer speaks — the negotiation fallback for old peers and the -codec=xml
+// debugging override — and the reference the binary codec's losslessness is
+// pinned against. The transport short-circuits it (an XML link ships the
+// frame's item list directly), so this encoder/decoder pair exists for the
+// registry, the codec microbenchmark, and any caller that wants a uniform
+// Encoder/Decoder view of both codecs.
+
+// xmlCodec registers the verbatim encoding as "xml".
+type xmlCodec struct{}
+
+// Name returns CodecXML.
+func (xmlCodec) Name() string { return CodecXML }
+
+// NewEncoder returns the stateless XML encoder.
+func (xmlCodec) NewEncoder() Encoder { return &XMLEncoder{} }
+
+// NewDecoder returns the stateless XML decoder.
+func (xmlCodec) NewDecoder() Decoder { return &XMLDecoder{} }
+
+func init() { Register(xmlCodec{}) }
+
+// ErrXML reports a malformed xml codec payload.
+var ErrXML = fmt.Errorf("wire: malformed xml payload")
+
+// XMLEncoder frames item bytes verbatim: uvarint item count, then each
+// item as uvarint length + bytes. Stateless.
+type XMLEncoder struct{}
+
+// Seed is a no-op: the xml codec has no dictionary.
+func (*XMLEncoder) Seed([]string) {}
+
+// EncodeBatch appends the batch's verbatim framing to dst.
+func (*XMLEncoder) EncodeBatch(dst []byte, items [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, item := range items {
+		dst = binary.AppendUvarint(dst, uint64(len(item)))
+		dst = append(dst, item...)
+	}
+	return dst
+}
+
+// XMLDecoder parses the verbatim framing back into item slices. Stateless.
+type XMLDecoder struct{}
+
+// DecodeBatch parses one xml payload; the returned items are copies owned
+// by the caller.
+func (*XMLDecoder) DecodeBatch(payload []byte) ([][]byte, error) {
+	c := &cursor{b: payload}
+	nItems, err := c.count()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrXML, err)
+	}
+	var out []byte
+	starts := make([]int, 0, 64)
+	for i := 0; i < nItems; i++ {
+		n, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrXML, err)
+		}
+		item, err := c.take(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrXML, err)
+		}
+		starts = append(starts, len(out))
+		out = append(out, item...)
+	}
+	starts = append(starts, len(out))
+	if len(c.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrXML, len(c.b))
+	}
+	items := make([][]byte, nItems)
+	for i := 0; i < nItems; i++ {
+		items[i] = out[starts[i]:starts[i+1]:starts[i+1]]
+	}
+	return items, nil
+}
