@@ -40,8 +40,11 @@
 // batches, acks and heartbeats travel as length-prefixed frames over
 // reconnect-safe links. Each link handshake negotiates an item codec —
 // dictionary-compressed binary by default, with -codec=xml forcing the
-// verbatim XML baseline for debugging (see docs/WIRE.md for the wire
-// format). Start the accepting node first:
+// verbatim XML baseline for debugging — and seeds the codec dictionaries
+// with the photon stream's inferred element vocabulary, so the first
+// binary batch already ships delta-free (see docs/WIRE.md for the wire
+// format; NODES shows the negotiated codec and seeded-name count per
+// link). Start the accepting node first:
 //
 //	sgd -node n1 -cluster-listen 127.0.0.1:7171 -join n0= -listen 127.0.0.1:7070
 //	sgd -node n0 -cluster-listen 127.0.0.1:0 -join n1=127.0.0.1:7171 -listen 127.0.0.1:7071
@@ -117,9 +120,16 @@ func main() {
 		sess = runtime.NewSession(runtime.SessionOptions{})
 	}
 	cfg := photons.DefaultConfig()
-	_, st := photons.Stream("photons", cfg, 42, *sample)
+	items, st := photons.Stream("photons", cfg, 42, *sample)
 	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
 		log.Fatal(err)
+	}
+	// The stream's element vocabulary, inferred from a traffic sample: mesh
+	// links seed their codec dictionaries with it at handshake, so the first
+	// binary batch already ships delta-free (docs/WIRE.md §3.4).
+	var seedNames []string
+	if len(items) > 0 {
+		seedNames = xmlstream.InferSchema(items[:min(8, len(items))]).Names()
 	}
 
 	if *httpAddr != "" {
@@ -142,6 +152,7 @@ func main() {
 			Node:         *node,
 			Nodes:        nodes,
 			Codecs:       wire.ParseList(*codec),
+			SeedNames:    seedNames,
 			WireObserver: runtime.WireMetricsObserver(eng.Obs().Metrics),
 		})
 		if err != nil {

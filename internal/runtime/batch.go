@@ -9,24 +9,33 @@ import (
 	"streamshare/internal/xmlstream"
 )
 
-// batcher accumulates serialized items bound for hop 0 of one stream and
-// flushes them as batched messages. Sources use one per original stream;
-// taps use one per derived stream per incoming message (output batches
-// never straddle input messages, so quiescence accounting stays exact: all
-// sends triggered by a message happen before its in-flight slot is
-// released).
+// batcher accumulates items bound for hop 0 of one stream and flushes them
+// as batched messages. Sources use one per original stream; taps use one
+// per derived stream per incoming message (output batches never straddle
+// input messages, so quiescence accounting stays exact: all sends triggered
+// by a message happen before its in-flight slot is released).
 //
-// Buffer ownership: the batcher writes into a pooled buffer (unless the
-// runtime runs NoPool); flush attaches the buffer to the outgoing message,
-// which owns it from then on. AppendMarshal may outgrow the original
-// array — earlier item slices keep their old backing alive and the grown
-// array travels in the buffer, so recycling stays safe either way.
+// The batcher runs in one of two modes. Tree mode (the zero-XML data
+// plane, tree set by the runtime's treeData decision) keeps the element
+// pointers as handed in and prices each against the running MarshalSize
+// total — no buffer, no serialization; the trees travel in the message and
+// are shared read-only downstream. Byte mode serializes each item into a
+// pooled buffer (unless the runtime runs NoPool); flush attaches the
+// buffer to the outgoing message, which owns it from then on. AppendMarshal
+// may outgrow the original array — earlier item slices keep their old
+// backing alive and the grown array travels in the buffer, so recycling
+// stays safe either way.
 type batcher struct {
 	r      *Runtime
 	stream *core.Deployed
 	buf    *xmlstream.Buffer
 	data   []byte
 	items  [][]byte
+	// tree selects tree mode; elems and xb are its batch state (the
+	// pending trees and their canonical serialized size).
+	tree  bool
+	elems []*xmlstream.Element
+	xb    int
 	// first is when the oldest buffered item was added; used by the
 	// flush-interval check.
 	first time.Time
@@ -49,24 +58,39 @@ type batcher struct {
 	flushStage obs.Stage
 }
 
-// add serializes one item into the current batch, flushing it when it
-// reaches the configured size or age.
+// count is the number of items pending in the current batch.
+func (b *batcher) count() int { return len(b.items) + len(b.elems) }
+
+// add appends one item to the current batch, flushing it when it reaches
+// the configured size or age.
 func (b *batcher) add(e *xmlstream.Element) {
-	if len(b.items) == 0 {
+	if b.count() == 0 {
 		if b.r.opts.FlushInterval > 0 {
 			b.first = time.Now()
 		}
-		if b.buf == nil && !b.r.opts.NoPool {
-			b.buf = xmlstream.GetBuffer()
-			b.data = b.buf.B[:0]
-		}
-		if b.items == nil {
-			b.items = make([][]byte, 0, b.r.opts.BatchSize)
+		switch {
+		case b.tree:
+			if b.elems == nil {
+				b.elems = make([]*xmlstream.Element, 0, b.r.opts.BatchSize)
+			}
+		default:
+			if b.buf == nil && !b.r.opts.NoPool {
+				b.buf = xmlstream.GetBuffer()
+				b.data = b.buf.B[:0]
+			}
+			if b.items == nil {
+				b.items = make([][]byte, 0, b.r.opts.BatchSize)
+			}
 		}
 	}
-	start := len(b.data)
-	b.data = xmlstream.AppendMarshal(b.data, e)
-	b.items = append(b.items, b.data[start:len(b.data):len(b.data)])
+	if b.tree {
+		b.elems = append(b.elems, e)
+		b.xb += xmlstream.MarshalSize(e)
+	} else {
+		start := len(b.data)
+		b.data = xmlstream.AppendMarshal(b.data, e)
+		b.items = append(b.items, b.data[start:len(b.data):len(b.data)])
+	}
 	if b.sample && b.lat != nil {
 		if b.lat.Sampled(b.stream.Input.Stream, b.idx) {
 			// Every selected item starts a span (keeping the sampled set
@@ -79,7 +103,7 @@ func (b *batcher) add(e *xmlstream.Element) {
 		}
 		b.idx++
 	}
-	if len(b.items) >= b.r.opts.BatchSize ||
+	if b.count() >= b.r.opts.BatchSize ||
 		(b.r.opts.FlushInterval > 0 && time.Since(b.first) >= b.r.opts.FlushInterval) {
 		b.flush(false)
 	}
@@ -89,10 +113,10 @@ func (b *batcher) add(e *xmlstream.Element) {
 // carrying the end-of-stream marker. After flush the batcher is empty and
 // ready for the next batch.
 func (b *batcher) flush(eos bool) {
-	if len(b.items) == 0 && !eos {
+	if b.count() == 0 && !eos {
 		return
 	}
-	m := message{stream: b.stream, hop: 0, items: b.items, eos: eos}
+	m := message{stream: b.stream, hop: 0, items: b.items, elems: b.elems, xb: b.xb, eos: eos}
 	if b.buf != nil {
 		b.buf.B = b.data
 		m.buf = b.buf
@@ -102,8 +126,9 @@ func (b *batcher) flush(eos bool) {
 		m.span = b.span
 		b.span = nil
 		b.r.flight.Record("batch.flush",
-			b.stream.ID+" items="+strconv.Itoa(len(m.items))+" stage="+b.flushStage.String())
+			b.stream.ID+" items="+strconv.Itoa(m.count())+" stage="+b.flushStage.String())
 	}
 	b.buf, b.data, b.items = nil, nil, nil
+	b.elems, b.xb = nil, 0
 	b.r.dispatch(m, b.gate)
 }

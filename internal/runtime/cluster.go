@@ -12,6 +12,8 @@ import (
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
 	"streamshare/internal/transport"
+	"streamshare/internal/wire"
+	"streamshare/internal/xmlstream"
 )
 
 // This file distributes a run across OS processes. A Cluster is one
@@ -65,8 +67,19 @@ type ClusterOptions struct {
 	// (binary preferred, xml fallback); []string{"xml"} forces the
 	// verbatim baseline on every link — the -codec=xml debug override.
 	// Nodes may disagree: each link negotiates independently, so a
-	// mixed-codec cluster is fully supported.
+	// mixed-codec cluster is fully supported. Every name must be a
+	// registered codec; NewCluster rejects unknown names before it binds
+	// anything, so a typo fails the whole construction instead of
+	// surfacing as a handshake error on the first link.
 	Codecs []string
+
+	// SeedNames pre-interns element names into both dictionary halves of
+	// every link that negotiates a tree-capable codec (the handshake
+	// carries the list, so both sides seed identically and steady-state
+	// batches ship no dictionary deltas for schema vocabulary). Typically
+	// xmlstream.InferSchema(...).Names() over a sample of the traffic.
+	// Ignored on xml links and by peers that predate the capability.
+	SeedNames []string
 
 	// WireObserver receives one callback per encoded or decoded batch on
 	// any mesh link (see transport.MeshConfig.ObserveWire for the
@@ -81,6 +94,12 @@ type ClusterOptions struct {
 type Cluster struct {
 	node string
 	mesh *transport.Mesh
+
+	// treeData reports whether at least one offered codec can carry
+	// element trees on the wire. Runtimes consult it when deciding to run
+	// the zero-XML data plane: an xml-pinned cluster would serialize at
+	// every link anyway, so its batches stay bytes end to end.
+	treeData bool
 
 	// amu guards the attached runtime and the assignment; acond wakes
 	// dispatchers blocked waiting for a runtime.
@@ -171,11 +190,28 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if _, ok := opts.Nodes[opts.Node]; !ok {
 		return nil, fmt.Errorf("runtime: cluster node %q missing from the node map", opts.Node)
 	}
+	// Validate the codec preference list up front — before the transport
+	// binds a listener or any link dials — so a misconfigured
+	// ClusterOptions fails construction with the offending name instead of
+	// handshake errors later. Nil means wire.DefaultCodecs().
+	codecs := opts.Codecs
+	if codecs == nil {
+		codecs = wire.DefaultCodecs()
+	}
+	if err := wire.Supported(codecs); err != nil {
+		return nil, fmt.Errorf("runtime: ClusterOptions.Codecs: %w", err)
+	}
 	tr := opts.Transport
 	if tr == nil {
 		tr = transport.NewTCP()
 	}
 	c := &Cluster{node: opts.Node, assign: opts.Assign, gossip: map[string]gossipEntry{}}
+	for _, name := range codecs {
+		if wire.SupportsTrees(name) {
+			c.treeData = true
+			break
+		}
+	}
 	c.acond = sync.NewCond(&c.amu)
 	mesh, err := transport.NewMesh(transport.MeshConfig{
 		Transport:   tr,
@@ -184,6 +220,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Handler:     c.handle,
 		Window:      opts.LinkWindow,
 		Codecs:      opts.Codecs,
+		SeedNames:   opts.SeedNames,
 		ObserveWire: opts.WireObserver,
 	})
 	if err != nil {
@@ -500,10 +537,14 @@ func (r *Runtime) sendRemote(m message, peer network.PeerID) {
 			r.mu.Unlock()
 		}
 	}
-	if len(m.items) > 0 {
-		r.batchHist.Observe(float64(len(m.items)))
+	if n := m.count(); n > 0 {
+		r.batchHist.Observe(float64(n))
 	}
 	r.lat.Stamp(m.span, obs.StageSend)
+	// An elems batch crosses as trees: the link encodes them straight into
+	// the dictionary wire format when its codec is tree-capable, and only
+	// an xml-pinned link materializes canonical bytes (transport.Link.Send
+	// owns that fallback).
 	f := &transport.Frame{
 		Type:   transport.FrameBatch,
 		Stream: m.stream.ID,
@@ -512,6 +553,7 @@ func (r *Runtime) sendRemote(m message, peer network.PeerID) {
 		SeqLo:  m.seqLo,
 		EOS:    m.eos,
 		Items:  m.items,
+		Elems:  m.elems,
 	}
 	if m.span != nil {
 		f.Span = obs.AppendSpanHeader(nil, m.span)
@@ -521,7 +563,7 @@ func (r *Runtime) sendRemote(m message, peer network.PeerID) {
 	r.serBytes += nb
 	r.qmu.Unlock()
 	err := r.cluster.sendFrame(r.owners[peer], f)
-	r.recycle(&m) // Send copied the items into the link journal
+	r.recycle(&m) // Send encoded the batch into the link journal
 	if err != nil {
 		r.fail(fmt.Errorf("runtime: cluster send %s hop %d: %w", m.stream.ID, m.hop, err))
 	}
@@ -537,7 +579,10 @@ func (r *Runtime) clusterFrame(f *transport.Frame) {
 		if d == nil || f.Hop <= 0 || f.Hop >= len(d.Route) {
 			return // engine mismatch; membership is trusted, drop
 		}
-		m := message{stream: d, hop: f.Hop, items: f.Items, eos: f.EOS, seqLo: f.SeqLo, epoch: f.Epoch}
+		m := message{stream: d, hop: f.Hop, items: f.Items, elems: f.Elems, eos: f.EOS, seqLo: f.SeqLo, epoch: f.Epoch}
+		for _, e := range f.Elems {
+			m.xb += xmlstream.MarshalSize(e)
+		}
 		if len(f.Span) > 0 {
 			if sp, _, err := obs.ParseSpanHeader(f.Span); err == nil {
 				m.span = sp
@@ -561,8 +606,9 @@ func (r *Runtime) clusterFrame(f *transport.Frame) {
 // injectRemote enqueues a remotely-emitted batch exactly as a local send
 // would, and retires its EOS lane: the first end-of-stream marker on a
 // remote-ingress lane decrements the count Run's quiescence waits on.
-// The frame's item slices alias the decoded payload, which this process
-// owns — no pooled buffer travels with the message.
+// The frame's item slices (or decoded element trees, on tree-codec links)
+// alias the decoded payload, which this process owns — no pooled buffer
+// travels with the message.
 func (r *Runtime) injectRemote(m message) {
 	peer := m.stream.Route[m.hop]
 	dst := r.nodes[peer]

@@ -260,12 +260,13 @@ func (s *Session) recoverInput(sub *core.Subscription, si *core.SubInput, old *c
 
 // marshalLen returns the serialized size of a replayed feed item. When the
 // item came straight from the feed-level journal its stored bytes are
-// authoritative (and free); otherwise it is re-marshalled to measure.
+// authoritative (and free); otherwise MarshalSize prices the canonical form
+// without materializing it.
 func marshalLen(e *xmlstream.Element, stored bool, data []byte) int {
 	if stored {
 		return len(data)
 	}
-	return len(xmlstream.AppendMarshal(nil, e))
+	return xmlstream.MarshalSize(e)
 }
 
 // runOpsFrom pushes one item through the tail of an operator chain,

@@ -10,11 +10,17 @@
 // The data path is built for throughput without giving up the simulator
 // equivalence the tests assert:
 //
-//   - Batching: mailbox messages carry up to Options.BatchSize serialized
-//     items of one stream. Accounting stays per item — depth, high-water
-//     marks, soft-cap overflow and fault-injection drops all count items,
-//     not batches — so observable metrics are comparable across batch
-//     sizes.
+//   - Batching: mailbox messages carry up to Options.BatchSize items of one
+//     stream. Accounting stays per item — depth, high-water marks, soft-cap
+//     overflow and fault-injection drops all count items, not batches — so
+//     observable metrics are comparable across batch sizes.
+//   - Tree batches (the zero-XML data plane): by default a batch carries
+//     parsed element trees end to end — the batcher never serializes, the
+//     per-hop parse is a no-op, and tree-capable cluster links encode the
+//     trees straight into the dictionary wire format. Byte-granular
+//     accounting is priced from xmlstream.MarshalSize, so traffic and
+//     serialized totals equal the byte path's to the byte. Options.StdParser
+//     (and an all-byte-codec cluster) restores the serialized path.
 //   - Pooling: batch buffers come from a sync.Pool (see xmlstream.Buffer)
 //     and are recycled exactly once, when a message's life ends: after
 //     processing at the last hop, on a fault-injection drop, or in a dead
@@ -55,8 +61,20 @@ type message struct {
 	hop int
 	// items holds the serialized items in stream order. The slices alias
 	// the batch buffer's array (or earlier arrays it grew out of) and are
-	// valid until the message is recycled.
+	// valid until the message is recycled. Nil on the elems path.
 	items [][]byte
+	// elems holds the same batch as parsed element trees — the zero-XML
+	// data plane. A message carries items or elems, never both: sources and
+	// taps emit elems when the runtime keeps tree batches (treeData), and
+	// inbound cluster frames carry elems when their link's codec decoded
+	// trees. The elements are shared read-only, exactly as the simulator
+	// hands one pointer to every consumer; receivers must not mutate them.
+	elems []*xmlstream.Element
+	// xb caches the canonical serialized size of elems (summed
+	// xmlstream.MarshalSize), so byte-granular accounting — link traffic,
+	// serialized totals, forwarding work — matches the byte path without
+	// ever materializing the XML. Zero when items carries the batch.
+	xb int
 	// buf, when non-nil, is the pooled buffer backing items; its ownership
 	// travels with the message and ends at recycle.
 	buf *xmlstream.Buffer
@@ -79,15 +97,27 @@ type message struct {
 // overflow and drop accounting: one per data item plus one for an EOS
 // marker.
 func (m *message) units() int {
-	u := len(m.items)
+	u := m.count()
 	if m.eos {
 		u++
 	}
 	return u
 }
 
-// bytes sums the serialized sizes of the carried items.
+// count is the number of data items carried, whichever representation the
+// message travels in.
+func (m *message) count() int {
+	return len(m.items) + len(m.elems)
+}
+
+// bytes is the canonical serialized size of the carried items: summed slice
+// lengths on the byte path, the cached MarshalSize total on the elems path.
+// Both paths price the same canonical XML, so accounting is representation-
+// independent.
 func (m *message) bytes() int {
+	if len(m.elems) > 0 {
+		return m.xb
+	}
 	n := 0
 	for _, b := range m.items {
 		n += len(b)
@@ -132,9 +162,18 @@ type Runtime struct {
 	msgs     int
 	serBytes int
 
+	// treeData turns on the zero-XML data plane: batchers keep element
+	// trees instead of serializing per item, and the mailbox parse stage
+	// becomes a no-op. Off under StdParser (the byte baseline) and in
+	// clusters whose offered codecs are all byte-only — an xml-pinned
+	// cluster exercises the serialized path end to end.
+	treeData bool
+
 	// batchHist observes the item count of every sent data batch
-	// (runtime.batch.size).
+	// (runtime.batch.size); parseSkip counts items delivered as trees whose
+	// per-hop reparse the elems path skipped (runtime.parse.skipped).
 	batchHist *obs.Histogram
+	parseSkip *obs.Counter
 	// lat records sampled provenance spans (nil with Options.NoSpans, which
 	// removes every per-item sampling check from the data path); flight is
 	// the ring of recent runtime events. Both come from the engine observer.
@@ -228,6 +267,7 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 	r.qcond = sync.NewCond(&r.qmu)
 	r.severed = map[network.LinkID]bool{}
 	r.batchHist = eng.Obs().Metrics.Histogram("runtime.batch.size", obs.ExpBuckets(1, 2, 9))
+	r.parseSkip = eng.Obs().Metrics.Counter("runtime.parse.skipped")
 	r.flight = eng.Obs().Flight
 	if !r.opts.NoSpans {
 		r.lat = eng.Obs().Latency
@@ -267,6 +307,12 @@ func NewWith(eng *core.Engine, collect bool, opts Options) *Runtime {
 		r.recvs = map[recvKey]*transport.RecvCursor{}
 		r.sess.attach(r)
 	}
+	// Tree batches need a parser-equivalent consumer path (StdParser is the
+	// byte baseline by definition) and, in a cluster, at least one offered
+	// codec that can put trees on the wire — otherwise every remote hop
+	// would serialize anyway and the xml-pinned benchmark column would not
+	// measure the serialized path.
+	r.treeData = !r.opts.StdParser && (opts.Cluster == nil || opts.Cluster.treeData)
 	if opts.Cluster != nil {
 		r.cluster = opts.Cluster
 		r.owners = r.cluster.assignment(r)
@@ -337,7 +383,7 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		sources.Add(1)
 		go func(d *core.Deployed, feed []*xmlstream.Element) {
 			defer sources.Done()
-			b := batcher{r: r, stream: d, lat: r.lat, flushStage: obs.StageBatch, sample: true}
+			b := batcher{r: r, stream: d, tree: r.treeData, lat: r.lat, flushStage: obs.StageBatch, sample: true}
 			for _, it := range feed {
 				b.add(it)
 			}
@@ -613,8 +659,8 @@ func (r *Runtime) send(m message) {
 			r.mu.Unlock()
 		}
 	}
-	if len(m.items) > 0 {
-		r.batchHist.Observe(float64(len(m.items)))
+	if n := m.count(); n > 0 {
+		r.batchHist.Observe(float64(n))
 	}
 	// A sampled batch closes its send stage here: the delta covers channel
 	// admission (credit waits, parking) plus routing, and the queue stage
@@ -643,13 +689,14 @@ func (r *Runtime) dropMsg(m *message) {
 // Only four sites may call it — last-hop completion, a fault-injection
 // drop (which covers a dead peer's drain), a broken-channel retention,
 // and a receive-side dedup discard; forwarded messages keep their buffer.
-// After recycle the message's items must not be touched.
+// After recycle the message's items and elems must not be touched.
 func (r *Runtime) recycle(m *message) {
 	if m.buf != nil {
 		xmlstream.PutBuffer(m.buf)
 		m.buf = nil
 		m.items = nil
 	}
+	m.elems = nil
 }
 
 func (r *Runtime) finish() {
@@ -727,11 +774,18 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 				return
 			}
 			if skip > 0 {
-				if skip > len(m.items) {
-					skip = len(m.items)
+				if n := m.count(); skip > n {
+					skip = n
 				}
 				r.dedupCount(skip)
-				m.items = m.items[skip:]
+				if len(m.elems) > 0 {
+					for _, e := range m.elems[:skip] {
+						m.xb -= xmlstream.MarshalSize(e)
+					}
+					m.elems = m.elems[skip:]
+				} else {
+					m.items = m.items[skip:]
+				}
 				m.seqLo += uint64(skip)
 			}
 		}
@@ -746,11 +800,21 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 	if len(taps) > 0 || len(readers) > 0 {
 		// Decode the batch once per peer and share the read-only items
 		// across every consumer here — the simulator does the same, handing
-		// one element pointer to all children and readers. In StdParser
-		// (baseline) mode each consumer decodes its own copy, replicating
-		// the pre-batching runtime.
+		// one element pointer to all children and readers. An elems batch
+		// (the zero-XML data plane) already carries the parsed trees, so the
+		// stage degenerates to handing those pointers over; the skipped
+		// reparses are counted (runtime.parse.skipped) and the parse stage
+		// still stamps, recording its collapse to ~zero in the span series.
+		// In StdParser (baseline) mode each consumer decodes its own copy,
+		// replicating the pre-batching runtime — except for elems batches
+		// (a tree-codec link in a mixed cluster decoded them), which have no
+		// bytes to decode and are shared as-is.
 		var its []*xmlstream.Element
-		if !r.opts.StdParser {
+		if len(m.elems) > 0 {
+			its = m.elems
+			r.parseSkip.Add(float64(len(m.elems)))
+			r.lat.Stamp(m.span, obs.StageParse)
+		} else if !r.opts.StdParser {
 			its = r.parseFast(n, w, m.items)
 			r.lat.Stamp(m.span, obs.StageParse)
 		}
@@ -758,7 +822,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 			if child.Tap != n.id {
 				continue
 			}
-			if r.opts.StdParser {
+			if r.opts.StdParser && len(m.elems) == 0 {
 				its = r.parseStd(n, m.items)
 			}
 			var gate *ackGate
@@ -772,7 +836,7 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 			}
 		}
 		for _, re := range readers {
-			if r.opts.StdParser {
+			if r.opts.StdParser && len(m.elems) == 0 {
 				its = r.parseStd(n, m.items)
 			}
 			r.feedReader(re, its, m.eos, m.span)
@@ -855,7 +919,7 @@ func (r *Runtime) feedChild(n *node, child *core.Deployed, its []*xmlstream.Elem
 	dup := bl["duplicate"]
 	var wk float64
 	charge := func(op exec.Operator, items int) { wk += bl[op.Name()] * float64(items) }
-	ob := batcher{r: r, stream: child, gate: gate, lat: r.lat, flushStage: obs.StageEval, span: span}
+	ob := batcher{r: r, stream: child, tree: r.treeData, gate: gate, lat: r.lat, flushStage: obs.StageEval, span: span}
 	for _, it := range its {
 		wk += dup
 		for _, out := range child.Residual.ProcessWith(it, charge) {

@@ -12,6 +12,7 @@ import (
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
 	"streamshare/internal/transport"
+	"streamshare/internal/xmlstream"
 )
 
 // This file is the reliability layer's live half: a Session owns the
@@ -280,9 +281,23 @@ func (g *ackGate) done() {
 
 // ownedCopies flattens a message's items into one owned allocation and
 // returns per-item subslices for the replay buffer (the message's own bytes
-// are pooled and die with it). It runs outside the channel lock so the
-// memcpy never serializes against acks on a hot shared stream.
+// are pooled and die with it). An elems batch is serialized here — the one
+// place the zero-XML data plane must materialize canonical bytes, because
+// the journal outlives the trees and replay (recover.go) re-parses from
+// stored bytes; m.xb pre-sizes the allocation exactly. It runs outside the
+// channel lock so the work never serializes against acks on a hot shared
+// stream.
 func ownedCopies(m *message) [][]byte {
+	if len(m.elems) > 0 {
+		owned := make([]byte, 0, m.xb)
+		out := make([][]byte, 0, len(m.elems))
+		for _, e := range m.elems {
+			off := len(owned)
+			owned = xmlstream.AppendMarshal(owned, e)
+			out = append(out, owned[off:len(owned):len(owned)])
+		}
+		return out
+	}
 	if len(m.items) == 0 {
 		return nil
 	}

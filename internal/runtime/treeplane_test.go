@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"streamshare/internal/testutil"
+	"streamshare/internal/transport"
+	"streamshare/internal/wire"
+)
+
+// Tree-plane acceptance: the zero-XML data plane (element-tree batches on
+// binary links, no per-hop reserialize/reparse) must be behaviorally
+// invisible. These tests compare it against the StdParser baseline — the
+// encoding/xml-pinned path that serializes every batch — under randomized
+// scenario shapes and forced mid-stream disconnects, and pin the
+// construction-time codec validation that keeps a misconfigured cluster
+// from ever binding a listener.
+
+// TestClusterCodecValidation: ClusterOptions.Codecs is validated against
+// the wire registry at construction, so an unregistered codec name fails
+// fast with a field-named error instead of surfacing as a per-link
+// handshake failure after listeners are already bound.
+func TestClusterCodecValidation(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Node:   "n0",
+		Nodes:  map[string]string{"n0": "", "n1": ""},
+		Codecs: []string{"gob"},
+	})
+	if err == nil {
+		c.Close()
+		t.Fatal("NewCluster accepted unregistered codec \"gob\"")
+	}
+	for _, want := range []string{"ClusterOptions.Codecs", "gob"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	// A registered preference list still constructs (accept-only node, so
+	// no peer address is required).
+	c, err = NewCluster(ClusterOptions{
+		Node:      "n1",
+		Nodes:     map[string]string{"n1": "", "n0": ""},
+		Codecs:    []string{wire.CodecXML},
+		Transport: transport.NewMem(),
+	})
+	if err != nil {
+		t.Fatalf("xml-only codec list rejected: %v", err)
+	}
+	c.Close()
+}
+
+// TestTreePlaneRandomizedDisconnects is the randomized equivalence
+// acceptance for the zero-XML plane: random grid shapes run twice — once
+// single-process on the StdParser baseline, once as a two-node reliable
+// cluster on the tree plane with connections killed repeatedly mid-run —
+// and every subscription must collect identical items. The chaos loop
+// forces the journal/replay path to handle elems batches (dedup slicing,
+// owned-copy journaling), not just the happy path.
+func TestTreePlaneRandomizedDisconnects(t *testing.T) {
+	defer testutil.Watchdog(t, 3*time.Minute)()
+	rng := rand.New(rand.NewSource(0x7ee9))
+	for trial := 0; trial < 3; trial++ {
+		n := 2 + rng.Intn(2)
+		queries := 4 + rng.Intn(5)
+		items := 100 + rng.Intn(101)
+		batch := 4 * (1 + rng.Intn(2))
+		t.Run(fmt.Sprintf("grid%d_q%d_i%d_b%d", n, queries, items, batch), func(t *testing.T) {
+			// Reference: the same build, single process, xml-pinned. The
+			// StdParser flag forces byte batches and encoding/xml reparse at
+			// every consumer — the representation the tree plane eliminated.
+			engRef, feedRef, err := clusterBuild(n, queries, items, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtRef := NewWith(engRef, true, Options{StdParser: true})
+			if rtRef.treeData {
+				t.Fatal("StdParser runtime left the tree plane on")
+			}
+			ref, err := rtRef.Run(feedRef)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			eng0, feed0, err := clusterBuild(n, queries, items, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng1, feed1, err := clusterBuild(n, queries, items, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c0, c1 := clusterPair(t, transport.NewMem())
+			if err := c0.WaitConnected(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			opts0 := Options{Cluster: c0, Session: NewSession(SessionOptions{DisableHeartbeat: true}), BatchSize: batch}
+			opts1 := Options{Cluster: c1, Session: NewSession(SessionOptions{DisableHeartbeat: true}), BatchSize: batch}
+			rt0 := NewWith(eng0, true, opts0)
+			rt1 := NewWith(eng1, true, opts1)
+			if !rt0.treeData || !rt1.treeData {
+				t.Fatal("binary-capable cluster runtime did not enable the tree plane")
+			}
+
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					framesOut := uint64(0)
+					for _, st := range c0.Stats() {
+						framesOut += st.FramesSent
+					}
+					if framesOut > 5 {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				c0.DropConns()
+				ticker := time.NewTicker(3 * time.Millisecond)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-done:
+						return
+					case <-ticker.C:
+						c0.DropConns()
+					}
+				}
+			}()
+
+			res0, res1 := runPair(t, rt0, rt1, feed0, feed1)
+			got := mergeResults(res0, res1)
+
+			for id, refItems := range ref.Collected {
+				refXML, gotXML := sortedXML(refItems), sortedXML(got.Collected[id])
+				if len(refXML) != len(gotXML) {
+					t.Errorf("%s: tree plane delivered %d items, baseline %d", id, len(gotXML), len(refXML))
+					continue
+				}
+				for i := range refXML {
+					if refXML[i] != gotXML[i] {
+						t.Errorf("%s: item %d differs between tree plane and baseline", id, i)
+						break
+					}
+				}
+			}
+			for id := range got.Collected {
+				if _, ok := ref.Collected[id]; !ok {
+					t.Errorf("%s: delivered by the cluster but not the baseline", id)
+				}
+			}
+
+			recon := uint64(0)
+			for _, st := range append(c0.Stats(), c1.Stats()...) {
+				recon += st.Reconnects
+			}
+			if recon == 0 {
+				t.Fatal("chaos loop recorded no reconnects; disconnects never landed mid-stream")
+			}
+			skipped := eng0.Obs().Metrics.Snapshot().Counters["runtime.parse.skipped"] +
+				eng1.Obs().Metrics.Snapshot().Counters["runtime.parse.skipped"]
+			if skipped == 0 {
+				t.Fatal("tree plane reparse-skip counter never moved; batches travelled as bytes")
+			}
+			t.Logf("%d reconnects, %.0f reparses skipped, identical delivery", recon, skipped)
+		})
+	}
+}

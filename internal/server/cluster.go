@@ -74,8 +74,8 @@ func (s *Server) nodesCmd(w io.Writer) {
 				if codec == "" {
 					codec = "unnegotiated"
 				}
-				fmt.Fprintf(w, "  %s %s codec=%s sent=%d recv=%d reconnects=%d\n",
-					n, st.Phase, codec, st.FramesSent, st.FramesRecv, st.Reconnects)
+				fmt.Fprintf(w, "  %s %s codec=%s seeded=%d sent=%d recv=%d reconnects=%d\n",
+					n, st.Phase, codec, st.SeededNames, st.FramesSent, st.FramesRecv, st.Reconnects)
 			}
 		}
 	}

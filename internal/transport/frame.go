@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"streamshare/internal/xmlstream"
 )
 
 // This file is the wire format: one Frame struct covering every message
@@ -125,6 +127,14 @@ type Frame struct {
 	Span []byte
 	// Items are the batch's serialized items (Batch).
 	Items [][]byte
+
+	// Elems are the batch's items as parsed element trees (Batch) — an
+	// in-memory alternative to Items that is NEVER serialized: a link that
+	// negotiated a tree-capable codec encodes them straight into a BatchBin
+	// payload, and its receiver decodes straight back into Elems. On xml
+	// links the sender materializes Items from Elems before framing. When
+	// both are set, Items is authoritative (Elems is a decoded view of it).
+	Elems []*xmlstream.Element
 
 	// Consumer is the acking channel consumer (Ack).
 	Consumer string

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"streamshare/internal/wire"
+	"streamshare/internal/xmlstream"
 )
 
 // This file is the managed connection between two nodes. A Link owns one
@@ -64,6 +65,10 @@ type LinkStats struct {
 	// EncodedItems and DecodedItems count items transformed by a non-xml
 	// codec (xml links ship item bytes verbatim and count nothing here).
 	EncodedItems, DecodedItems uint64
+	// SeededNames is how many dictionary names the handshake's dictseed
+	// negotiation pre-loaded into the link's codec tables (0 on xml links
+	// and on links whose peer predates seeding).
+	SeededNames int
 	// EncodedXMLBytes/EncodedWireBytes are outbound batch sizes before and
 	// after the codec. Their ratio is the measured outbound compression.
 	EncodedXMLBytes, EncodedWireBytes uint64
@@ -149,7 +154,18 @@ func (l *Link) Send(f *Frame) error {
 	if l.enc != nil && f.Type == FrameBatch {
 		payload = l.encodeBatchLocked(f)
 	} else {
-		payload = AppendFrame(nil, f)
+		send := f
+		if f.Type == FrameBatch && len(f.Items) == 0 && len(f.Elems) > 0 {
+			// Elems-only batch on an xml link: materialize the canonical
+			// item bytes here, at the link boundary, in a local copy so a
+			// caller broadcasting one frame across mixed-codec links keeps
+			// its tree view intact.
+			xml := *f
+			xml.Items = marshalElems(f.Elems)
+			xml.Elems = nil
+			send = &xml
+		}
+		payload = AppendFrame(nil, send)
 	}
 	l.out.Emit(payload, false)
 	l.mu.Broadcast()
@@ -158,26 +174,62 @@ func (l *Link) Send(f *Frame) error {
 }
 
 // encodeBatchLocked transforms a Batch frame into its BatchBin wire image
-// using the link's negotiated encoder. Callers hold l.mu.
+// using the link's negotiated encoder. Batches carrying parsed element
+// trees (and no item bytes) take the codec's zero-XML path when the
+// encoder is tree-capable; metering then prices canonical bytes with
+// xmlstream.MarshalSize instead of producing them. Callers hold l.mu.
 func (l *Link) encodeBatchLocked(f *Frame) []byte {
 	start := time.Now()
-	l.encBuf = l.enc.EncodeBatch(l.encBuf[:0], f.Items)
-	xmlBytes := 0
-	for _, it := range f.Items {
-		xmlBytes += len(it)
+	nItems, xmlBytes := 0, 0
+	if te, ok := l.enc.(wire.TreeEncoder); ok && len(f.Items) == 0 && len(f.Elems) > 0 {
+		l.encBuf = te.EncodeElems(l.encBuf[:0], f.Elems)
+		nItems = len(f.Elems)
+		for _, e := range f.Elems {
+			xmlBytes += xmlstream.MarshalSize(e)
+		}
+	} else {
+		items := f.Items
+		if len(items) == 0 && len(f.Elems) > 0 {
+			// A non-tree codec on an elems-only batch: materialize once.
+			items = marshalElems(f.Elems)
+		}
+		l.encBuf = l.enc.EncodeBatch(l.encBuf[:0], items)
+		nItems = len(items)
+		for _, it := range items {
+			xmlBytes += len(it)
+		}
 	}
 	bin := *f
 	bin.Type = FrameBatchBin
 	bin.Items = nil
+	bin.Elems = nil
 	bin.Data = l.encBuf
 	payload := AppendFrame(nil, &bin)
-	l.stats.EncodedItems += uint64(len(f.Items))
+	l.stats.EncodedItems += uint64(nItems)
 	l.stats.EncodedXMLBytes += uint64(xmlBytes)
 	l.stats.EncodedWireBytes += uint64(len(l.encBuf))
 	if obs := l.mesh.obsWire; obs != nil {
-		obs("encode", time.Since(start).Seconds(), len(f.Items), xmlBytes, len(l.encBuf))
+		obs("encode", time.Since(start).Seconds(), nItems, xmlBytes, len(l.encBuf))
 	}
 	return payload
+}
+
+// marshalElems materializes the canonical XML bytes of a batch of element
+// trees in one allocation — the fallback for links whose codec cannot carry
+// trees natively.
+func marshalElems(elems []*xmlstream.Element) [][]byte {
+	total := 0
+	for _, e := range elems {
+		total += xmlstream.MarshalSize(e)
+	}
+	buf := make([]byte, 0, total)
+	items := make([][]byte, len(elems))
+	for i, e := range elems {
+		start := len(buf)
+		buf = xmlstream.AppendMarshal(buf, e)
+		items[i] = buf[start:len(buf):len(buf)]
+	}
+	return items
 }
 
 // decodeBatchLocked rewrites an inbound BatchBin frame into a plain Batch
@@ -188,23 +240,41 @@ func (l *Link) encodeBatchLocked(f *Frame) []byte {
 // conn down, and the journal replays the same bytes for a clean retry.
 func (l *Link) decodeBatchLocked(f *Frame) error {
 	start := time.Now()
-	items, err := l.dec.DecodeBatch(f.Data)
-	if err != nil {
-		return err
-	}
 	wireBytes := len(f.Data)
-	f.Type = FrameBatch
-	f.Items = items
-	f.Data = nil
-	xmlBytes := 0
-	for _, it := range items {
-		xmlBytes += len(it)
+	nItems, xmlBytes := 0, 0
+	if td, ok := l.dec.(wire.TreeDecoder); ok {
+		// Zero-XML path: the payload decodes straight into element trees;
+		// canonical bytes are priced (MarshalSize) but never built. The
+		// handler sees a Batch frame with Elems set and Items nil.
+		elems, err := td.DecodeElems(f.Data)
+		if err != nil {
+			return err
+		}
+		f.Type = FrameBatch
+		f.Elems = elems
+		f.Data = nil
+		nItems = len(elems)
+		for _, e := range elems {
+			xmlBytes += xmlstream.MarshalSize(e)
+		}
+	} else {
+		items, err := l.dec.DecodeBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		f.Type = FrameBatch
+		f.Items = items
+		f.Data = nil
+		nItems = len(items)
+		for _, it := range items {
+			xmlBytes += len(it)
+		}
 	}
-	l.stats.DecodedItems += uint64(len(items))
+	l.stats.DecodedItems += uint64(nItems)
 	l.stats.DecodedXMLBytes += uint64(xmlBytes)
 	l.stats.DecodedWireBytes += uint64(wireBytes)
 	if obs := l.mesh.obsWire; obs != nil {
-		obs("decode", time.Since(start).Seconds(), len(items), xmlBytes, wireBytes)
+		obs("decode", time.Since(start).Seconds(), nItems, xmlBytes, wireBytes)
 	}
 	return nil
 }
@@ -212,8 +282,11 @@ func (l *Link) decodeBatchLocked(f *Frame) error {
 // adoptCodecLocked pins the handshake's negotiated codec on first use and
 // rejects any later handshake that tries to change it — the journal holds
 // frames in the pinned encoding, so renegotiation would desync replay.
-// Callers hold l.mu.
-func (l *Link) adoptCodecLocked(name string) error {
+// seed is the dictseed name list the handshake agreed on: it is applied to
+// both freshly minted codec halves exactly once, here, under the same pin
+// (the early return on reconnects means a re-negotiated seed can never
+// touch tables that already carry traffic). Callers hold l.mu.
+func (l *Link) adoptCodecLocked(name string, seed []string) error {
 	if l.codec == name {
 		return nil
 	}
@@ -228,6 +301,15 @@ func (l *Link) adoptCodecLocked(name string) error {
 	if name != wire.CodecXML {
 		l.enc = c.NewEncoder()
 		l.dec = c.NewDecoder()
+		if len(seed) > 0 {
+			te, teOK := l.enc.(wire.TreeEncoder)
+			td, tdOK := l.dec.(wire.TreeDecoder)
+			if teOK && tdOK {
+				te.SeedShared(seed)
+				td.SeedShared(seed)
+				l.stats.SeededNames = len(seed)
+			}
+		}
 	}
 	return nil
 }
@@ -522,11 +604,12 @@ func (l *Link) dialLoop() {
 			l.mesh.trackPending(conn, true)
 			var welcome *Frame
 			var codec string
-			welcome, codec, err = handshakeDial(conn, l.mesh.node, l.remote, resume, l.mesh.codecs)
+			var seed []string
+			welcome, codec, seed, err = handshakeDial(conn, l.mesh.node, l.remote, resume, l.mesh.codecs, l.mesh.seed)
 			l.mesh.trackPending(conn, false)
 			if err == nil {
 				l.mu.Lock()
-				if cerr := l.adoptCodecLocked(codec); cerr != nil {
+				if cerr := l.adoptCodecLocked(codec, seed); cerr != nil {
 					// The acceptor answered with a codec outside our pin;
 					// drop the conn and retry — replay depends on the
 					// pinned encoding.
@@ -554,34 +637,43 @@ func (l *Link) dialLoop() {
 
 // handshakeDial runs the dialer's half of the handshake: send Hello with
 // our identity, resume cursor and capability map (the codec preference
-// list), require a version- and name-matching Welcome, and return the
-// acceptor's codec choice. A Welcome without capabilities is an old peer;
-// the choice then defaults to xml. A choice we never offered is a protocol
-// error.
-func handshakeDial(conn Conn, node, remote string, resume uint64, codecs []string) (*Frame, string, error) {
+// list, plus the dictseed key whose presence advertises dictionary-seeding
+// support and whose value is our configured seed vocabulary), require a
+// version- and name-matching Welcome, and return the acceptor's codec
+// choice and the agreed seed list. The Welcome's dictseed value is
+// authoritative — the acceptor only emits it when the negotiated codec is
+// tree-capable and we advertised the key, so both sides seed the identical
+// list or neither seeds. A Welcome without capabilities is an old peer; the
+// choice then defaults to xml and no seeding happens. A choice we never
+// offered is a protocol error.
+func handshakeDial(conn Conn, node, remote string, resume uint64, codecs, seed []string) (*Frame, string, []string, error) {
 	hello := &Frame{
 		Type: FrameHello, Version: ProtocolVersion, Node: node, Resume: resume,
-		Options: map[string]string{"caps.v": "1", "codec": wire.FormatList(codecs)},
+		Options: map[string]string{
+			"caps.v":   "1",
+			"codec":    wire.FormatList(codecs),
+			"dictseed": wire.FormatList(seed),
+		},
 	}
 	if err := conn.WriteFrame(EncodeFrame(hello)); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	payload, err := conn.ReadFrame()
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	f, err := DecodeFrame(payload)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	if f.Type != FrameWelcome {
-		return nil, "", fmt.Errorf("transport: handshake: expected welcome, got %s", f.Type)
+		return nil, "", nil, fmt.Errorf("transport: handshake: expected welcome, got %s", f.Type)
 	}
 	if f.Version != ProtocolVersion {
-		return nil, "", fmt.Errorf("transport: handshake: version %d, want %d", f.Version, ProtocolVersion)
+		return nil, "", nil, fmt.Errorf("transport: handshake: version %d, want %d", f.Version, ProtocolVersion)
 	}
 	if f.Node != remote {
-		return nil, "", fmt.Errorf("transport: handshake: connected to %q, want %q", f.Node, remote)
+		return nil, "", nil, fmt.Errorf("transport: handshake: connected to %q, want %q", f.Node, remote)
 	}
 	codec := f.Options["codec"]
 	if codec == "" {
@@ -596,10 +688,14 @@ func handshakeDial(conn Conn, node, remote string, resume uint64, codecs []strin
 			}
 		}
 		if !offered {
-			return nil, "", fmt.Errorf("transport: handshake: peer chose codec %q we never offered", codec)
+			return nil, "", nil, fmt.Errorf("transport: handshake: peer chose codec %q we never offered", codec)
 		}
 	}
-	return f, codec, nil
+	var agreed []string
+	if v, ok := f.Options["dictseed"]; ok && wire.SupportsTrees(codec) {
+		agreed = wire.ParseList(v)
+	}
+	return f, codec, agreed, nil
 }
 
 // frameQueue decouples the conn reader from frame handling: the reader

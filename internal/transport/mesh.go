@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,7 +46,9 @@ type MeshConfig struct {
 	// heartbeat, control), per link in arrival order. It runs on a
 	// per-link dispatcher goroutine and may send on other links, but must
 	// not call back into Mesh.Close. BatchBin frames are decoded by the
-	// link before dispatch, so the handler only ever sees FrameBatch.
+	// link before dispatch, so the handler only ever sees FrameBatch —
+	// with Items set on xml links, or Elems (parsed element trees, Items
+	// nil) on links whose codec is tree-capable.
 	Handler func(remote string, f *Frame)
 	// Window bounds each link's replay journal in frames
 	// (DefaultLinkWindow when 0).
@@ -55,6 +58,15 @@ type MeshConfig struct {
 	// first). Every link pins the codec its first handshake negotiates;
 	// []string{"xml"} forces the verbatim-XML baseline for debugging.
 	Codecs []string
+	// SeedNames is the element-name vocabulary (typically a stream
+	// schema's, via xmlstream.Schema.Names) offered for dictionary seeding
+	// in handshakes. When a link negotiates a tree-capable codec with a
+	// seeding-aware peer, both sides pre-load their dictionaries with the
+	// agreed list — the dialer's when it offers one, else the acceptor's —
+	// so steady-state payloads carry no dictionary deltas. Names containing
+	// commas (illegal in XML names, but the capability value is a
+	// comma-separated list) are dropped at construction.
+	SeedNames []string
 	// ObserveWire, when set, is called once per codec batch transform: op
 	// is "encode" or "decode", seconds the transform time, items the
 	// batch's item count, and xmlBytes/wireBytes the batch's size before
@@ -79,6 +91,7 @@ type Mesh struct {
 	handler func(remote string, f *Frame)
 	window  int
 	codecs  []string
+	seed    []string
 	obsWire func(op string, seconds float64, items, xmlBytes, wireBytes int)
 
 	mu      sync.Mutex
@@ -110,6 +123,12 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		ln.Close()
 		return nil, err
 	}
+	var seed []string
+	for _, name := range cfg.SeedNames {
+		if name != "" && !strings.Contains(name, ",") {
+			seed = append(seed, name)
+		}
+	}
 	m := &Mesh{
 		node:    cfg.Node,
 		tr:      cfg.Transport,
@@ -117,6 +136,7 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		handler: cfg.Handler,
 		window:  cfg.Window,
 		codecs:  cfg.Codecs,
+		seed:    seed,
 		obsWire: cfg.ObserveWire,
 		links:   map[string]*Link{},
 		pending: map[Conn]bool{},
@@ -261,6 +281,19 @@ func (m *Mesh) handleIncoming(conn Conn) {
 		Type: FrameWelcome, Version: ProtocolVersion, Node: m.node, Resume: resume,
 		Options: map[string]string{"caps.v": "1", "codec": choice},
 	}
+	// Dictionary seeding: only when the dialer advertised the dictseed
+	// capability AND the chosen codec can use it. The agreed list — the
+	// dialer's when it offered one, our own otherwise — goes back in the
+	// Welcome, which is authoritative for both sides; a dialer that never
+	// sent the key gets no echo and neither side seeds.
+	var seed []string
+	if v, ok := f.Options["dictseed"]; ok && wire.SupportsTrees(choice) {
+		seed = wire.ParseList(v)
+		if len(seed) == 0 {
+			seed = m.seed
+		}
+		welcome.Options["dictseed"] = wire.FormatList(seed)
+	}
 	if err := conn.WriteFrame(EncodeFrame(welcome)); err != nil {
 		m.trackPending(conn, false)
 		conn.Close()
@@ -268,7 +301,7 @@ func (m *Mesh) handleIncoming(conn Conn) {
 	}
 	m.trackPending(conn, false)
 	l.mu.Lock()
-	if err := l.adoptCodecLocked(choice); err != nil {
+	if err := l.adoptCodecLocked(choice, seed); err != nil {
 		// The link already pinned a different codec in an earlier
 		// handshake; renegotiation would desync the journal. Refuse.
 		l.mu.Unlock()

@@ -24,6 +24,16 @@ func batchItems(tag string, n int) [][]byte {
 	return items
 }
 
+// frameXML renders a dispatched batch's items as canonical XML regardless
+// of how they arrived: verbatim Items on xml links, parsed Elems on
+// tree-capable links.
+func frameXML(f *Frame) [][]byte {
+	if len(f.Elems) > 0 {
+		return marshalElems(f.Elems)
+	}
+	return f.Items
+}
+
 // wantBatches waits until the collector holds n Batch frames and returns
 // them; non-batch frames (heartbeats) are filtered out.
 func wantBatches(t *testing.T, c *collector, n int) []*Frame {
@@ -65,12 +75,18 @@ func TestCodecNegotiationDefault(t *testing.T) {
 		}
 	}
 	for _, f := range wantBatches(t, cb, 3) {
-		if len(f.Items) != len(items) {
-			t.Fatalf("batch has %d items, want %d", len(f.Items), len(items))
+		// A binary link hands the handler parsed trees, never item bytes:
+		// the zero-XML contract.
+		if len(f.Items) != 0 {
+			t.Fatalf("binary link dispatched %d raw items alongside elems", len(f.Items))
+		}
+		got := frameXML(f)
+		if len(got) != len(items) {
+			t.Fatalf("batch has %d items, want %d", len(got), len(items))
 		}
 		for i := range items {
-			if !bytes.Equal(f.Items[i], items[i]) {
-				t.Fatalf("item %d: %q, want %q", i, f.Items[i], items[i])
+			if !bytes.Equal(got[i], items[i]) {
+				t.Fatalf("item %d: %q, want %q", i, got[i], items[i])
 			}
 		}
 	}
@@ -307,6 +323,78 @@ func TestHandshakeOldWelcome(t *testing.T) {
 	}
 }
 
+// TestDictionarySeeding pins the schema-seeded dictionary handshake: both
+// halves of a binary link pre-intern the agreed name list (so steady-state
+// batches ship no dictionary deltas), the acceptor adopts the dialer's list
+// when it has none of its own, and an xml link ignores seeding entirely.
+func TestDictionarySeeding(t *testing.T) {
+	seed := []string{"en", "photon", "src"}
+	items := batchItems("seed", 8) // uses exactly the seeded vocabulary
+	send := func(t *testing.T, cfgA, cfgB MeshConfig) (LinkStats, LinkStats, *Frame) {
+		t.Helper()
+		tr := NewMem()
+		var ca, cb collector
+		cfgA.Transport, cfgA.Node, cfgA.Handler = tr, "a", ca.handle
+		cfgB.Transport, cfgB.Node, cfgB.Handler = tr, "b", cb.handle
+		ma, err := NewMesh(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := NewMesh(cfgB)
+		if err != nil {
+			ma.Close()
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ma.Close(); mb.Close() })
+		ma.Connect("b", mb.Addr())
+		mb.Connect("a", ma.Addr())
+		if err := ma.WaitConnected(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := ma.Link("b").Send(&Frame{Type: FrameBatch, Stream: "s", Items: items}); err != nil {
+			t.Fatal(err)
+		}
+		f := wantBatches(t, &cb, 1)[0]
+		return ma.Link("b").Stats(), mb.Link("a").Stats(), f
+	}
+
+	// Both sides configured: both halves seed the full list.
+	sa, sb, f := send(t, MeshConfig{SeedNames: seed}, MeshConfig{SeedNames: seed})
+	if sa.SeededNames != len(seed) || sb.SeededNames != len(seed) {
+		t.Fatalf("seeded %d/%d names, want %d on both sides", sa.SeededNames, sb.SeededNames, len(seed))
+	}
+	got := frameXML(f)
+	for i := range items {
+		if !bytes.Equal(got[i], items[i]) {
+			t.Fatalf("seeded item %d: %q, want %q", i, got[i], items[i])
+		}
+	}
+
+	// The same batch on an unseeded link pays for its dictionary deltas:
+	// the seeded payload must be strictly smaller.
+	ua, _, _ := send(t, MeshConfig{}, MeshConfig{})
+	if sa.EncodedWireBytes >= ua.EncodedWireBytes {
+		t.Fatalf("seeded batch not smaller: %d >= %d wire bytes (deltas still in-band)",
+			sa.EncodedWireBytes, ua.EncodedWireBytes)
+	}
+
+	// Dialer-only configuration: the acceptor adopts the dialer's list from
+	// the handshake, so both halves still seed identically.
+	da, db, _ := send(t, MeshConfig{SeedNames: seed}, MeshConfig{})
+	if da.SeededNames != len(seed) || db.SeededNames != len(seed) {
+		t.Fatalf("dialer-only seeding: %d/%d names, want %d on both sides", da.SeededNames, db.SeededNames, len(seed))
+	}
+
+	// An xml-pinned link never seeds (nothing to seed: no dictionary).
+	xa, xb, xf := send(t, MeshConfig{SeedNames: seed, Codecs: []string{wire.CodecXML}}, MeshConfig{SeedNames: seed})
+	if xa.SeededNames != 0 || xb.SeededNames != 0 {
+		t.Fatalf("xml link seeded %d/%d names, want 0", xa.SeededNames, xb.SeededNames)
+	}
+	if len(xf.Items) != len(items) {
+		t.Fatalf("xml link delivered %d items, want %d", len(xf.Items), len(items))
+	}
+}
+
 // TestCodecBinaryReconnectReplay hammers the binary codec's dictionary
 // across forced disconnects: journaled BatchBin frames replay byte-
 // identically and the fused decode-dedup applies each dictionary delta
@@ -382,9 +470,10 @@ func TestCodecBinaryReconnectReplay(t *testing.T) {
 		if f.SeqLo != uint64(i) {
 			t.Fatalf("batch %d out of order: SeqLo %d", i, f.SeqLo)
 		}
+		got := frameXML(f)
 		for j := range want {
-			if !bytes.Equal(f.Items[j], want[j]) {
-				t.Fatalf("batch %d item %d: %q, want %q", i, j, f.Items[j], want[j])
+			if !bytes.Equal(got[j], want[j]) {
+				t.Fatalf("batch %d item %d: %q, want %q", i, j, got[j], want[j])
 			}
 		}
 		i++

@@ -77,6 +77,10 @@ func (binaryCodec) NewEncoder() Encoder { return NewBinaryEncoder() }
 // NewDecoder returns a fresh binary decoder with an empty dictionary.
 func (binaryCodec) NewDecoder() Decoder { return NewBinaryDecoder() }
 
+// TreeCapable reports that the binary codec's halves implement the
+// TreeEncoder/TreeDecoder element-tree fast path.
+func (binaryCodec) TreeCapable() bool { return true }
+
 func init() { Register(binaryCodec{}) }
 
 // BinaryEncoder encodes item batches with a growing interned name
@@ -101,6 +105,30 @@ func (e *BinaryEncoder) Seed(names []string) {
 		if name != "" {
 			e.assign([]byte(name))
 		}
+	}
+}
+
+// SeedShared pre-loads the dictionary with names the link negotiation
+// agreed on, WITHOUT queueing deltas: the peer's decoder seeds the identical
+// list, so both tables assign the same ids out of band. Must be called on a
+// fresh encoder, before any EncodeBatch/EncodeElems, exactly once. Empty
+// names and duplicates are skipped (mirrored by BinaryDecoder.SeedShared, so
+// the tables stay aligned even on a sloppy list).
+func (e *BinaryEncoder) SeedShared(names []string) {
+	if e.ids == nil {
+		e.ids = map[string]uint64{}
+	}
+	for _, name := range names {
+		if name == "" {
+			continue
+		}
+		if _, dup := e.ids[name]; dup {
+			continue
+		}
+		if len(e.ids) >= MaxDictNames {
+			return
+		}
+		e.ids[name] = uint64(len(e.ids))
 	}
 }
 
@@ -334,6 +362,27 @@ type BinaryDecoder struct {
 // NewBinaryDecoder returns a decoder with an empty dictionary.
 func NewBinaryDecoder() *BinaryDecoder {
 	return &BinaryDecoder{}
+}
+
+// SeedShared appends the negotiated seed names to the dictionary, mirroring
+// BinaryEncoder.SeedShared: same list, fresh decoder, exactly once, with
+// empty names and duplicates skipped by identical rules so both tables end
+// byte-for-byte aligned.
+func (d *BinaryDecoder) SeedShared(names []string) {
+	seen := make(map[string]bool, len(d.names)+len(names))
+	for _, n := range d.names {
+		seen[n] = true
+	}
+	for _, name := range names {
+		if name == "" || seen[name] {
+			continue
+		}
+		if len(d.names) >= MaxDictNames {
+			return
+		}
+		seen[name] = true
+		d.names = append(d.names, name)
+	}
 }
 
 // DecodeBatch parses one payload into the batch's canonical XML items. On

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"streamshare/internal/xmlstream"
 )
 
 // Codec names. CodecXML is mandatory: every peer speaks it, and it is the
@@ -83,6 +85,53 @@ type Decoder interface {
 	// stateful decoders roll their dictionary back so a failed decode can
 	// be retried after a transport-level replay.
 	DecodeBatch(payload []byte) ([][]byte, error)
+}
+
+// TreeCodec marks a codec whose encoder/decoder halves carry parsed element
+// trees natively — the zero-XML data plane. Links that negotiate a
+// tree-capable codec may hand batches of *xmlstream.Element straight to the
+// encoder and receive trees back from the decoder, never materializing
+// canonical XML in between.
+type TreeCodec interface {
+	Codec
+	// TreeCapable reports whether this codec's halves implement TreeEncoder
+	// and TreeDecoder.
+	TreeCapable() bool
+}
+
+// TreeEncoder is the sending half of a tree-capable codec.
+type TreeEncoder interface {
+	Encoder
+	// EncodeElems appends one payload encoding the element trees directly.
+	// The payload is indistinguishable from EncodeBatch of the trees'
+	// canonical XML: any conforming decoder — byte or tree — accepts it.
+	// The elements are only read.
+	EncodeElems(dst []byte, items []*xmlstream.Element) []byte
+	// SeedShared pre-loads the dictionary with names both sides agreed on
+	// at handshake, WITHOUT queueing in-band deltas for them. It must be
+	// applied exactly once, to a fresh encoder, with the identical list the
+	// peer's decoder seeds — the negotiation (see docs/WIRE.md) guarantees
+	// both, so steady-state payloads carry no deltas for schema vocabulary.
+	SeedShared(names []string)
+}
+
+// TreeDecoder is the receiving half of a tree-capable codec.
+type TreeDecoder interface {
+	Decoder
+	// DecodeElems parses one payload directly into element trees, equal to
+	// parsing DecodeBatch's XML without materializing it. Dictionary
+	// rollback on error matches DecodeBatch.
+	DecodeElems(payload []byte) ([]*xmlstream.Element, error)
+	// SeedShared mirrors TreeEncoder.SeedShared on the receiving table:
+	// same list, fresh decoder, exactly once.
+	SeedShared(names []string)
+}
+
+// SupportsTrees reports whether the named codec is registered and
+// tree-capable.
+func SupportsTrees(name string) bool {
+	tc, ok := Lookup(name).(TreeCodec)
+	return ok && tc.TreeCapable()
 }
 
 // registry holds the known codecs. It only grows, at init time in practice,

@@ -172,6 +172,13 @@ func (e *Element) ByteSize() int {
 	return n
 }
 
+// MarshalSize returns len(AppendMarshal(nil, e)) without allocating: the
+// exact byte length of e's canonical serialization. Metering code uses it
+// to price canonical-XML bytes on paths that never materialize them.
+func MarshalSize(e *Element) int {
+	return e.ByteSize()
+}
+
 // Prune returns a copy of e that keeps only the subtrees addressed by the
 // given paths (a projection). Interior elements on the way to a kept subtree
 // are retained; everything else is dropped. Returns nil if nothing matches.

@@ -1,6 +1,8 @@
 package xmlstream
 
 import (
+	"math/rand"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -75,6 +77,37 @@ func TestByteSizeMatchesMarshal(t *testing.T) {
 	empty := T("e", "")
 	if empty.ByteSize() != len(Marshal(empty)) {
 		t.Errorf("empty leaf: %d != %d", empty.ByteSize(), len(Marshal(empty)))
+	}
+}
+
+// Property: MarshalSize prices arbitrary trees exactly — it must equal the
+// length of the canonical serialization for any shape the tree plane can
+// carry (nested interiors, text leaves, empty leaves), since metering and
+// journal pre-sizing trust it without ever materializing the bytes.
+func TestQuickMarshalSizeMatchesAppendMarshal(t *testing.T) {
+	var gen func(r *rand.Rand, depth int) *Element
+	gen = func(r *rand.Rand, depth int) *Element {
+		name := string(rune('a'+r.Intn(26))) + string(rune('a'+r.Intn(26)))
+		if depth >= 3 || r.Intn(3) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				return E(name) // empty leaf
+			default:
+				return T(name, strconv.Itoa(r.Intn(1000)))
+			}
+		}
+		kids := make([]*Element, 1+r.Intn(3))
+		for i := range kids {
+			kids[i] = gen(r, depth+1)
+		}
+		return E(name, kids...)
+	}
+	f := func(seed int64) bool {
+		e := gen(rand.New(rand.NewSource(seed)), 0)
+		return MarshalSize(e) == len(AppendMarshal(nil, e))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -122,6 +122,28 @@ func (s *Schema) LeafPaths() []Path {
 	return out
 }
 
+// Names returns the schema's element-name vocabulary: every distinct
+// element name in the tree, sorted and deduplicated. Wire codecs seed
+// link dictionaries from this list so steady-state payloads carry no
+// dictionary deltas.
+func (s *Schema) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(n *Schema)
+	walk = func(n *Schema) {
+		if !seen[n.Name] {
+			seen[n.Name] = true
+			out = append(out, n.Name)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(s)
+	sort.Strings(out)
+	return out
+}
+
 // String renders the schema as an indented tree, like the paper's DTD
 // figure.
 func (s *Schema) String() string {
