@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	grt "runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"streamshare/internal/core"
+	"streamshare/internal/durable"
 	"streamshare/internal/photons"
 	"streamshare/internal/runtime"
 	"streamshare/internal/scenario"
@@ -44,7 +46,11 @@ import (
 // the xml pin forces the serialized path (marshal at sources, reparse per
 // hop, verbatim frames), so CodecGain here prices the data plane's CPU;
 // the codec's 3×+ bandwidth win shows separately on the bandwidth-paced
-// wire benchmark (benchWireCodec).
+// wire benchmark (benchWireCodec). The Dur columns re-run the binary mesh
+// with both sides journaling every frame and cursor to durable link WALs
+// (ClusterOptions.DataDir) under each fsync policy; DurCost<Policy> is
+// durable/tcpBinary wall time — the price of crash-restart recoverability
+// on the identical workload.
 // The latency quantile columns come from a separate
 // untimed profiling run with dense sampling (1 in 16), split into queue delay
 // (batch, send, mailbox residence) and compute delay (parse, eval, deliver),
@@ -70,6 +76,12 @@ type benchRow struct {
 	SpanOverhead     float64                 `json:"spanOverhead"`
 	TCPCost          float64                 `json:"tcpCost"`
 	CodecGain        float64                 `json:"codecGain"`
+	DurAlwaysMs      float64                 `json:"durAlwaysMs"`
+	DurIntervalMs    float64                 `json:"durIntervalMs"`
+	DurNoneMs        float64                 `json:"durNoneMs"`
+	DurCostAlways    float64                 `json:"durCostAlways"`
+	DurCostInterval  float64                 `json:"durCostInterval"`
+	DurCostNone      float64                 `json:"durCostNone"`
 	QueueP50Ms       float64                 `json:"queueP50Ms"`
 	QueueP99Ms       float64                 `json:"queueP99Ms"`
 	ComputeP50Ms     float64                 `json:"computeP50Ms"`
@@ -148,8 +160,11 @@ func timeOnce(cfg benchGridConfig, opts runtime.Options) (time.Duration, int) {
 // covers data flow start to finish, with mesh dial/handshake excluded.
 // codecs picks the mesh item codec: []string{wire.CodecXML} pins the
 // verbatim frames every pre-codec build shipped (the trajectory baseline),
-// nil negotiates the default binary codec.
-func timeTCP(cfg benchGridConfig, codecs []string) (time.Duration, int) {
+// nil negotiates the default binary codec. With journaled both mesh sides
+// write durable link journals under fresh temp directories (removed after
+// the run) with the given fsync policy, pricing the write-ahead data-plane
+// journal against the otherwise identical in-memory binary mesh.
+func timeTCP(cfg benchGridConfig, codecs []string, durSync durable.Sync, journaled bool) (time.Duration, int) {
 	eng0, feed := buildGridEngine(cfg, false)
 	eng1, _ := buildGridEngine(cfg, false)
 	// Seed the tree-codec dictionaries with the schema vocabulary inferred
@@ -162,9 +177,22 @@ func timeTCP(cfg benchGridConfig, codecs []string) (time.Duration, int) {
 			break
 		}
 	}
+	var dir0, dir1 string
+	if journaled {
+		var err error
+		if dir0, err = os.MkdirTemp("", "bench-dur-n0-"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir0)
+		if dir1, err = os.MkdirTemp("", "bench-dur-n1-"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir1)
+	}
 	c1, err := runtime.NewCluster(runtime.ClusterOptions{
 		Node: "n1", Nodes: map[string]string{"n1": "127.0.0.1:0", "n0": ""},
 		Codecs: codecs, SeedNames: seed,
+		DataDir: dir1, DurableSync: durSync,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -173,6 +201,7 @@ func timeTCP(cfg benchGridConfig, codecs []string) (time.Duration, int) {
 	c0, err := runtime.NewCluster(runtime.ClusterOptions{
 		Node: "n0", Nodes: map[string]string{"n0": "127.0.0.1:0", "n1": c1.Addr()},
 		Codecs: codecs, SeedNames: seed,
+		DataDir: dir0, DurableSync: durSync,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -375,7 +404,9 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 			items = 500
 		}
 		configs = []benchGridConfig{{2, 8, items}}
-		reps = 1
+		// Short runs keep the full rep count: at ~10ms wall times a single
+		// measurement is mostly scheduler noise, and the smoke guards in CI
+		// compare ratio columns that need the best-of damping.
 	}
 	fmt.Printf("%-14s %7s %8s %8s %10s %10s %10s %10s %10s %10s %13s %13s %8s %8s %8s %8s %8s\n", "Config", "Peers", "Queries",
 		"Items", "Base ms", "Batch ms", "Rel ms", "Span ms", "TCP ms", "TCPBin ms", "Base items/s", "Batch items/s", "Speedup", "AckCost", "SpanOv", "TCPCost", "Codec")
@@ -394,14 +425,16 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 		batchOpts := runtime.DefaultOptions()
 		batchOpts.NoSpans = true
 		var baseD, batchD, relD, spanD, tcpD, tcpBinD time.Duration
+		var durD [3]time.Duration
+		durPolicies := [3]durable.Sync{durable.SyncAlways, durable.SyncInterval, durable.SyncNone}
 		var n int
 		for i := 0; i < reps; i++ {
 			bd, bn := timeOnce(cfg, runtime.BaselineOptions())
 			td, _ := timeOnce(cfg, batchOpts)
 			rd, _ := timeOnce(cfg, relOpts)
 			sd, _ := timeOnce(cfg, runtime.DefaultOptions())
-			cd, _ := timeTCP(cfg, []string{wire.CodecXML})
-			bc, _ := timeTCP(cfg, nil)
+			cd, _ := timeTCP(cfg, []string{wire.CodecXML}, 0, false)
+			bc, _ := timeTCP(cfg, nil, 0, false)
 			n = bn
 			if baseD == 0 || bd < baseD {
 				baseD = bd
@@ -420,6 +453,12 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 			}
 			if tcpBinD == 0 || bc < tcpBinD {
 				tcpBinD = bc
+			}
+			for j, sync := range durPolicies {
+				dd, _ := timeTCP(cfg, nil, sync, true)
+				if durD[j] == 0 || dd < durD[j] {
+					durD[j] = dd
+				}
 			}
 		}
 		row := benchRow{
@@ -444,11 +483,18 @@ func benchDataPath(items int, short bool) ([]benchRow, string) {
 		row.SpanOverhead = spanD.Seconds() / batchD.Seconds()
 		row.TCPCost = tcpD.Seconds() / batchD.Seconds()
 		row.CodecGain = row.TCPBinItemsSec / row.TCPItemsSec
+		row.DurAlwaysMs, row.DurIntervalMs, row.DurNoneMs = ms(durD[0]), ms(durD[1]), ms(durD[2])
+		row.DurCostAlways = durD[0].Seconds() / tcpBinD.Seconds()
+		row.DurCostInterval = durD[1].Seconds() / tcpBinD.Seconds()
+		row.DurCostNone = durD[2].Seconds() / tcpBinD.Seconds()
 		profileLatency(cfg, 16, &row, &flight)
 		rows = append(rows, row)
 		fmt.Printf("%-14s %7d %8d %8d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %13.0f %13.0f %7.2fx %7.2fx %7.2fx %7.2fx %7.2fx\n",
 			row.Config, row.Peers, row.Queries, row.Items, row.BaselineMs, row.BatchedMs, row.ReliableMs, row.SpanMs, row.TCPMs, row.TCPBinMs,
 			row.BaselineItemsSec, row.BatchedItemsSec, row.Speedup, row.AckCost, row.SpanOverhead, row.TCPCost, row.CodecGain)
+		fmt.Printf("  durable mesh (vs tcpbin): always %.1f ms (%.2fx), interval %.1f ms (%.2fx), none %.1f ms (%.2fx)\n",
+			row.DurAlwaysMs, row.DurCostAlways, row.DurIntervalMs, row.DurCostInterval,
+			row.DurNoneMs, row.DurCostNone)
 		fmt.Printf("  latency (1-in-16 profile): queue p50/p99 %.3f/%.3f ms, compute p50/p99 %.3f/%.3f ms, lag p50/p99 %.3f/%.3f ms over %d subscriptions\n",
 			row.QueueP50Ms, row.QueueP99Ms, row.ComputeP50Ms, row.ComputeP99Ms,
 			row.LagP50Ms, row.LagP99Ms, len(row.SubLagMs))

@@ -54,6 +54,18 @@
 // of them (each injects the sources it owns), and the coordinator merges the
 // per-node delivery counts into its reply. NODES shows the membership and
 // per-link transport counters.
+//
+// With -data the daemon becomes durable: the subscription catalog and (with
+// -node) every mesh link journal their state under the given directory, and
+// a process restarted — or SIGKILLed — over the same directory recovers its
+// catalog by deterministic replay, re-joins the mesh under a new link
+// incarnation, and replays exactly the frames its peers never acknowledged
+// (see DESIGN.md "Durability"). -data-sync picks the fsync policy: "always"
+// survives power loss at one fsync per append, "interval" batches fsyncs
+// every -data-sync-interval, "none" leaves flushing to the OS:
+//
+//	sgd -node n1 -cluster-listen 127.0.0.1:7171 -join n0= -data /var/lib/sgd/n1
+//	sgd -node n0 -cluster-listen 127.0.0.1:0 -join n1=127.0.0.1:7171 -data /var/lib/sgd/n0 -listen 127.0.0.1:7071
 package main
 
 import (
@@ -64,10 +76,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"streamshare/internal/core"
+	"streamshare/internal/durable"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
 	"streamshare/internal/photons"
@@ -92,7 +106,15 @@ func main() {
 	clusterListen := flag.String("cluster-listen", "127.0.0.1:0", "cluster mesh listen address")
 	join := flag.String("join", "", "other cluster nodes as name=addr pairs, comma-separated (addr may be empty for nodes that dial us)")
 	codec := flag.String("codec", "", "mesh item codecs offered during link handshakes, comma-separated in preference order (default binary,xml; -codec=xml forces the verbatim debug baseline)")
+	dataDir := flag.String("data", "", "durable state directory: journals the subscription catalog and, with -node, every mesh link; a process restarted over the same directory recovers its catalog and replays unacked frames")
+	dataSync := flag.String("data-sync", "always", "journal fsync policy: always | interval | none")
+	dataSyncInt := flag.Duration("data-sync-interval", 0, "background fsync period under -data-sync=interval (0 uses the journal default)")
 	flag.Parse()
+
+	syncPolicy, err := durable.ParseSync(*dataSync)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	n := network.New()
 	for i := 0; i < *grid**grid; i++ {
@@ -147,14 +169,24 @@ func main() {
 				}
 			}
 		}
-		var err error
-		clu, err = runtime.NewCluster(runtime.ClusterOptions{
+		copts := runtime.ClusterOptions{
 			Node:         *node,
 			Nodes:        nodes,
 			Codecs:       wire.ParseList(*codec),
 			SeedNames:    seedNames,
 			WireObserver: runtime.WireMetricsObserver(eng.Obs().Metrics),
-		})
+		}
+		if *dataDir != "" {
+			// Link journals live one directory per remote under links/; the
+			// catalog journal (attached below) under catalog/.
+			copts.DataDir = filepath.Join(*dataDir, "links")
+			copts.DurableSync = syncPolicy
+			copts.DurableSyncInterval = *dataSyncInt
+			copts.Metrics = eng.Obs().Metrics
+			copts.Flight = eng.Obs().Flight
+		}
+		var err error
+		clu, err = runtime.NewCluster(copts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,6 +203,19 @@ func main() {
 	}
 	log.Printf("sgd: %d super-peers, stream photons at SP0, listening on %s", *grid**grid, ln.Addr())
 	srv := server.New(eng, cfg)
+	if *dataDir != "" {
+		// Catalog recovery runs before the cluster handler and the listener
+		// are live: replay must not race client sessions or mirrored
+		// mutations.
+		srv, err = srv.WithDurable(filepath.Join(*dataDir, "catalog"), syncPolicy, *dataSyncInt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs := len(eng.Subscriptions())
+		if subs > 0 {
+			log.Printf("sgd: recovered %d subscription(s) from %s", subs, *dataDir)
+		}
+	}
 	if sess != nil {
 		srv = srv.WithSession(sess)
 	}

@@ -199,6 +199,11 @@ type Engine struct {
 	// that mutates, as the server and runtime do.
 	mu sync.Mutex
 
+	// journal, when set via SetJournal, receives one CatalogOp per
+	// successful control-plane mutation, under mu, after the mutation
+	// applied (see journal.go).
+	journal func(CatalogOp)
+
 	// Analytic running usage, kept in sync with installed plans.
 	linkUse map[network.LinkID]float64 // bytes/second
 	peerUse map[network.PeerID]float64 // work units/second

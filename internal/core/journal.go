@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"streamshare/internal/network"
+)
+
+// Catalog operation kinds. Subscribe and Unsubscribe replay through the
+// engine itself; every other kind (adaptation schedules journaled by the
+// server layer) is delegated to the ReplayCatalog apply callback.
+const (
+	// CatalogSubscribe records a successful Subscribe call.
+	CatalogSubscribe = "subscribe"
+	// CatalogUnsubscribe records a successful Unsubscribe call.
+	CatalogUnsubscribe = "unsubscribe"
+	// CatalogAdapt records an applied adaptation schedule (fail/restore/
+	// reopt events); Detail carries the schedule in adapt syntax.
+	CatalogAdapt = "adapt"
+)
+
+// CatalogOp is one journaled control-plane mutation. The engine emits
+// CatalogSubscribe/CatalogUnsubscribe ops through the SetJournal hook;
+// layers above append their own kinds (CatalogAdapt) and handle them in
+// the ReplayCatalog apply callback.
+type CatalogOp struct {
+	Kind string
+	// ID is the subscription the op created (subscribe) or removed
+	// (unsubscribe). On replay of a subscribe the freshly assigned id must
+	// match — ids are issued from a deterministic sequence, so a mismatch
+	// means the journal and the replayed topology diverged.
+	ID string
+	// Query, Target and Strategy reproduce a Subscribe call exactly.
+	Query    string
+	Target   network.PeerID
+	Strategy Strategy
+	// Detail carries kind-specific payload (the adapt schedule text).
+	Detail string
+}
+
+// SetJournal installs the catalog journal hook: every successful Subscribe
+// and Unsubscribe emits one CatalogOp, under the engine's control-plane
+// lock, after the mutation fully applied. A nil fn disables journaling.
+// The hook must not call back into the engine (it runs under e.mu).
+func (e *Engine) SetJournal(fn func(CatalogOp)) {
+	e.mu.Lock()
+	e.journal = fn
+	e.mu.Unlock()
+}
+
+// ReplayCatalog rebuilds the engine's deployed-stream catalog by re-running
+// a journaled op sequence against the (identically constructed) topology.
+// Planning is deterministic, so the replayed engine reaches the exact state
+// the crashed one had: same subscription ids, same shared streams, same
+// reserved usage. Ops the engine does not own (CatalogAdapt, future kinds)
+// go to apply; a nil apply fails on the first such op.
+//
+// Journaling is suppressed for the duration — replay must not re-append
+// the ops it reads — and restored on return, even on error. Replay stops
+// at the first failure: a subscription error or a diverging id means the
+// journal does not belong to this topology, and the caller should refuse
+// to start rather than serve a half-recovered catalog.
+func (e *Engine) ReplayCatalog(ops []CatalogOp, apply func(CatalogOp) error) error {
+	e.mu.Lock()
+	saved := e.journal
+	e.journal = nil
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.journal = saved
+		e.mu.Unlock()
+	}()
+	for i, op := range ops {
+		switch op.Kind {
+		case CatalogSubscribe:
+			sub, err := e.Subscribe(op.Query, op.Target, op.Strategy)
+			if err != nil {
+				return fmt.Errorf("core: catalog replay op %d (%s %s): %w", i, op.Kind, op.ID, err)
+			}
+			if sub.ID != op.ID {
+				return fmt.Errorf("core: catalog replay op %d diverged: got id %s, journal has %s",
+					i, sub.ID, op.ID)
+			}
+		case CatalogUnsubscribe:
+			if err := e.Unsubscribe(op.ID); err != nil {
+				return fmt.Errorf("core: catalog replay op %d (%s %s): %w", i, op.Kind, op.ID, err)
+			}
+		default:
+			if apply == nil {
+				return fmt.Errorf("core: catalog replay op %d: unhandled kind %q", i, op.Kind)
+			}
+			if err := apply(op); err != nil {
+				return fmt.Errorf("core: catalog replay op %d (%s): %w", i, op.Kind, err)
+			}
+		}
+	}
+	return nil
+}

@@ -108,6 +108,9 @@ func (e *Engine) Subscribe(src string, target network.PeerID, strat Strategy) (*
 	e.obs.Tracer.Record(dt)
 	e.subs = append(e.subs, sub)
 	e.subSeq++
+	if e.journal != nil {
+		e.journal(CatalogOp{Kind: CatalogSubscribe, ID: sub.ID, Query: src, Target: target, Strategy: strat})
+	}
 
 	reg.Counter("core.subscribe.installed").Inc()
 	reg.Counter("core.discovery.visited").Add(float64(sub.Reg.Visited))

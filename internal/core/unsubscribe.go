@@ -28,6 +28,9 @@ func (e *Engine) Unsubscribe(id string) error {
 	for _, si := range sub.Inputs {
 		e.release(si.Feed)
 	}
+	if e.journal != nil {
+		e.journal(CatalogOp{Kind: CatalogUnsubscribe, ID: id})
+	}
 	e.obs.Metrics.Counter("core.unsubscribe.total").Inc()
 	e.publishUse()
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streamshare/internal/core"
+	"streamshare/internal/durable"
 	"streamshare/internal/health"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
@@ -86,6 +87,31 @@ type ClusterOptions struct {
 	// contract — it runs under the link lock and must be fast).
 	// WireMetricsObserver builds one that feeds a metrics registry.
 	WireObserver func(op string, seconds float64, items, xmlBytes, wireBytes int)
+
+	// DataDir enables durable links: every link journals its protocol
+	// state to a write-ahead log under DataDir/<remote>/ and a process
+	// restarted with the same directory resumes each link where the
+	// crashed incarnation left off (see transport.MeshConfig.DataDir).
+	// Empty keeps links in-memory.
+	DataDir string
+
+	// DurableSync selects the WAL sync policy when DataDir is set; the
+	// zero value is durable.SyncAlways. See durable.Sync for the
+	// guarantees each policy carries.
+	DurableSync durable.Sync
+
+	// DurableSyncInterval bounds the data-loss window under
+	// durable.SyncInterval (50ms when 0).
+	DurableSyncInterval time.Duration
+
+	// Metrics receives the durable-layer instruments (fsync latency,
+	// recovery counters); nil disables them. Independent of WireObserver,
+	// which covers the codec path.
+	Metrics *obs.Registry
+
+	// Flight receives wal.* flight-recorder events from the durable
+	// layer; nil disables them.
+	Flight *obs.FlightRecorder
 }
 
 // Cluster is one process's endpoint in a multi-process super-peer network.
@@ -214,14 +240,19 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	}
 	c.acond = sync.NewCond(&c.amu)
 	mesh, err := transport.NewMesh(transport.MeshConfig{
-		Transport:   tr,
-		Node:        opts.Node,
-		Listen:      opts.Nodes[opts.Node],
-		Handler:     c.handle,
-		Window:      opts.LinkWindow,
-		Codecs:      opts.Codecs,
-		SeedNames:   opts.SeedNames,
-		ObserveWire: opts.WireObserver,
+		Transport:           tr,
+		Node:                opts.Node,
+		Listen:              opts.Nodes[opts.Node],
+		Handler:             c.handle,
+		Window:              opts.LinkWindow,
+		Codecs:              opts.Codecs,
+		SeedNames:           opts.SeedNames,
+		ObserveWire:         opts.WireObserver,
+		DataDir:             opts.DataDir,
+		DurableSync:         opts.DurableSync,
+		DurableSyncInterval: opts.DurableSyncInterval,
+		Metrics:             opts.Metrics,
+		Flight:              opts.Flight,
 	})
 	if err != nil {
 		return nil, err
@@ -239,7 +270,10 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("runtime: cluster node %q needs an address (%q dials it)", name, opts.Node)
 		}
-		c.mesh.Connect(name, opts.Nodes[name])
+		if _, err := c.mesh.Connect(name, opts.Nodes[name]); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("runtime: cluster link to %q: %w", name, err)
+		}
 	}
 	return c, nil
 }
@@ -252,7 +286,18 @@ func (c *Cluster) Addr() string { return c.mesh.Addr() }
 
 // Join connects the link to a node that was not in the node map at
 // NewCluster (or whose address was unknown then). Idempotent per node.
-func (c *Cluster) Join(node, addr string) { c.mesh.Connect(node, addr) }
+// The error is non-nil only on durable clusters, when the link's journal
+// cannot be recovered.
+func (c *Cluster) Join(node, addr string) error {
+	_, err := c.mesh.Connect(node, addr)
+	return err
+}
+
+// Checkpoint compacts every durable link's journal to a snapshot of its
+// current protocol state. Call it at quiescent points — the runtime calls
+// it after each run's termination barrier — so journals do not grow
+// without bound across runs. No-op on in-memory clusters.
+func (c *Cluster) Checkpoint() { c.mesh.Checkpoint() }
 
 // WaitConnected blocks until every link is attached or the timeout lapses.
 func (c *Cluster) WaitConnected(timeout time.Duration) error {

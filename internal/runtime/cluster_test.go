@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"streamshare/internal/core"
+	"streamshare/internal/durable"
 	"streamshare/internal/scenario"
 	"streamshare/internal/testutil"
 	"streamshare/internal/transport"
@@ -503,4 +504,227 @@ func TestClusterChildProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Println("child: delivered", len(out.Results), "subscriptions")
+}
+
+// --- SIGKILL crash-restart over a durable mesh ---
+
+const crashChildEnv = "STREAMSHARE_CRASH_CHILD"
+
+// crashSpec is the work order for the crash-restart child: like childSpec
+// plus the durable data directory both child lives share.
+type crashSpec struct {
+	Addr    string
+	Out     string
+	DataDir string
+}
+
+// crashResult is the restarted child's delivery plus its recovered link
+// incarnation.
+type crashResult struct {
+	Results   map[string]int
+	Collected map[string][]string
+	Boot      uint64
+}
+
+// TestClusterCrashRestartTCP is the durability acceptance test: the grid
+// scenario runs across two OS processes over loopback TCP with both mesh
+// sides journaling (ClusterOptions.DataDir), the child is SIGKILLed
+// mid-run and relaunched over the same data directory, and the union of
+// the parent's and the restarted child's deliveries must still equal the
+// never-failed simulator reference item for item. Recovery does all the
+// work: the child re-handshakes under a bumped incarnation, re-dispatches
+// the journaled inbound frames its first life never finished, and the
+// parent replays exactly the frames the child never acked.
+func TestClusterCrashRestartTCP(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "" {
+		t.Skip("child process runs TestClusterCrashChildProcess")
+	}
+	defer testutil.Watchdog(t, 4*time.Minute)()
+	engRef, feedRef, err := clusterBuild(gridN, gridQueries, gridItems, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engRef.Simulate(feedRef, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, feed, err := clusterBuild(gridN, gridQueries, gridItems, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1, err := NewCluster(ClusterOptions{
+		Node:        "n1",
+		Nodes:       map[string]string{"n1": "127.0.0.1:0", "n0": ""},
+		DataDir:     t.TempDir(),
+		DurableSync: durable.SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	defer testutil.OnHang(func(w io.Writer) { c1.DumpState(w) })()
+
+	childDir := t.TempDir()
+	out := filepath.Join(t.TempDir(), "child.json")
+	spec, err := json.Marshal(crashSpec{Addr: c1.Addr(), Out: out, DataDir: childDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch := func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestClusterCrashChildProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), crashChildEnv+"="+string(spec))
+		return cmd
+	}
+
+	first := launch()
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the first child with SIGKILL once real traffic flows, then
+	// relaunch it over the same data directory while the parent's run is
+	// still in flight.
+	type childExit2 struct {
+		out []byte
+		err error
+	}
+	second := make(chan childExit2, 1)
+	go func() {
+		deadline := time.Now().Add(time.Minute)
+		for time.Now().Before(deadline) {
+			frames := uint64(0)
+			for _, st := range c1.Stats() {
+				frames += st.FramesSent + st.FramesRecv
+			}
+			if frames > 10 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		first.Process.Kill() //nolint:errcheck // best effort; Wait reports the state
+		first.Wait()         //nolint:errcheck // expected "signal: killed"
+		o, err := launch().CombinedOutput()
+		second <- childExit2{o, err}
+	}()
+
+	sess := NewSession(SessionOptions{DisableHeartbeat: true})
+	rt := NewWith(eng, true, Options{Cluster: c1, Session: sess, BatchSize: 8})
+	res, err := rt.Run(feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit := <-second; exit.err != nil {
+		t.Fatalf("restarted child failed: %v\n%s", exit.err, exit.out)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("restarted child wrote no results: %v", err)
+	}
+	var child crashResult
+	if err := json.Unmarshal(raw, &child); err != nil {
+		t.Fatal(err)
+	}
+	if child.Boot < 2 {
+		t.Errorf("restarted child reports boot %d, want >= 2 (journal recovery must bump the incarnation)", child.Boot)
+	}
+
+	counts := map[string]int{}
+	for id, n := range res.Results {
+		counts[id] += n
+	}
+	for id, n := range child.Results {
+		counts[id] += n
+	}
+	for id, n := range ref.Results {
+		if counts[id] != n {
+			t.Errorf("%s: delivered %d items across crash-restart, simulator %d", id, counts[id], n)
+		}
+	}
+	for id := range counts {
+		if _, ok := ref.Results[id]; !ok {
+			t.Errorf("%s: delivered but unknown to the simulator", id)
+		}
+	}
+	for id, refItems := range ref.Collected {
+		refXML := sortedXML(refItems)
+		gotXML := append([]string{}, child.Collected[id]...)
+		for _, e := range res.Collected[id] {
+			gotXML = append(gotXML, string(xmlstream.AppendMarshal(nil, e)))
+		}
+		sort.Strings(gotXML)
+		if len(gotXML) != len(refXML) {
+			t.Errorf("%s: %d items across crash-restart, reference %d", id, len(gotXML), len(refXML))
+			continue
+		}
+		for i := range refXML {
+			if gotXML[i] != refXML[i] {
+				t.Errorf("%s: item %d differs from reference", id, i)
+				break
+			}
+		}
+	}
+	recon := uint64(0)
+	for _, st := range c1.Stats() {
+		recon += st.Reconnects
+	}
+	if recon == 0 {
+		t.Error("no reconnect recorded after the SIGKILL")
+	}
+}
+
+// TestClusterCrashChildProcess is the re-exec target of
+// TestClusterCrashRestartTCP: node "n0" with a durable mesh over the
+// spec'd data directory. Its first life is SIGKILLed mid-run; its second
+// recovers the journal, re-joins, runs to completion and writes its
+// delivery plus the recovered link incarnation.
+func TestClusterCrashChildProcess(t *testing.T) {
+	raw := os.Getenv(crashChildEnv)
+	if raw == "" {
+		t.Skip("not a crash child process")
+	}
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	var spec crashSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	eng, feed, err := clusterBuild(gridN, gridQueries, gridItems, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := NewCluster(ClusterOptions{
+		Node:        "n0",
+		Nodes:       map[string]string{"n0": "127.0.0.1:0", "n1": spec.Addr},
+		DataDir:     spec.DataDir,
+		DurableSync: durable.SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	defer testutil.OnHang(func(w io.Writer) { c0.DumpState(w) })()
+	sess := NewSession(SessionOptions{DisableHeartbeat: true})
+	rt := NewWith(eng, true, Options{Cluster: c0, Session: sess, BatchSize: 8})
+	res, err := rt.Run(feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := crashResult{Results: res.Results, Collected: map[string][]string{}}
+	for _, st := range c0.Stats() {
+		if st.Boot > out.Boot {
+			out.Boot = st.Boot
+		}
+	}
+	for id, items := range res.Collected {
+		out.Collected[id] = sortedXML(items)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spec.Out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("crash child: delivered", len(out.Results), "subscriptions, boot", out.Boot)
 }

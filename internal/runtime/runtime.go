@@ -427,6 +427,10 @@ func (r *Runtime) Run(items map[string][]*xmlstream.Element) (*Result, error) {
 		} else if err := r.cluster.barrier(60 * time.Second); err != nil {
 			r.fail(err)
 		}
+		// Past the barrier every link is quiescent for this run: compact
+		// the durable journals to a snapshot so they do not grow without
+		// bound across runs (no-op on in-memory clusters).
+		r.cluster.Checkpoint()
 		// Past the barrier no frame for THIS run can still arrive, but a
 		// peer may already be racing ahead into the cluster's next run.
 		// Retire this runtime so early frames park until the next attach
@@ -770,6 +774,25 @@ func (r *Runtime) handle(n *node, w *worker, m *message) {
 		if rs != nil {
 			skip, deliver := rs.Accept(m.epoch, m.seqLo, hi)
 			if !deliver {
+				// A wholly-duplicate batch was already processed by a prior
+				// delivery, but the emitter may still be waiting for acks —
+				// a durably-restarted upstream replays its journal from a
+				// fresh channel whose cursors the first life's acks never
+				// touched. Re-ack every consumer fed at this peer so the
+				// replayed batch unparks; Channel.Ack is cumulative, so a
+				// genuinely stale duplicate's ack is a no-op.
+				if ch := r.chans[d]; ch != nil && m.seqLo > 0 {
+					for _, child := range n.taps[d] {
+						if child.Tap == n.id {
+							r.ackStream(d, child.ID, hi)
+						}
+					}
+					if m.hop == len(d.Route)-1 {
+						if names := n.readerNames[d]; len(names) > 0 {
+							r.ackStreamAll(d, names, hi)
+						}
+					}
+				}
 				r.dedupDrop(m, m.units())
 				return
 			}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"streamshare/internal/core"
+	"streamshare/internal/durable"
+	"streamshare/internal/network"
+	"streamshare/internal/photons"
+	"streamshare/internal/xmlstream"
+)
+
+// startDurableServer builds the startServer topology with a catalog journal
+// rooted at dir. Each call models one process life over the same data
+// directory.
+func startDurableServer(t *testing.T, dir string) (addr string, stop func()) {
+	t.Helper()
+	n := network.New()
+	for _, id := range []network.PeerID{"SP0", "SP1", "SP2"} {
+		n.AddPeer(network.Peer{ID: id, Super: true, Capacity: 20000, PerfIndex: 1})
+	}
+	n.Connect("SP0", "SP1", 12_500_000)
+	n.Connect("SP1", "SP2", 12_500_000)
+	// The redundant edge keeps SP2 reachable when SP1-SP2 fails, so the
+	// journaled adaptation schedule repairs subscriptions instead of
+	// rejecting them.
+	n.Connect("SP0", "SP2", 12_500_000)
+	eng := core.NewEngine(n, core.Config{})
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, photons.DefaultConfig()).WithDurable(dir, durable.SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }
+}
+
+// stripTimings drops the decision-trace summary line from an EXPLAIN
+// reply: it embeds the planning wall-clock time, the only thing recovery
+// legitimately cannot reproduce.
+func stripTimings(lines []string) []string {
+	var out []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "decision ") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// TestServerDurableRestartRecoversCatalog drives catalog mutations —
+// subscriptions, an unsubscribe, an adaptation schedule — through one
+// server life, restarts over the same directory, and checks the recovered
+// catalog: surviving subscriptions explain identically, removed ones stay
+// gone, and the id sequence resumes where it left off.
+func TestServerDurableRestartRecoversCatalog(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop := startDurableServer(t, dir)
+	c := dial(t, addr)
+
+	if st, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); st != "OK q1" {
+		t.Fatalf("subscribe: %s", st)
+	}
+	if st, _ := c.cmd(t, "SUBSCRIBE SP1 data", velaQ); st != "OK q2" {
+		t.Fatalf("subscribe: %s", st)
+	}
+	if st, _ := c.cmd(t, "UNSUBSCRIBE q2", ""); !strings.HasPrefix(st, "OK") {
+		t.Fatalf("unsubscribe: %s", st)
+	}
+	// An adaptation round-trip: fail a link and restore it. Both events are
+	// journaled and must replay cleanly on recovery.
+	if st, _ := c.cmd(t, "ADAPT fail:SP1-SP2; restore:SP1-SP2", ""); !strings.HasPrefix(st, "OK") {
+		t.Fatalf("adapt: %s", st)
+	}
+	_, q1Explain := c.cmd(t, "EXPLAIN q1", "")
+	q1Explain = stripTimings(q1Explain)
+	stop()
+
+	addr, stop = startDurableServer(t, dir)
+	defer stop()
+	c = dial(t, addr)
+
+	st, cont := c.cmd(t, "EXPLAIN q1", "")
+	if !strings.HasPrefix(st, "OK") {
+		t.Fatalf("post-restart explain q1: %s", st)
+	}
+	if strings.Join(stripTimings(cont), "\n") != strings.Join(q1Explain, "\n") {
+		t.Fatalf("recovered plan diverged:\n--- before ---\n%s\n--- after ---\n%s",
+			strings.Join(q1Explain, "\n"), strings.Join(cont, "\n"))
+	}
+	if st, _ := c.cmd(t, "EXPLAIN q2", ""); !strings.HasPrefix(st, "ERR") {
+		t.Fatalf("q2 should stay unsubscribed after recovery, got %s", st)
+	}
+	// Ids are never reused: the next subscription continues the sequence.
+	if st, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); st != "OK q3" {
+		t.Fatalf("post-restart subscribe: %s", st)
+	}
+	// The recovered catalog still runs.
+	st, cont = c.cmd(t, "RUN 50", "")
+	if !strings.HasPrefix(st, "OK") {
+		t.Fatalf("post-restart run: %s", st)
+	}
+	if len(cont) != 2 {
+		t.Fatalf("run reported %d subscriptions, want 2: %v", len(cont), cont)
+	}
+}
+
+// TestServerDurableRefusesForeignJournal pins the divergence guard: a
+// journal recorded against one topology must not silently replay onto
+// another.
+func TestServerDurableRefusesForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop := startDurableServer(t, dir)
+	c := dial(t, addr)
+	if st, _ := c.cmd(t, "SUBSCRIBE SP2 sharing", velaQ); st != "OK q1" {
+		t.Fatalf("subscribe: %s", st)
+	}
+	stop()
+
+	// Same journal, different topology: the subscription target is missing.
+	n := network.New()
+	n.AddPeer(network.Peer{ID: "SP0", Super: true, Capacity: 20000, PerfIndex: 1})
+	eng := core.NewEngine(n, core.Config{})
+	_, st := photons.Stream("photons", photons.DefaultConfig(), 3, 500)
+	if _, err := eng.RegisterStream("photons", xmlstream.ParsePath("photons/photon"), "SP0", st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eng, photons.DefaultConfig()).WithDurable(dir, durable.SyncAlways, 0); err == nil {
+		t.Fatal("recovery over a foreign topology must fail")
+	}
+}

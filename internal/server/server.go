@@ -61,6 +61,7 @@ import (
 
 	"streamshare/internal/adapt"
 	"streamshare/internal/core"
+	"streamshare/internal/durable"
 	"streamshare/internal/network"
 	"streamshare/internal/obs"
 	"streamshare/internal/photons"
@@ -92,6 +93,10 @@ type Server struct {
 	cmu     sync.Mutex
 	waits   map[string]chan remoteRes
 	runSeq  int
+
+	// catWAL is the durable catalog journal (durable.go); nil unless
+	// WithDurable attached one.
+	catWAL *durable.WAL
 }
 
 // New wraps an engine whose streams are fed from the synthetic photon
@@ -176,6 +181,13 @@ func (s *Server) Close() error {
 	// listener, every conn and every transport goroutine.
 	if s.cluster != nil {
 		s.cluster.Close() //nolint:errcheck
+	}
+	if s.catWAL != nil {
+		// The catalog journal closes last; a sticky append/fsync error from
+		// any journaled mutation surfaces here.
+		if werr := s.catWAL.Close(); err == nil {
+			err = werr
+		}
 	}
 	return err
 }
@@ -578,6 +590,9 @@ func (s *Server) adaptCmd(w io.Writer, args []string) {
 func (s *Server) applyEvents(w io.Writer, events []adapt.Event) {
 	s.mu.Lock()
 	reports, err := s.adm.ApplyAll(events)
+	if err == nil {
+		s.journalEvents(events)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)

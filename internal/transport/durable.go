@@ -1,0 +1,270 @@
+package transport
+
+import (
+	"encoding/binary"
+
+	"streamshare/internal/durable"
+)
+
+// Link journal record kinds (see DESIGN.md "Durability" for the grammar).
+// Every multi-byte field is a big-endian fixed-width u64.
+const (
+	durBoot     uint8 = 1 // u64 boot: a new incarnation of this side began
+	durPeerBoot uint8 = 2 // u64 peerBoot: the peer's incarnation, as last seen
+	durSend     uint8 = 3 // u64 boot | u64 seq | plain frame: journaled before emit
+	durAckOut   uint8 = 4 // u64 boot | u64 cum: peer link-acked our seqs <= cum
+	durRecv     uint8 = 5 // u64 peerBoot | u64 seq | plain frame: journaled before dispatch
+	durCtl      uint8 = 6 // u64 peerBoot | u64 seq: control-frame handler completed
+	durRecvMark uint8 = 7 // u64 peerBoot | u64 next: snapshot-only receive cursor
+	durBoundary uint8 = 8 // checkpoint: inbound frames before it are never re-dispatched
+)
+
+// durEntry is one journaled outbound frame: its link sequence number and
+// its codec-independent ("plain") encoding.
+type durEntry struct {
+	seq   uint64
+	plain []byte
+}
+
+// linkDur is a link's durable state: the WAL handle plus everything the
+// recovery scan reconstructed. Fields are guarded by the owning Link's mu
+// (the WAL itself has its own lock).
+//
+// The scheme is incarnation-based: each side of a link carries a boot
+// counter, bumped every time its journal is recovered. Outbound sequence
+// numbers restart at 1 per incarnation, so a restarted process never has
+// to reconstruct codec or channel state mid-sequence — it replays the
+// unacked suffix of the previous incarnation as fresh sends of the new
+// one, filtered by the cursor the peer reports for the old incarnation.
+type linkDur struct {
+	wal      *durable.WAL
+	boot     uint64 // this side's current incarnation (>= 1)
+	prevBoot uint64 // the incarnation recovery superseded (0 on first boot)
+	peerBoot uint64 // the peer's incarnation as last recorded (0 = unknown)
+	ctlMark  uint64 // highest peer control seq whose handler completed
+
+	pending []durEntry // prior-incarnation unacked sends awaiting replay
+	mirror  []durEntry // current-incarnation unacked sends
+
+	// Stashed receive cursor for the peer's previous incarnation: when the
+	// peer restarts we reset l.in, but the restarted peer still needs the
+	// old cursor to filter its pending replay if the handshake that told
+	// us about the new incarnation died before the peer saw our reply
+	// (sent as the bootresume/bootresumefor handshake options).
+	staleFor    uint64
+	staleResume uint64
+
+	replay   []*Frame // recovered inbound frames to re-dispatch
+	recvNext uint64   // recovered l.in cursor for peerBoot
+}
+
+// openLinkDur opens a link's journal, replays the record sequence into a
+// linkDur, starts the next incarnation (boot+1, journaled immediately),
+// and computes the pending-send and inbound-replay sets.
+func openLinkDur(opts durable.Options) (*linkDur, error) {
+	wal, recs, err := durable.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &linkDur{wal: wal}
+	var (
+		sends   []durEntry
+		carried []durEntry
+		ackCum  uint64
+		tail    [][]byte // inbound frame payloads since the last boundary
+	)
+	for _, r := range recs {
+		switch r.Kind {
+		case durBoot:
+			if b, ok := u64At(r.Data, 0); ok {
+				// An incarnation that died before any handshake replayed
+				// its pending set leaves those sends stranded behind this
+				// boot record: carry the unacked ones forward so a double
+				// restart without an intervening reconnect still replays
+				// them. The peer cannot hold a resume cursor for these
+				// generations (a handshake would have replayed them), so
+				// the prevBoot filter in replayPendingLocked never
+				// misapplies to carried entries.
+				for _, e := range sends {
+					if e.seq > ackCum {
+						carried = append(carried, e)
+					}
+				}
+				d.boot = b
+				sends, ackCum = nil, 0
+			}
+		case durPeerBoot:
+			if pb, ok := u64At(r.Data, 0); ok && pb != d.peerBoot {
+				d.peerBoot = pb
+				d.ctlMark, d.recvNext = 0, 0
+				tail = nil
+			}
+		case durSend:
+			if b, ok := u64At(r.Data, 0); ok && b == d.boot {
+				if seq, ok := u64At(r.Data, 8); ok {
+					sends = append(sends, durEntry{seq: seq, plain: r.Data[16:]})
+				}
+			}
+		case durAckOut:
+			if b, ok := u64At(r.Data, 0); ok && b == d.boot {
+				if cum, ok := u64At(r.Data, 8); ok && cum > ackCum {
+					ackCum = cum
+				}
+			}
+		case durRecv:
+			if pb, ok := u64At(r.Data, 0); ok && pb == d.peerBoot {
+				if seq, ok := u64At(r.Data, 8); ok {
+					if seq+1 > d.recvNext {
+						d.recvNext = seq + 1
+					}
+					tail = append(tail, r.Data[16:])
+				}
+			}
+		case durCtl:
+			if pb, ok := u64At(r.Data, 0); ok && pb == d.peerBoot {
+				if seq, ok := u64At(r.Data, 8); ok && seq > d.ctlMark {
+					d.ctlMark = seq
+				}
+			}
+		case durRecvMark:
+			if pb, ok := u64At(r.Data, 0); ok && pb == d.peerBoot {
+				if next, ok := u64At(r.Data, 8); ok && next > d.recvNext {
+					d.recvNext = next
+				}
+			}
+		case durBoundary:
+			tail = nil
+		}
+	}
+	d.prevBoot = d.boot
+	d.boot++
+	if err := d.appendU64s(durBoot, d.boot); err != nil {
+		wal.Close() //nolint:errcheck // append error wins
+		return nil, err
+	}
+	d.pending = carried
+	for _, e := range sends {
+		if e.seq > ackCum {
+			d.pending = append(d.pending, e)
+		}
+	}
+	for _, payload := range tail {
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			continue // checksummed on disk; defensive only
+		}
+		switch f.Type {
+		case FrameAck:
+			// Stream-level acks refer to the pre-crash channel state;
+			// replaying them onto rebuilt channels would corrupt cursors,
+			// and losing them only costs retained buffer until live acks
+			// catch up.
+			continue
+		case FrameControl:
+			if f.Seq <= d.ctlMark {
+				continue // handler already completed before the crash
+			}
+		}
+		d.replay = append(d.replay, f)
+	}
+	return d, nil
+}
+
+// journalSend records an outbound frame (plain encoding) under the current
+// incarnation and mirrors it for replay after a future recovery.
+func (d *linkDur) journalSend(seq uint64, plain []byte) {
+	d.wal.AppendPair(durSend, beU64s(d.boot, seq), plain) //nolint:errcheck // sticky WAL error resurfaces on Close
+	d.mirror = append(d.mirror, durEntry{seq: seq, plain: plain})
+}
+
+// journalRecvMark consumes an inbound sequence without retaining its
+// payload: stream-level acks are never re-dispatched on recovery (they
+// refer to pre-crash channel state), so only the cursor advance needs to
+// survive.
+func (d *linkDur) journalRecvMark(seq uint64) {
+	d.appendU64s(durRecvMark, d.peerBoot, seq+1) //nolint:errcheck // sticky WAL error resurfaces on Close
+}
+
+// journalRecv records an inbound sequenced frame before it is dispatched.
+func (d *linkDur) journalRecv(seq uint64, plain []byte) {
+	d.wal.AppendPair(durRecv, beU64s(d.peerBoot, seq), plain) //nolint:errcheck // sticky WAL error resurfaces on Close
+}
+
+// journalAckOut records the peer's cumulative link ack and trims the
+// mirror: acked frames are never replayed again.
+func (d *linkDur) journalAckOut(cum uint64) {
+	d.appendU64s(durAckOut, d.boot, cum) //nolint:errcheck // sticky WAL error resurfaces on Close
+	i := 0
+	for i < len(d.mirror) && d.mirror[i].seq <= cum {
+		i++
+	}
+	d.mirror = d.mirror[i:]
+}
+
+// journalCtl marks a peer control frame as fully applied: recovery will
+// not re-dispatch it. boot is the peer incarnation the frame arrived
+// under (captured at enqueue — the peer may have restarted since), so a
+// replayed old-incarnation control never poisons the fresh incarnation's
+// watermark. Exactly-once control recovery requires SyncAlways — under
+// the laxer policies the mark may be lost and the control replays.
+func (d *linkDur) journalCtl(boot, seq uint64) {
+	d.appendU64s(durCtl, boot, seq) //nolint:errcheck // sticky WAL error resurfaces on Close
+	if boot == d.peerBoot && seq > d.ctlMark {
+		d.ctlMark = seq
+	}
+}
+
+func (d *linkDur) appendU64s(kind uint8, vals ...uint64) error {
+	return d.wal.Append(kind, beU64s(vals...))
+}
+
+// snapshot condenses the journal for compaction: current incarnations,
+// cursors, the unacked mirror, and a boundary so recovered runs never
+// re-dispatch frames the runtime already drained. recvNext is the owning
+// link's live l.in cursor.
+func (d *linkDur) snapshot(recvNext uint64) []durable.Record {
+	recs := []durable.Record{{Kind: durBoot, Data: beU64s(d.boot)}}
+	if d.peerBoot != 0 {
+		recs = append(recs,
+			durable.Record{Kind: durPeerBoot, Data: beU64s(d.peerBoot)},
+			durable.Record{Kind: durRecvMark, Data: beU64s(d.peerBoot, recvNext)},
+			durable.Record{Kind: durCtl, Data: beU64s(d.peerBoot, d.ctlMark)},
+		)
+	}
+	for _, e := range d.mirror {
+		buf := make([]byte, 16+len(e.plain))
+		binary.BigEndian.PutUint64(buf, d.boot)
+		binary.BigEndian.PutUint64(buf[8:], e.seq)
+		copy(buf[16:], e.plain)
+		recs = append(recs, durable.Record{Kind: durSend, Data: buf})
+	}
+	return append(recs, durable.Record{Kind: durBoundary})
+}
+
+func u64At(b []byte, off int) (uint64, bool) {
+	if len(b) < off+8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(b[off:]), true
+}
+
+func beU64s(vals ...uint64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[8*i:], v)
+	}
+	return buf
+}
+
+// plainFrame encodes f codec-independently: element-tree batches are
+// materialized to their XML item form so a recovered process can replay
+// the frame through a freshly negotiated codec.
+func plainFrame(f *Frame) []byte {
+	if f.Type == FrameBatch && len(f.Items) == 0 && len(f.Elems) > 0 {
+		p := *f
+		p.Items = marshalElems(f.Elems)
+		p.Elems = nil
+		return AppendFrame(nil, &p)
+	}
+	return AppendFrame(nil, f)
+}

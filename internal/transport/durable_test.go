@@ -1,0 +1,474 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamshare/internal/durable"
+	"streamshare/internal/obs"
+)
+
+// ctlPlain builds the plain encoding of a sequenced control frame, the way
+// the link journals it.
+func ctlPlain(seq uint64, data string) []byte {
+	return plainFrame(&Frame{Type: FrameControl, Seq: seq, Data: []byte(data)})
+}
+
+// TestLinkDurRecoveryScan drives the journal record sequence a link life
+// writes and checks the recovery scan reconstructs exactly the state the
+// next incarnation needs: bumped boot, unacked pending set, receive
+// cursor, control watermark, and an inbound replay set that skips acks and
+// completed controls.
+func TestLinkDurRecoveryScan(t *testing.T) {
+	dir := t.TempDir()
+	d, err := openLinkDur(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.boot != 1 || d.prevBoot != 0 {
+		t.Fatalf("first boot = %d (prev %d), want 1 (prev 0)", d.boot, d.prevBoot)
+	}
+	// One link life: peer incarnation 7 shows up, three sends (first one
+	// acked), four receives (control 1 completed, a full-payload ack frame
+	// as an older build journaled them, control 3 interrupted mid-handler,
+	// and a cursor-marked ack at 4 as the live path records them).
+	d.peerBoot = 7
+	if err := d.appendU64s(durPeerBoot, 7); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		d.journalSend(seq, ctlPlain(seq, fmt.Sprintf("s%d", seq)))
+	}
+	d.journalAckOut(1)
+	d.journalRecv(1, ctlPlain(1, "r1"))
+	d.journalRecv(2, plainFrame(&Frame{Type: FrameAck, Seq: 2, Stream: "S", Consumer: "c", Ack: 9}))
+	d.journalRecv(3, ctlPlain(3, "r3"))
+	d.journalRecvMark(4)
+	d.journalCtl(7, 1)
+	if err := d.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := openLinkDur(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.wal.Close()
+	if d2.boot != 2 || d2.prevBoot != 1 || d2.peerBoot != 7 {
+		t.Fatalf("recovered boot=%d prev=%d peerBoot=%d, want 2/1/7", d2.boot, d2.prevBoot, d2.peerBoot)
+	}
+	if d2.ctlMark != 1 || d2.recvNext != 5 {
+		t.Fatalf("recovered ctlMark=%d recvNext=%d, want 1/5", d2.ctlMark, d2.recvNext)
+	}
+	if len(d2.pending) != 2 || d2.pending[0].seq != 2 || d2.pending[1].seq != 3 {
+		t.Fatalf("pending = %+v, want seqs [2 3]", d2.pending)
+	}
+	// Replay: control 1 completed (<= ctlMark), the stream ack is never
+	// replayed, control 3 was interrupted and must re-dispatch.
+	if len(d2.replay) != 1 || d2.replay[0].Type != FrameControl || string(d2.replay[0].Data) != "r3" {
+		t.Fatalf("replay = %+v, want the one interrupted control", d2.replay)
+	}
+}
+
+// TestLinkDurCarriesPendingAcrossDoubleRestart: an incarnation that never
+// reconnects (no handshake, so no replay) must not strand the previous
+// incarnation's unacked sends when it is itself recovered.
+func TestLinkDurCarriesPendingAcrossDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := openLinkDur(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.journalSend(1, ctlPlain(1, "old"))
+	if err := d.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second life: journals one send of its own, dies without a handshake.
+	d2, err := openLinkDur(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.pending) != 1 {
+		t.Fatalf("second life pending = %d frames, want 1", len(d2.pending))
+	}
+	d2.journalSend(1, ctlPlain(1, "new"))
+	if err := d2.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := openLinkDur(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.wal.Close()
+	if d3.boot != 3 || len(d3.pending) != 2 {
+		t.Fatalf("third life boot=%d pending=%d frames, want boot 3 with 2 frames", d3.boot, len(d3.pending))
+	}
+	for i, want := range []string{"old", "new"} {
+		f, err := DecodeFrame(d3.pending[i].plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(f.Data) != want {
+			t.Fatalf("pending[%d] = %q, want %q", i, f.Data, want)
+		}
+	}
+}
+
+// durableMesh builds one mesh node over tr with a durable journal in dir.
+func durableMesh(t *testing.T, tr Transport, node, listen, dir string, h func(string, *Frame), reg *obs.Registry) *Mesh {
+	t.Helper()
+	m, err := NewMesh(MeshConfig{
+		Transport: tr, Node: node, Listen: listen, Handler: h,
+		DataDir: dir, DurableSync: durable.SyncAlways, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDurableMeshRestartReplaysUnacked is the end-to-end crash-restart
+// story at the link layer: frames sent while the peer is down survive a
+// full process "restart" (mesh closed, reopened over the same journal
+// directory) and are replayed to the peer's next incarnation exactly once,
+// in order, without re-delivering anything the first life already handled.
+func TestDurableMeshRestartReplaysUnacked(t *testing.T) {
+	tr := NewMem()
+	dirA, dirB := t.TempDir(), t.TempDir()
+	nop := func(string, *Frame) {}
+
+	// Phase 1: both nodes up, 50 frames delivered and fully acked.
+	var cb1 collector
+	mb := durableMesh(t, tr, "b", "mem:b", dirB, cb1.handle, nil)
+	ma := durableMesh(t, tr, "a", "mem:a", dirA, nop, nil)
+	if _, err := mb.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ma.Link("b").Send(&Frame{Type: FrameControl, Data: []byte(fmt.Sprintf("f%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return cb1.len() == 50 }, "phase-1 delivery")
+	if err := ma.WaitDrained(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Let the tail link-ack land in a's journal and the last control's
+	// completion mark land in b's before "crashing" both.
+	time.Sleep(100 * time.Millisecond)
+	ma.Close()
+	mb.Close()
+
+	// Phase 2: a restarts alone and sends 50 more into the void — they can
+	// only reach its journal.
+	ma2 := durableMesh(t, tr, "a", "mem:a", dirA, nop, nil)
+	if _, err := ma2.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 50; i < 100; i++ {
+		if err := ma2.Link("b").Send(&Frame{Type: FrameControl, Data: []byte(fmt.Sprintf("f%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ma2.Close()
+
+	// Phase 3: both restart over their journals. a must replay exactly the
+	// phase-2 frames to b's fresh incarnation; nothing from phase 1 may
+	// reappear (b's control watermark and the incarnation handshake fence
+	// them out).
+	var cb3 collector
+	mb3 := durableMesh(t, tr, "b", "mem:b", dirB, cb3.handle, nil)
+	ma3 := durableMesh(t, tr, "a", "mem:a", dirA, nop, nil)
+	defer ma3.Close()
+	defer mb3.Close()
+	if _, err := mb3.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma3.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool { return cb3.len() >= 50 }, "phase-3 replay")
+	time.Sleep(50 * time.Millisecond) // catch any late duplicate
+	got := cb3.snapshot()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d frames after restart, want exactly the 50 unacked", len(got))
+	}
+	for i, f := range got {
+		if want := fmt.Sprintf("f%d", 50+i); string(f.Data) != want {
+			t.Fatalf("frame %d = %q, want %q", i, f.Data, want)
+		}
+	}
+	st := ma3.Link("b").Stats()
+	if st.Boot != 3 {
+		t.Fatalf("third incarnation boot = %d, want 3", st.Boot)
+	}
+	if st.Replayed < 50 {
+		t.Fatalf("replayed = %d, want >= 50", st.Replayed)
+	}
+}
+
+// TestDurableMeshCheckpointCompacts: after a quiescent checkpoint the
+// journal recovers from a handful of snapshot records instead of the whole
+// history, and the link keeps working exactly-once across the restart.
+func TestDurableMeshCheckpointCompacts(t *testing.T) {
+	tr := NewMem()
+	dirA, dirB := t.TempDir(), t.TempDir()
+	nop := func(string, *Frame) {}
+
+	var cb collector
+	mb := durableMesh(t, tr, "b", "mem:b", dirB, cb.handle, nil)
+	ma := durableMesh(t, tr, "a", "mem:a", dirA, nop, nil)
+	if _, err := mb.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ma.Link("b").Send(&Frame{Type: FrameControl, Data: []byte(fmt.Sprintf("f%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return cb.len() == 100 }, "delivery")
+	if err := ma.WaitDrained(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	ma.Checkpoint()
+	mb.Checkpoint()
+	ma.Close()
+	mb.Close()
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	var cb2 collector
+	mb2 := durableMesh(t, tr, "b", "mem:b", dirB, cb2.handle, regB)
+	ma2 := durableMesh(t, tr, "a", "mem:a", dirA, nop, regA)
+	defer ma2.Close()
+	defer mb2.Close()
+	if _, err := mb2.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma2.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		side string
+		reg  *obs.Registry
+	}{{"a", regA}, {"b", regB}} {
+		if n := c.reg.Counter("durable.recover.records").Value(); n > 10 {
+			t.Fatalf("side %s recovered %v records after checkpoint, want a snapshot-sized handful", c.side, n)
+		}
+	}
+	if err := ma2.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 110; i++ {
+		if err := ma2.Link("b").Send(&Frame{Type: FrameControl, Data: []byte(fmt.Sprintf("f%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return cb2.len() >= 10 }, "post-restart delivery")
+	time.Sleep(50 * time.Millisecond)
+	got := cb2.snapshot()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d frames after checkpointed restart, want exactly 10 new ones", len(got))
+	}
+	for i, f := range got {
+		if want := fmt.Sprintf("f%d", 100+i); string(f.Data) != want {
+			t.Fatalf("frame %d = %q, want %q", i, f.Data, want)
+		}
+	}
+}
+
+// corruptTransport wraps a Transport and corrupts one frame payload on one
+// accepted conn — the wire-corruption chaos hook. The reader must fail
+// decoding, tear the conn down, and journal replay must re-deliver the
+// frame on the next conn.
+type corruptTransport struct {
+	Transport
+	mu   sync.Mutex
+	done bool
+}
+
+func (t *corruptTransport) Listen(addr string) (Listener, error) {
+	ln, err := t.Transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &corruptListener{Listener: ln, t: t}, nil
+}
+
+type corruptListener struct {
+	Listener
+	t *corruptTransport
+}
+
+func (l *corruptListener) Accept() (Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &corruptConn{Conn: c, t: l.t}, nil
+}
+
+type corruptConn struct {
+	Conn
+	t     *corruptTransport
+	reads int
+}
+
+func (c *corruptConn) ReadFrame() ([]byte, error) {
+	p, err := c.Conn.ReadFrame()
+	if err != nil {
+		return p, err
+	}
+	c.t.mu.Lock()
+	c.reads++
+	// Read 1 is the handshake Hello; corrupt the third frame of the first
+	// attached conn, once, past the handshake — an established-link data
+	// frame. An invalid frame type guarantees a decode error rather than
+	// silently altered payload bytes.
+	if !c.t.done && c.reads == 3 {
+		c.t.done = true
+		p = []byte{0xff}
+	}
+	c.t.mu.Unlock()
+	return p, err
+}
+
+// TestCorruptFrameTearsDownAndReplays is the wire-side twin of the WAL
+// torn-tail tests: a corrupted frame must tear the conn down cleanly (no
+// cursor advance, no dictionary damage) and the journal replay on the
+// fresh conn must recover every frame exactly once, in order.
+func TestCorruptFrameTearsDownAndReplays(t *testing.T) {
+	tr := &corruptTransport{Transport: NewMem()}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	nop := func(string, *Frame) {}
+	var cb collector
+	mb := durableMesh(t, tr, "b", "mem:b", dirB, cb.handle, nil)
+	ma := durableMesh(t, tr, "a", "mem:a", dirA, nop, nil)
+	defer ma.Close()
+	defer mb.Close()
+	if _, err := mb.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := ma.Link("b").Send(&Frame{Type: FrameControl, Data: []byte(fmt.Sprintf("f%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool { return cb.len() == n }, "delivery through corruption")
+	time.Sleep(50 * time.Millisecond)
+	got := cb.snapshot()
+	if len(got) != n {
+		t.Fatalf("delivered %d frames, want %d", len(got), n)
+	}
+	for i, f := range got {
+		if want := fmt.Sprintf("f%d", i); string(f.Data) != want {
+			t.Fatalf("frame %d = %q, want %q", i, f.Data, want)
+		}
+	}
+	tr.mu.Lock()
+	fired := tr.done
+	tr.mu.Unlock()
+	if !fired {
+		t.Fatal("corruption hook never fired")
+	}
+	if st := ma.Link("b").Stats(); st.Reconnects == 0 {
+		t.Fatalf("corrupted frame did not force a reconnect: %+v", st)
+	}
+}
+
+// TestHandshakeReadTimeout: a conn that dials the mesh and goes silent
+// must be torn down by the handshake deadline instead of pinning an accept
+// goroutine forever, and the mesh keeps serving real peers afterwards.
+func TestHandshakeReadTimeout(t *testing.T) {
+	tr := NewMem()
+	var ca, cb collector
+	ma, err := NewMesh(MeshConfig{Transport: tr, Node: "a", Listen: "mem:a", Handler: ca.handle,
+		HandshakeTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	conn, err := tr.Dial("mem:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dead := make(chan error, 1)
+	go func() {
+		_, err := conn.ReadFrame()
+		dead <- err
+	}()
+	select {
+	case err := <-dead:
+		if err == nil {
+			t.Fatal("silent handshake conn read succeeded, want teardown error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent handshake conn was not torn down")
+	}
+	// A real peer still connects.
+	mb, err := NewMesh(MeshConfig{Transport: tr, Node: "b", Listen: "mem:b", Handler: cb.handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if _, err := ma.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdleTimeoutTearsDownSilentConn: with an IdleTimeout armed and no
+// heartbeats flowing, a silent attached conn must hit its read deadline,
+// detach, and redial — the half-open-peer guard.
+func TestIdleTimeoutTearsDownSilentConn(t *testing.T) {
+	tr := NewMem()
+	var ca, cb collector
+	ma, err := NewMesh(MeshConfig{Transport: tr, Node: "a", Listen: "mem:a", Handler: ca.handle,
+		IdleTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	mb, err := NewMesh(MeshConfig{Transport: tr, Node: "b", Listen: "mem:b", Handler: cb.handle,
+		IdleTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if _, err := ma.Connect("b", "mem:b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Connect("a", "mem:a"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return ma.Link("b").Stats().Reconnects >= 1
+	}, "idle teardown and reconnect")
+}

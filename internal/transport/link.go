@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"io"
+	"math/rand"
+	"strconv"
 	"time"
 
 	"streamshare/internal/wire"
@@ -69,6 +71,10 @@ type LinkStats struct {
 	// negotiation pre-loaded into the link's codec tables (0 on xml links
 	// and on links whose peer predates seeding).
 	SeededNames int
+	// Boot is the link's durable incarnation counter (0 on in-memory
+	// links): it bumps on every journal recovery, and again when a
+	// restarted peer forces the outbound sequence space to rotate.
+	Boot uint64
 	// EncodedXMLBytes/EncodedWireBytes are outbound batch sizes before and
 	// after the codec. Their ratio is the measured outbound compression.
 	EncodedXMLBytes, EncodedWireBytes uint64
@@ -119,6 +125,13 @@ type Link struct {
 	enc    wire.Encoder
 	dec    wire.Decoder
 	encBuf []byte
+	// seedNames is the dictseed list the first handshake agreed on, kept so
+	// a durable boot rotation can re-seed freshly minted codec halves.
+	seedNames []string
+
+	// dur is the link's durable journal state; nil on in-memory links.
+	// Guarded by mu like everything else.
+	dur *linkDur
 
 	stats   LinkStats
 	q       *frameQueue
@@ -149,6 +162,19 @@ func (l *Link) Send(f *Frame) error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
+	l.emitLocked(f, nil)
+	l.mu.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// emitLocked assigns the next link sequence, encodes through the pinned
+// codec, journals the frame on durable links, and emits it into the
+// replay channel. plain is the frame's codec-independent encoding when
+// the caller already holds it (pending replay after recovery); nil lets
+// durable links compute it. Callers hold l.mu with a window credit
+// already admitted.
+func (l *Link) emitLocked(f *Frame, plain []byte) {
 	f.Seq = l.out.NextSeq()
 	var payload []byte
 	if l.enc != nil && f.Type == FrameBatch {
@@ -167,10 +193,17 @@ func (l *Link) Send(f *Frame) error {
 		}
 		payload = AppendFrame(nil, send)
 	}
+	if l.dur != nil && f.Type != FrameAck {
+		// Stream-level acks are cumulative snapshots of live channel state:
+		// replaying one after a recovery is stale at best, so they skip the
+		// journal — the peer just retains buffer until live acks catch up
+		// (the receive side filters them symmetrically).
+		if plain == nil {
+			plain = plainFrame(f)
+		}
+		l.dur.journalSend(f.Seq, plain)
+	}
 	l.out.Emit(payload, false)
-	l.mu.Broadcast()
-	l.mu.Unlock()
-	return nil
 }
 
 // encodeBatchLocked transforms a Batch frame into its BatchBin wire image
@@ -308,10 +341,187 @@ func (l *Link) adoptCodecLocked(name string, seed []string) error {
 				te.SeedShared(seed)
 				td.SeedShared(seed)
 				l.stats.SeededNames = len(seed)
+				l.seedNames = seed
 			}
 		}
 	}
 	return nil
+}
+
+// resetEncoderLocked mints a fresh encoder half for the pinned codec and
+// re-applies the handshake's agreed seed — used when a durable boot
+// rotation restarts the outbound sequence space, so the dictionary delta
+// stream restarts with it. Callers hold l.mu.
+func (l *Link) resetEncoderLocked() {
+	if l.codec == "" || l.codec == wire.CodecXML {
+		return
+	}
+	c := wire.Lookup(l.codec)
+	if c == nil {
+		return
+	}
+	l.enc = c.NewEncoder()
+	if len(l.seedNames) > 0 {
+		if te, ok := l.enc.(wire.TreeEncoder); ok {
+			te.SeedShared(l.seedNames)
+		}
+	}
+}
+
+// resetDecoderLocked is resetEncoderLocked's inbound mirror, used when a
+// restarted peer's fresh incarnation restarts its sequence space (and so
+// its dictionary delta stream). Both sides re-seed the same agreed list,
+// assuming the restarted process offers the same seed vocabulary its
+// previous life did — true for stream-schema seeds, which are inferred
+// deterministically. Callers hold l.mu.
+func (l *Link) resetDecoderLocked() {
+	if l.codec == "" || l.codec == wire.CodecXML {
+		return
+	}
+	c := wire.Lookup(l.codec)
+	if c == nil {
+		return
+	}
+	l.dec = c.NewDecoder()
+	if len(l.seedNames) > 0 {
+		if td, ok := l.dec.(wire.TreeDecoder); ok {
+			td.SeedShared(l.seedNames)
+		}
+	}
+}
+
+// adoptPeerLocked applies a completed handshake's durability options and
+// returns the resume cursor attachLocked should honor for our outbound
+// journal. pBoot is the peer's incarnation, pKnownMine our incarnation as
+// the peer last recorded it, pResume the peer's next-expected receive
+// sequence, and staleFor/staleResume the peer's stashed cursor for our
+// previous incarnation (see linkDur). In-memory links and legacy peers
+// (pBoot 0) pass pResume through untouched. Callers hold l.mu.
+func (l *Link) adoptPeerLocked(pBoot, pKnownMine, pResume, staleFor, staleResume uint64) uint64 {
+	d := l.dur
+	if d == nil || pBoot == 0 {
+		return pResume
+	}
+	if pBoot != d.peerBoot {
+		if d.peerBoot != 0 {
+			// The peer restarted: its sequence space and dictionary delta
+			// stream restart from scratch. Stash the old cursor — the
+			// restarted peer still needs it to filter its pending replay
+			// if it never saw our first reply.
+			d.staleFor, d.staleResume = d.peerBoot, l.in.Next()
+			l.in = RecvCursor{}
+			l.resetDecoderLocked()
+		}
+		d.peerBoot = pBoot
+		d.ctlMark = 0
+		d.appendU64s(durPeerBoot, pBoot) //nolint:errcheck // sticky WAL error resurfaces on Close
+	}
+	myResume := pResume
+	if pKnownMine != d.boot {
+		// The peer has never counted a frame of our current incarnation.
+		// If our live channel already carries current-incarnation traffic
+		// the peer can no longer resume into it — rotate to a fresh
+		// incarnation so every outstanding frame replays under one clean
+		// sequence space.
+		if len(d.pending) == 0 && l.out.NextSeq() > 1 {
+			l.rotateBootLocked()
+		}
+		myResume = 0
+		l.sent = 0
+	}
+	if len(d.pending) > 0 {
+		filter := uint64(1)
+		if pKnownMine == d.prevBoot && pResume > 0 {
+			filter = pResume
+		} else if staleFor == d.prevBoot && staleResume > 0 {
+			filter = staleResume
+		}
+		l.replayPendingLocked(filter)
+	}
+	return myResume
+}
+
+// rotateBootLocked starts a fresh outbound incarnation: the unacked
+// mirror becomes the pending set, the journal records the new boot, and
+// the outbound channel and encoder are rebuilt so link sequences (and
+// dictionary deltas) restart from scratch. Senders blocked on the old
+// channel's window re-check l.out and proceed on the fresh one. Callers
+// hold l.mu.
+func (l *Link) rotateBootLocked() {
+	d := l.dur
+	d.prevBoot = d.boot
+	d.boot++
+	d.appendU64s(durBoot, d.boot) //nolint:errcheck // sticky WAL error resurfaces on Close
+	d.pending = d.mirror
+	d.mirror = nil
+	l.out = NewChannel(0, l.mesh.window)
+	l.out.AddConsumer(l.remote)
+	l.sent = 0
+	l.resetEncoderLocked()
+}
+
+// replayPendingLocked re-emits the previous incarnation's unacked frames
+// as fresh sends of the current one, skipping everything below the
+// peer-reported filter cursor. Pending frames were admitted against the
+// window in their first life and are bounded by it, so they re-enter
+// without credit checks. Callers hold l.mu.
+func (l *Link) replayPendingLocked(filter uint64) {
+	for _, e := range l.dur.pending {
+		if e.seq < filter {
+			continue
+		}
+		f, err := DecodeFrame(e.plain)
+		if err != nil {
+			continue // checksummed on disk; defensive only
+		}
+		l.emitLocked(f, e.plain)
+		l.stats.Replayed++
+	}
+	l.dur.pending = nil
+	l.mu.Broadcast()
+}
+
+// durHandshakeOptsLocked returns the durability handshake options: our
+// incarnation ("boot"), the peer's as we know it ("peerboot"), and the
+// stashed receive cursor for the peer's previous incarnation
+// ("bootresume"/"bootresumefor"). Nil on in-memory links; peers that
+// predate durability ignore unknown option keys. Callers hold l.mu.
+func (l *Link) durHandshakeOptsLocked() map[string]string {
+	d := l.dur
+	if d == nil {
+		return nil
+	}
+	opts := map[string]string{
+		"boot":     strconv.FormatUint(d.boot, 10),
+		"peerboot": strconv.FormatUint(d.peerBoot, 10),
+	}
+	if d.staleFor != 0 {
+		opts["bootresumefor"] = strconv.FormatUint(d.staleFor, 10)
+		opts["bootresume"] = strconv.FormatUint(d.staleResume, 10)
+	}
+	return opts
+}
+
+// durOptU64 reads one numeric durability option (absent or malformed
+// means 0, the legacy-peer value).
+func durOptU64(opts map[string]string, key string) uint64 {
+	v, _ := strconv.ParseUint(opts[key], 10, 64)
+	return v
+}
+
+// checkpoint compacts a durable link's journal to a snapshot of its live
+// state, with a boundary so recovered processes never re-dispatch frames
+// drained before it. Links still holding an unreplayed pending set skip
+// compaction — the pending frames' old-incarnation sequences cannot be
+// condensed into the current one.
+func (l *Link) checkpoint() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.dur
+	if d == nil || len(d.pending) > 0 {
+		return
+	}
+	d.wal.Compact(d.snapshot(l.in.Next())) //nolint:errcheck // sticky WAL error resurfaces on Close
 }
 
 // SendRaw writes one unsequenced frame (heartbeats) straight to the
@@ -324,6 +534,9 @@ func (l *Link) SendRaw(f *Frame) error {
 		return ErrClosed
 	}
 	payload := AppendFrame(nil, f)
+	if idle := l.mesh.idleTimeout; idle > 0 {
+		conn.SetWriteDeadline(time.Now().Add(idle)) //nolint:errcheck // a failed deadline surfaces as a write error
+	}
 	err := conn.WriteFrame(payload)
 	if err == nil {
 		l.mu.Lock()
@@ -343,6 +556,9 @@ func (l *Link) Stats() LinkStats {
 	s.Phase = l.phase
 	s.Depth = l.out.Depth()
 	s.Codec = l.codec
+	if l.dur != nil {
+		s.Boot = l.dur.boot
+	}
 	return s
 }
 
@@ -457,6 +673,9 @@ func (l *Link) writer() {
 		var last uint64
 		var err error
 		for _, e := range batch {
+			if idle := l.mesh.idleTimeout; idle > 0 {
+				conn.SetWriteDeadline(time.Now().Add(idle)) //nolint:errcheck // a failed deadline surfaces as a write error
+			}
 			if err = conn.WriteFrame(e.Data); err != nil {
 				break
 			}
@@ -487,6 +706,9 @@ func (l *Link) writer() {
 func (l *Link) reader(conn Conn, gen int) {
 	defer l.mesh.wg.Done()
 	for {
+		if idle := l.mesh.idleTimeout; idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck // a failed deadline surfaces as a read error
+		}
 		payload, err := conn.ReadFrame()
 		if err != nil {
 			l.teardown(conn, gen)
@@ -499,6 +721,15 @@ func (l *Link) reader(conn Conn, gen int) {
 			return
 		}
 		l.mu.Lock()
+		if l.gen != gen {
+			// A newer conn replaced this one mid-read: applying this frame
+			// could ack or advance state the fresh attachment already
+			// rewound (a stale LinkAck trimming a rotated channel). Stand
+			// down without touching anything.
+			l.mu.Unlock()
+			l.teardown(conn, gen)
+			return
+		}
 		l.stats.FramesRecv++
 		l.stats.BytesRecv += uint64(len(payload) + 4)
 		if f.Seq == 0 {
@@ -507,10 +738,13 @@ func (l *Link) reader(conn Conn, gen int) {
 				if l.out.Ack(l.remote, f.Ack) > 0 {
 					l.mu.Broadcast()
 				}
+				if l.dur != nil {
+					l.dur.journalAckOut(f.Ack)
+				}
 				l.mu.Unlock()
 			case FrameHeartbeat:
 				l.mu.Unlock()
-				l.q.push(f)
+				l.q.push(f, 0)
 			default:
 				l.mu.Unlock()
 			}
@@ -536,6 +770,22 @@ func (l *Link) reader(conn Conn, gen int) {
 			l.mu.Unlock() // duplicate from a reconnect replay
 			continue
 		}
+		var ctlBoot uint64
+		if l.dur != nil {
+			if f.Type == FrameAck {
+				// Recovery never re-dispatches stream-level acks (they
+				// refer to pre-crash channel state), so only the cursor
+				// advance needs to survive — not the payload.
+				l.dur.journalRecvMark(f.Seq)
+			} else {
+				// Journal before dispatch: once we ack this sequence the
+				// peer trims it, so our own journal must be able to
+				// re-deliver it after a crash. Recorded codec-independently
+				// — replay flows through a freshly negotiated codec.
+				l.dur.journalRecv(f.Seq, plainFrame(f))
+			}
+			ctlBoot = l.dur.peerBoot
+		}
 		l.recvSince++
 		var ack uint64
 		if l.recvSince >= linkAckEvery {
@@ -546,7 +796,7 @@ func (l *Link) reader(conn Conn, gen int) {
 		if ack > 0 {
 			l.SendRaw(&Frame{Type: FrameLinkAck, Ack: ack})
 		}
-		l.q.push(f)
+		l.q.push(f, ctlBoot)
 	}
 }
 
@@ -578,11 +828,12 @@ func (l *Link) flushAck() {
 
 // dialLoop runs on the dialing side: whenever the link has no conn, dial
 // the remote, run the Hello/Welcome handshake, and attach. Failures back
-// off exponentially (capped) until Close.
+// off exponentially with jitter (capped at the mesh's MaxBackoff) until
+// Close.
 func (l *Link) dialLoop() {
 	defer l.mesh.wg.Done()
 	backoff := 2 * time.Millisecond
-	const maxBackoff = 250 * time.Millisecond
+	maxBackoff := l.mesh.maxBackoff
 	for {
 		l.mu.Lock()
 		for !l.closed && l.conn != nil {
@@ -594,6 +845,7 @@ func (l *Link) dialLoop() {
 		}
 		l.phase = "dialing"
 		resume := l.in.Next()
+		durOpts := l.durHandshakeOptsLocked()
 		l.mu.Unlock()
 
 		conn, err := l.mesh.tr.Dial(l.addr)
@@ -605,7 +857,7 @@ func (l *Link) dialLoop() {
 			var welcome *Frame
 			var codec string
 			var seed []string
-			welcome, codec, seed, err = handshakeDial(conn, l.mesh.node, l.remote, resume, l.mesh.codecs, l.mesh.seed)
+			welcome, codec, seed, err = handshakeDial(conn, l.mesh.node, l.remote, resume, l.mesh.codecs, l.mesh.seed, durOpts, l.mesh.hsTimeout)
 			l.mesh.trackPending(conn, false)
 			if err == nil {
 				l.mu.Lock()
@@ -616,7 +868,10 @@ func (l *Link) dialLoop() {
 					l.mu.Unlock()
 					err = cerr
 				} else {
-					l.attachLocked(conn, welcome.Resume)
+					res := l.adoptPeerLocked(
+						durOptU64(welcome.Options, "boot"), durOptU64(welcome.Options, "peerboot"),
+						welcome.Resume, durOptU64(welcome.Options, "bootresumefor"), durOptU64(welcome.Options, "bootresume"))
+					l.attachLocked(conn, res)
 					l.mu.Unlock()
 					backoff = 2 * time.Millisecond
 					continue
@@ -624,10 +879,14 @@ func (l *Link) dialLoop() {
 			}
 			conn.Close()
 		}
+		// Jittered sleep in [backoff/2, backoff]: dialers racing a healed
+		// partition (or a restarted peer) spread out instead of stampeding
+		// in lockstep.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 		select {
 		case <-l.mesh.done:
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
@@ -646,7 +905,11 @@ func (l *Link) dialLoop() {
 // list or neither seeds. A Welcome without capabilities is an old peer; the
 // choice then defaults to xml and no seeding happens. A choice we never
 // offered is a protocol error.
-func handshakeDial(conn Conn, node, remote string, resume uint64, codecs, seed []string) (*Frame, string, []string, error) {
+//
+// durOpts carries a durable link's incarnation options (boot, peerboot,
+// bootresume*); peers without durability ignore them. hsTimeout bounds
+// the Welcome read so a half-open acceptor cannot wedge the dial loop.
+func handshakeDial(conn Conn, node, remote string, resume uint64, codecs, seed []string, durOpts map[string]string, hsTimeout time.Duration) (*Frame, string, []string, error) {
 	hello := &Frame{
 		Type: FrameHello, Version: ProtocolVersion, Node: node, Resume: resume,
 		Options: map[string]string{
@@ -654,6 +917,13 @@ func handshakeDial(conn Conn, node, remote string, resume uint64, codecs, seed [
 			"codec":    wire.FormatList(codecs),
 			"dictseed": wire.FormatList(seed),
 		},
+	}
+	for k, v := range durOpts {
+		hello.Options[k] = v
+	}
+	if hsTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(hsTimeout)) //nolint:errcheck // a failed deadline surfaces as a read error
+		defer conn.SetReadDeadline(time.Time{})         //nolint:errcheck // cleared best-effort; reads own their deadlines
 	}
 	if err := conn.WriteFrame(EncodeFrame(hello)); err != nil {
 		return nil, "", nil, err
@@ -708,33 +978,40 @@ type frameQueue struct {
 	closed bool
 }
 
-type queuedFrame struct{ f *Frame }
+// queuedFrame pairs a frame with the peer incarnation it arrived under
+// (ctlBoot, 0 on in-memory links): durable links journal a control
+// frame's completion against the incarnation that sent it, which may no
+// longer be current by the time the dispatcher drains the queue.
+type queuedFrame struct {
+	f       *Frame
+	ctlBoot uint64
+}
 
 func newFrameQueue() *frameQueue { return &frameQueue{} }
 
-func (q *frameQueue) push(f *Frame) {
+func (q *frameQueue) push(f *Frame, ctlBoot uint64) {
 	q.mu.Lock()
 	if !q.closed {
-		q.q = append(q.q, &queuedFrame{f})
+		q.q = append(q.q, &queuedFrame{f, ctlBoot})
 		q.mu.Broadcast()
 	}
 	q.mu.Unlock()
 }
 
-func (q *frameQueue) pop() (*Frame, bool) {
+func (q *frameQueue) pop() (*Frame, uint64, bool) {
 	q.mu.Lock()
 	for len(q.q) == 0 && !q.closed {
 		q.mu.Wait()
 	}
 	if len(q.q) == 0 {
 		q.mu.Unlock()
-		return nil, false
+		return nil, 0, false
 	}
-	f := q.q[0].f
+	f, ctlBoot := q.q[0].f, q.q[0].ctlBoot
 	q.q[0] = nil
 	q.q = q.q[1:]
 	q.mu.Unlock()
-	return f, true
+	return f, ctlBoot, true
 }
 
 func (q *frameQueue) close() {
@@ -751,13 +1028,24 @@ func (q *frameQueue) len() int {
 }
 
 // dispatcher feeds queued frames to the mesh handler in arrival order.
+// On durable links a control frame's completion is journaled after its
+// handler returns: recovery then re-dispatches only the controls the
+// crash interrupted, which under SyncAlways makes control application
+// exactly-once across process death.
 func (l *Link) dispatcher() {
 	defer l.mesh.wg.Done()
 	for {
-		f, ok := l.q.pop()
+		f, ctlBoot, ok := l.q.pop()
 		if !ok {
 			return
 		}
 		l.mesh.handler(l.remote, f)
+		if f.Type == FrameControl && f.Seq > 0 && ctlBoot > 0 {
+			l.mu.Lock()
+			if l.dur != nil {
+				l.dur.journalCtl(ctlBoot, f.Seq)
+			}
+			l.mu.Unlock()
+		}
 	}
 }

@@ -177,7 +177,7 @@ func TestLinkWindowBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ma.Close()
-	l := ma.Connect("b", "mem:none") // nothing listens: journal only
+	l, _ := ma.Connect("b", "mem:none") // nothing listens: journal only
 	sent := make(chan int, 1)
 	go func() {
 		i := 0

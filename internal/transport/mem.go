@@ -2,7 +2,9 @@ package transport
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"time"
 )
 
 // Mem is the in-process Transport: the same encoded frame payloads travel
@@ -100,6 +102,10 @@ type memConn struct {
 	out  chan []byte
 	done chan struct{}
 	once *sync.Once
+
+	mu  sync.Mutex
+	rdl time.Time
+	wdl time.Time
 }
 
 func (c *memConn) WriteFrame(payload []byte) error {
@@ -110,9 +116,16 @@ func (c *memConn) WriteFrame(payload []byte) error {
 	// receives an owned slice just as it would from a socket read.
 	p := make([]byte, len(payload))
 	copy(p, payload)
+	expire, stop, err := c.expiry(&c.wdl)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	select {
 	case c.out <- p:
 		return nil
+	case <-expire:
+		return os.ErrDeadlineExceeded
 	case <-c.done:
 		return ErrClosed
 	}
@@ -126,12 +139,54 @@ func (c *memConn) ReadFrame() ([]byte, error) {
 		return p, nil
 	default:
 	}
+	expire, stop, err := c.expiry(&c.rdl)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	select {
 	case p := <-c.in:
 		return p, nil
+	case <-expire:
+		return nil, os.ErrDeadlineExceeded
 	case <-c.done:
 		return nil, ErrClosed
 	}
+}
+
+// expiry maps a deadline field to a timer channel for the blocking
+// selects: nil (blocks never) when no deadline is set, an immediate error
+// when it already passed. stop releases the timer.
+func (c *memConn) expiry(dl *time.Time) (<-chan time.Time, func(), error) {
+	c.mu.Lock()
+	t := *dl
+	c.mu.Unlock()
+	if t.IsZero() {
+		return nil, func() {}, nil
+	}
+	d := time.Until(t)
+	if d <= 0 {
+		return nil, nil, os.ErrDeadlineExceeded
+	}
+	tm := time.NewTimer(d)
+	return tm.C, func() { tm.Stop() }, nil
+}
+
+// SetReadDeadline bounds future ReadFrame calls, mirroring net.Conn
+// deadline semantics on the in-process transport.
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline bounds future WriteFrame calls.
+func (c *memConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return nil
 }
 
 func (c *memConn) Close() error {

@@ -3,11 +3,14 @@ package transport
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"streamshare/internal/durable"
+	"streamshare/internal/obs"
 	"streamshare/internal/wire"
 )
 
@@ -73,6 +76,39 @@ type MeshConfig struct {
 	// and after the codec. It runs under the link's lock, so it must be
 	// fast and must not call back into the mesh.
 	ObserveWire func(op string, seconds float64, items, xmlBytes, wireBytes int)
+	// DataDir, when set, makes every link durable: each link journals its
+	// frames and cursors in DataDir/<remote> and a process restarted over
+	// the same directory recovers its link identity, replays the frames
+	// the peer never acked, and re-dispatches the inbound frames its crash
+	// interrupted (see DESIGN.md "Durability"). Empty keeps links
+	// in-memory. Node names double as directory names, so they must be
+	// path-safe.
+	DataDir string
+	// DurableSync is the WAL fsync policy for durable links
+	// (durable.SyncAlways when zero).
+	DurableSync durable.Sync
+	// DurableSyncInterval is the background fsync period under
+	// durable.SyncInterval (the WAL default when 0).
+	DurableSyncInterval time.Duration
+	// Metrics, when set, receives the durable.* WAL metrics.
+	Metrics *obs.Registry
+	// Flight, when set, records wal.* flight events.
+	Flight *obs.FlightRecorder
+	// HandshakeTimeout bounds each handshake's blocking reads on both
+	// sides (10s when 0, negative disables): a half-open peer that dials
+	// and goes silent can no longer pin a handshake goroutine forever.
+	HandshakeTimeout time.Duration
+	// IdleTimeout, when positive, arms a read deadline before every frame
+	// read and a write deadline before every frame write on attached
+	// conns: a half-open peer tears down and redials once the link goes
+	// silent this long. Heartbeats reset it, so pick a multiple of the
+	// heartbeat interval — and leave it 0 (disabled) on meshes that idle
+	// between runs without heartbeats.
+	IdleTimeout time.Duration
+	// MaxBackoff caps the dialer's exponential redial backoff (250ms when
+	// 0). Redial sleeps are jittered in [backoff/2, backoff] to spread
+	// reconnect stampedes after a partition heals.
+	MaxBackoff time.Duration
 }
 
 // Mesh is one node's endpoint in the super-peer network: a listener, a
@@ -93,6 +129,15 @@ type Mesh struct {
 	codecs  []string
 	seed    []string
 	obsWire func(op string, seconds float64, items, xmlBytes, wireBytes int)
+
+	durDir      string
+	durSync     durable.Sync
+	durSyncInt  time.Duration
+	metrics     *obs.Registry
+	flight      *obs.FlightRecorder
+	hsTimeout   time.Duration
+	idleTimeout time.Duration
+	maxBackoff  time.Duration
 
 	mu      sync.Mutex
 	links   map[string]*Link
@@ -129,18 +174,32 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 			seed = append(seed, name)
 		}
 	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 250 * time.Millisecond
+	}
 	m := &Mesh{
-		node:    cfg.Node,
-		tr:      cfg.Transport,
-		ln:      ln,
-		handler: cfg.Handler,
-		window:  cfg.Window,
-		codecs:  cfg.Codecs,
-		seed:    seed,
-		obsWire: cfg.ObserveWire,
-		links:   map[string]*Link{},
-		pending: map[Conn]bool{},
-		done:    make(chan struct{}),
+		node:        cfg.Node,
+		tr:          cfg.Transport,
+		ln:          ln,
+		handler:     cfg.Handler,
+		window:      cfg.Window,
+		codecs:      cfg.Codecs,
+		seed:        seed,
+		obsWire:     cfg.ObserveWire,
+		durDir:      cfg.DataDir,
+		durSync:     cfg.DurableSync,
+		durSyncInt:  cfg.DurableSyncInterval,
+		metrics:     cfg.Metrics,
+		flight:      cfg.Flight,
+		hsTimeout:   cfg.HandshakeTimeout,
+		idleTimeout: cfg.IdleTimeout,
+		maxBackoff:  cfg.MaxBackoff,
+		links:       map[string]*Link{},
+		pending:     map[Conn]bool{},
+		done:        make(chan struct{}),
 	}
 	m.wg.Add(2)
 	go m.acceptLoop()
@@ -156,12 +215,32 @@ func (m *Mesh) Addr() string { return m.ln.Addr() }
 
 // Connect registers the link to a remote node, starting its dial loop if
 // this side dials (smaller node name dials larger). Idempotent per
-// remote.
-func (m *Mesh) Connect(remote, addr string) *Link {
+// remote. On a durable mesh (MeshConfig.DataDir) it opens the link's
+// journal first: recovery primes the receive cursor, queues the inbound
+// frames the previous life never finished dispatching, and stages the
+// unacked outbound frames for replay on the first handshake — an open or
+// recovery failure is returned instead of silently degrading to an
+// in-memory link.
+func (m *Mesh) Connect(remote, addr string) (*Link, error) {
 	m.mu.Lock()
 	if l, ok := m.links[remote]; ok {
 		m.mu.Unlock()
-		return l
+		return l, nil
+	}
+	var dur *linkDur
+	if m.durDir != "" && !m.closed {
+		var err error
+		dur, err = openLinkDur(durable.Options{
+			Dir:          filepath.Join(m.durDir, remote),
+			Sync:         m.durSync,
+			SyncInterval: m.durSyncInt,
+			Metrics:      m.metrics,
+			Flight:       m.flight,
+		})
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
 	}
 	l := &Link{
 		mesh:   m,
@@ -171,6 +250,14 @@ func (m *Mesh) Connect(remote, addr string) *Link {
 		phase:  "idle",
 		out:    NewChannel(0, m.window),
 		q:      newFrameQueue(),
+		dur:    dur,
+	}
+	if dur != nil && dur.recvNext > 1 {
+		// Resume receiving where the recovered journal left off: the peer
+		// trims on our acks, so everything below this cursor is already in
+		// our journal and must not be double-dispatched when the peer's
+		// replay re-delivers it.
+		l.in = RecvCursor{next: dur.recvNext}
 	}
 	l.out.AddConsumer(remote)
 	if m.closed {
@@ -181,7 +268,16 @@ func (m *Mesh) Connect(remote, addr string) *Link {
 	closed := m.closed
 	m.mu.Unlock()
 	if closed {
-		return l
+		return l, nil
+	}
+	if dur != nil {
+		// Re-dispatch the inbound frames the crash interrupted, in journal
+		// order, ahead of anything a fresh conn delivers. The dispatcher
+		// starts below, so these drain as soon as the handler is ready.
+		for _, f := range dur.replay {
+			l.q.push(f, dur.peerBoot)
+		}
+		dur.replay = nil
 	}
 	m.wg.Add(2)
 	go l.writer()
@@ -194,7 +290,7 @@ func (m *Mesh) Connect(remote, addr string) *Link {
 		l.phase = "accept-wait"
 		l.mu.Unlock()
 	}
-	return l
+	return l, nil
 }
 
 // Link returns the link to a remote node, nil if never connected.
@@ -241,13 +337,21 @@ func (m *Mesh) acceptLoop() {
 }
 
 // handleIncoming runs the accepting half of the handshake: require a
-// version-matching Hello from a known remote, answer with Welcome and our
-// resume cursor, and attach the conn to the remote's link.
+// version-matching Hello from a known remote, adopt its codec and (on
+// durable links) its incarnation options, answer with Welcome and our
+// resume cursor, and attach the conn to the remote's link. The codec is
+// adopted before the Welcome is written so a pinned-codec refusal never
+// advertises a choice we will not honor; the incarnation options are
+// adopted before it so the Welcome reports our post-rotation boot and the
+// stashed cursor a restarted dialer needs to filter its pending replay.
 func (m *Mesh) handleIncoming(conn Conn) {
 	defer m.wg.Done()
 	if !m.trackPending(conn, true) {
 		conn.Close()
 		return
+	}
+	if hs := m.hsTimeout; hs > 0 {
+		conn.SetReadDeadline(time.Now().Add(hs)) //nolint:errcheck // a failed deadline surfaces as a read error
 	}
 	payload, err := conn.ReadFrame()
 	if err != nil {
@@ -270,45 +374,56 @@ func (m *Mesh) handleIncoming(conn Conn) {
 		conn.Close()
 		return
 	}
-	l.mu.Lock()
-	resume := l.in.Next()
-	l.mu.Unlock()
 	// Capability negotiation: pick the first of our preferences the dialer
 	// also offered; a Hello without capabilities is an old peer, which
 	// wire.Negotiate resolves to the universal xml fallback.
 	choice := wire.Negotiate(m.codecs, wire.ParseList(f.Options["codec"]))
-	welcome := &Frame{
-		Type: FrameWelcome, Version: ProtocolVersion, Node: m.node, Resume: resume,
-		Options: map[string]string{"caps.v": "1", "codec": choice},
-	}
 	// Dictionary seeding: only when the dialer advertised the dictseed
 	// capability AND the chosen codec can use it. The agreed list — the
 	// dialer's when it offered one, our own otherwise — goes back in the
 	// Welcome, which is authoritative for both sides; a dialer that never
 	// sent the key gets no echo and neither side seeds.
 	var seed []string
+	seeded := false
 	if v, ok := f.Options["dictseed"]; ok && wire.SupportsTrees(choice) {
 		seed = wire.ParseList(v)
 		if len(seed) == 0 {
 			seed = m.seed
 		}
+		seeded = true
+	}
+	l.mu.Lock()
+	if err := l.adoptCodecLocked(choice, seed); err != nil {
+		// The link already pinned a different codec in an earlier
+		// handshake; renegotiation would desync the journal. Refuse.
+		l.mu.Unlock()
+		m.trackPending(conn, false)
+		conn.Close()
+		return
+	}
+	myResume := l.adoptPeerLocked(
+		durOptU64(f.Options, "boot"), durOptU64(f.Options, "peerboot"),
+		f.Resume, durOptU64(f.Options, "bootresumefor"), durOptU64(f.Options, "bootresume"))
+	welcome := &Frame{
+		Type: FrameWelcome, Version: ProtocolVersion, Node: m.node, Resume: l.in.Next(),
+		Options: map[string]string{"caps.v": "1", "codec": choice},
+	}
+	if seeded {
 		welcome.Options["dictseed"] = wire.FormatList(seed)
 	}
+	for k, v := range l.durHandshakeOptsLocked() {
+		welcome.Options[k] = v
+	}
+	l.mu.Unlock()
 	if err := conn.WriteFrame(EncodeFrame(welcome)); err != nil {
 		m.trackPending(conn, false)
 		conn.Close()
 		return
 	}
 	m.trackPending(conn, false)
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // handshake deadline over; the reader arms its own
 	l.mu.Lock()
-	if err := l.adoptCodecLocked(choice, seed); err != nil {
-		// The link already pinned a different codec in an earlier
-		// handshake; renegotiation would desync the journal. Refuse.
-		l.mu.Unlock()
-		conn.Close()
-		return
-	}
-	l.attachLocked(conn, f.Resume)
+	l.attachLocked(conn, myResume)
 	l.mu.Unlock()
 }
 
@@ -344,6 +459,18 @@ func (m *Mesh) ackerLoop() {
 				l.flushAck()
 			}
 		}
+	}
+}
+
+// Checkpoint compacts every durable link's journal to a snapshot of its
+// live cursors and unacked frames, with a boundary record: a process that
+// crashes after the checkpoint re-dispatches only the inbound frames
+// received since. Call it at quiescent points — the runtime calls it
+// after each run's barrier, when every journal has drained. No-op on
+// in-memory meshes.
+func (m *Mesh) Checkpoint() {
+	for _, l := range m.Links() {
+		l.checkpoint()
 	}
 }
 
@@ -442,7 +569,17 @@ func (m *Mesh) Close() error {
 		l.mu.Unlock()
 	}
 	m.wg.Wait()
-	return nil
+	// All mesh goroutines are gone: no more journal appends. Sync and
+	// close the link WALs so a clean shutdown recovers instantly.
+	var werr error
+	for _, l := range links {
+		if l.dur != nil {
+			if err := l.dur.wal.Close(); err != nil && werr == nil {
+				werr = err
+			}
+		}
+	}
+	return werr
 }
 
 // DumpState writes the mesh's per-link protocol state (phase, cursors,

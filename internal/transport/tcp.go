@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP is the Transport over real sockets: length-prefixed frames on a
@@ -74,5 +75,12 @@ func (c *tcpConn) WriteFrame(payload []byte) error {
 }
 
 func (c *tcpConn) ReadFrame() ([]byte, error) { return ReadFramePayload(c.br) }
+
+// SetReadDeadline delegates to the socket. Bytes already buffered read
+// without a deadline check; the next socket read honors it.
+func (c *tcpConn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the socket.
+func (c *tcpConn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
 
 func (c *tcpConn) Close() error { return c.c.Close() }

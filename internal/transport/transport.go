@@ -1,6 +1,9 @@
 package transport
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrClosed reports an operation on a closed conn, listener, link or mesh.
 var ErrClosed = errors.New("transport: closed")
@@ -37,6 +40,15 @@ type Conn interface {
 	WriteFrame(payload []byte) error
 	// ReadFrame returns the next frame payload.
 	ReadFrame() ([]byte, error)
+	// SetReadDeadline bounds future ReadFrame calls: a read still blocked
+	// at t fails, after which the conn is good only for teardown. The zero
+	// time clears the deadline. The mesh arms this during handshakes and,
+	// with an IdleTimeout, before every read — a half-open peer can no
+	// longer block a link forever.
+	SetReadDeadline(t time.Time) error
+	// SetWriteDeadline is SetReadDeadline's outbound mirror, bounding
+	// future WriteFrame calls.
+	SetWriteDeadline(t time.Time) error
 	// Close tears the connection down; blocked reads and writes on either
 	// end return errors.
 	Close() error
